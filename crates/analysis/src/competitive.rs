@@ -1,0 +1,130 @@
+//! Adversary-competitive message-complexity accounting (Definition 1.3).
+//!
+//! An algorithm has *α-adversary-competitive message complexity `M`* if in
+//! every execution, `total messages ≤ M + α · TC(E)`. Experimentally, we
+//! compute the *residual* `total − α·TC` per run and compare it against a
+//! candidate bound function `M(n, k, s)` — e.g. `c(n² + nk)` for
+//! Theorem 3.1 or `c(n²s + nk)` for Theorem 3.5.
+
+use dynspread_sim::RunReport;
+
+/// One run's adversary-competitive accounting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompetitiveRecord {
+    /// Total messages of the run.
+    pub total_messages: u64,
+    /// The run's `TC(E)`.
+    pub tc: u64,
+    /// `total − α·TC`.
+    pub residual: f64,
+    /// The candidate bound `M(n, k, s)` evaluated for the run.
+    pub bound: f64,
+    /// `residual / bound` — at most the hidden constant if the theorem
+    /// holds.
+    pub ratio: f64,
+}
+
+/// Evaluates Definition 1.3 for a set of runs against a candidate bound.
+///
+/// `bound` receives `(n, k)` from each report; fold `s` into the closure
+/// if needed.
+pub fn competitive_records<F: Fn(&RunReport) -> f64>(
+    reports: &[RunReport],
+    alpha: f64,
+    bound: F,
+) -> Vec<CompetitiveRecord> {
+    reports
+        .iter()
+        .map(|r| {
+            let residual = r.competitive_residual(alpha);
+            let b = bound(r);
+            CompetitiveRecord {
+                total_messages: r.total_messages,
+                tc: r.tc(),
+                residual,
+                bound: b,
+                ratio: residual / b,
+            }
+        })
+        .collect()
+}
+
+/// The worst (largest) residual/bound ratio over a set of runs — the
+/// empirical hidden constant.
+pub fn worst_ratio(records: &[CompetitiveRecord]) -> f64 {
+    records
+        .iter()
+        .map(|r| r.ratio)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// The Theorem 3.1 bound `n² + nk` for a report.
+pub fn single_source_bound(r: &RunReport) -> f64 {
+    (r.n * r.n + r.n * r.k) as f64
+}
+
+/// The Theorem 3.5 bound `n²s + nk` for a report, with `s` supplied by the
+/// experiment (the report doesn't carry it).
+pub fn multi_source_bound(s: usize) -> impl Fn(&RunReport) -> f64 {
+    move |r| (r.n * r.n * s + r.n * r.k) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynspread_graph::TopologyMeter;
+    use dynspread_sim::meter::MessageMeter;
+    use dynspread_sim::message::MessageClass;
+
+    fn report(n: usize, k: usize, msgs: u64, tc: u64) -> RunReport {
+        let mut meter = MessageMeter::new();
+        meter.begin_round(1);
+        for _ in 0..msgs {
+            meter.record_unicast(MessageClass::Token);
+        }
+        RunReport::from_meters(
+            "a",
+            "b",
+            n,
+            k,
+            1,
+            true,
+            &meter,
+            TopologyMeter {
+                insertions: tc,
+                deletions: 0,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn residual_subtracts_alpha_tc() {
+        let r = report(4, 2, 100, 30);
+        let recs = competitive_records(&[r], 1.0, single_source_bound);
+        assert_eq!(recs[0].residual, 70.0);
+        assert_eq!(recs[0].bound, 24.0);
+        assert!((recs[0].ratio - 70.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_plain_message_complexity() {
+        let r = report(4, 2, 100, 30);
+        let recs = competitive_records(&[r], 0.0, single_source_bound);
+        assert_eq!(recs[0].residual, 100.0);
+    }
+
+    #[test]
+    fn worst_ratio_selects_maximum() {
+        let rs = vec![report(4, 2, 10, 0), report(4, 2, 50, 0)];
+        let recs = competitive_records(&rs, 1.0, single_source_bound);
+        assert!((worst_ratio(&recs) - 50.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_source_bound_includes_s() {
+        let r = report(10, 5, 0, 0);
+        let b = multi_source_bound(3);
+        assert_eq!(b(&r), (10 * 10 * 3 + 10 * 5) as f64);
+    }
+}

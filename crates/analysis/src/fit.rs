@@ -1,0 +1,127 @@
+//! Least-squares fits, in particular log–log slope (power-law exponent)
+//! estimation.
+//!
+//! The paper's bounds are asymptotic (`Θ(n²)`, `O(n^{5/2} k^{1/4})`, …).
+//! The experiments sweep `n` or `k` and check the *exponent* of the
+//! measured cost curve against the predicted exponent by fitting a line to
+//! `(log x, log y)` pairs.
+
+/// Result of a simple linear regression `y ≈ a + b·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; NaN when
+    /// the ys are constant).
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ a + b·x` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics with fewer than two points or when all xs coincide.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must pair up");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "xs must not all coincide");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { f64::NAN };
+    LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    }
+}
+
+/// Fits a power law `y ≈ C·x^e` by regressing `ln y` on `ln x`; returns
+/// the exponent estimate and fit quality.
+///
+/// # Panics
+///
+/// Panics if any coordinate is non-positive, or on fewer than two points.
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "power-law fit needs positive data"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [5.0, 7.0, 9.0, 11.0];
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r_squared_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn quadratic_power_law_exponent() {
+        let xs: Vec<f64> = (1..=6).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        let fit = power_law_fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-9, "exponent {}", fit.slope);
+        assert!((fit.intercept - 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_exponent_recovered() {
+        let xs: Vec<f64> = vec![16.0, 64.0, 256.0, 1024.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.powf(0.75)).collect();
+        let fit = power_law_fit(&xs, &ys);
+        assert!((fit.slope - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_panics() {
+        linear_fit(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn degenerate_xs_panic() {
+        linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_law_rejects_nonpositive() {
+        power_law_fit(&[1.0, 0.0], &[1.0, 2.0]);
+    }
+}

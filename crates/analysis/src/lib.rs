@@ -1,0 +1,32 @@
+//! # dynspread-analysis — metrics and reporting
+//!
+//! Analysis utilities consumed by the benchmark harness:
+//!
+//! * [`stats`] — summary statistics over repeated runs (mean, stddev,
+//!   approximate 95% confidence intervals, median).
+//! * [`fit`] — least-squares fits; [`fit::power_law_fit`] estimates the
+//!   exponent of a measured cost curve on a log–log scale, which is how
+//!   the experiments compare measured scaling against the paper's
+//!   asymptotic bounds.
+//! * [`competitive`] — Definition 1.3 accounting: residuals
+//!   `M − α·TC(E)` against candidate bounds like `c(n² + nk)`
+//!   (Theorem 3.1) and `c(n²s + nk)` (Theorem 3.5).
+//! * [`progress`] — per-round token-learning curves (the quantity the
+//!   Section 2 lower bound throttles).
+//! * [`table`] — aligned ASCII tables and CSV output, used to regenerate
+//!   the paper's Table 1 and the per-theorem experiment reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod competitive;
+pub mod fit;
+pub mod plot;
+pub mod progress;
+pub mod stats;
+pub mod table;
+
+pub use competitive::{competitive_records, worst_ratio, CompetitiveRecord};
+pub use fit::{linear_fit, power_law_fit, LinearFit};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,78 @@
+//! Progress (token-learning) curve analysis.
+//!
+//! The Section 2 lower bound is a statement about *progress per round*:
+//! the adversary caps token learnings at `O(log n)` per round. These
+//! helpers turn the tracker's per-round learning counts into the
+//! quantities the experiments report.
+
+/// Cumulative learning curve: entry `r` is the total learnings in rounds
+/// `1..=r+1`.
+pub fn cumulative(learnings_per_round: &[u64]) -> Vec<u64> {
+    let mut total = 0u64;
+    learnings_per_round
+        .iter()
+        .map(|&x| {
+            total += x;
+            total
+        })
+        .collect()
+}
+
+/// The maximum learnings in any single round.
+pub fn max_per_round(learnings_per_round: &[u64]) -> u64 {
+    learnings_per_round.iter().copied().max().unwrap_or(0)
+}
+
+/// The first round (1-based) at which the cumulative learnings reach
+/// `target`, if ever.
+pub fn round_reaching(learnings_per_round: &[u64], target: u64) -> Option<u64> {
+    let mut total = 0u64;
+    for (i, &x) in learnings_per_round.iter().enumerate() {
+        total += x;
+        if total >= target {
+            return Some(i as u64 + 1);
+        }
+    }
+    None
+}
+
+/// Fraction of rounds with zero learnings (the adversary's "stall rate").
+pub fn stall_fraction(learnings_per_round: &[u64]) -> f64 {
+    if learnings_per_round.is_empty() {
+        return 0.0;
+    }
+    learnings_per_round.iter().filter(|&&x| x == 0).count() as f64
+        / learnings_per_round.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_sums() {
+        assert_eq!(cumulative(&[1, 0, 2, 3]), vec![1, 1, 3, 6]);
+        assert!(cumulative(&[]).is_empty());
+    }
+
+    #[test]
+    fn max_per_round_handles_empty() {
+        assert_eq!(max_per_round(&[]), 0);
+        assert_eq!(max_per_round(&[2, 7, 3]), 7);
+    }
+
+    #[test]
+    fn round_reaching_finds_first_crossing() {
+        assert_eq!(round_reaching(&[1, 0, 2, 3], 3), Some(3));
+        assert_eq!(round_reaching(&[1, 0, 2, 3], 1), Some(1));
+        assert_eq!(round_reaching(&[1, 0, 2, 3], 7), None);
+        assert_eq!(round_reaching(&[5], 0), Some(1));
+    }
+
+    #[test]
+    fn stall_fraction_counts_zero_rounds() {
+        assert_eq!(stall_fraction(&[0, 1, 0, 0]), 0.75);
+        assert_eq!(stall_fraction(&[]), 0.0);
+        assert_eq!(stall_fraction(&[1, 1]), 0.0);
+    }
+}

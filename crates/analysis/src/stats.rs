@@ -1,0 +1,193 @@
+//! Summary statistics for repeated experiment runs.
+
+/// Summary of a sample of f64 observations.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_analysis::stats::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.n, 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; empty input yields all-NaN moments with `n = 0`.
+    pub fn from_samples(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                stddev: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of an approximate 95% confidence interval for the mean
+    /// (normal approximation: `1.96 · s/√n`; 0 for `n < 2`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2} ± {:.2} (n={}, min {:.2}, max {:.2})",
+            self.mean,
+            self.ci95_half_width(),
+            self.n,
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// The median of a sample (average of middle two for even length).
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// The `p`-th percentile (0–100) by linear interpolation between order
+/// statistics.
+///
+/// # Panics
+///
+/// Panics on empty input or `p` outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "p must be in [0, 100]");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    if v.len() == 1 {
+        return v[0];
+    }
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    v[lo] + (v[hi] - v[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::from_samples(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty_sample() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn summary_single_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+        let s = Summary::from_samples(&[2., 4., 4., 4., 5., 5., 7., 9.]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_empty_panics() {
+        median(&[]);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_interpolation() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        // p50 matches median on odd samples.
+        let odd = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&odd, 50.0), median(&odd));
+        // Single sample: every percentile is that value.
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn percentile_rejects_bad_p() {
+        percentile(&[1.0], 150.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_samples(&[1.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("2.00"));
+        assert!(text.contains("n=2"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Criterion benches of the dissemination algorithms (end-to-end runs at
+//! fixed sizes). These measure the *simulator cost* of each algorithm;
+//! the message-complexity results live in the experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynspread_bench::{
+    default_adversary, run_multi_source, run_phased_flooding, run_single_source,
+};
+use dynspread_core::baselines::{TreeBroadcastStatic, UnicastFlooding};
+use dynspread_core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
+use dynspread_graph::{Graph, NodeId};
+use dynspread_sim::sim::{SimConfig, UnicastSim};
+use dynspread_sim::token::TokenAssignment;
+
+fn bench_single_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_source");
+    for &(n, k) in &[(16usize, 16usize), (32, 32)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let r = run_single_source(n, k, default_adversary(seed), 1_000_000);
+                    assert!(r.completed);
+                    r.total_messages
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_multi_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_source");
+    for &(n, k, s) in &[(16usize, 16usize, 4usize), (24, 24, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}_s{s}")),
+            &(n, k, s),
+            |b, &(n, k, s)| {
+                let assignment = TokenAssignment::round_robin_sources(n, k, s);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let r = run_multi_source(&assignment, default_adversary(seed), 2_000_000);
+                    assert!(r.completed);
+                    r.total_messages
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_phased_flooding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phased_flooding");
+    for &(n, k) in &[(16usize, 8usize), (32, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let assignment = TokenAssignment::round_robin_sources(n, k, k.min(n));
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let r = run_phased_flooding(&assignment, default_adversary(seed), 100_000);
+                    assert!(r.completed);
+                    r.total_messages
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_unicast_flooding_baseline(c: &mut Criterion) {
+    c.bench_function("unicast_flooding/n16_k8", |b| {
+        let n = 16;
+        let assignment = TokenAssignment::single_source(n, 8, NodeId::new(0));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim = UnicastSim::new(
+                "unicast-flooding",
+                UnicastFlooding::nodes(&assignment),
+                default_adversary(seed),
+                &assignment,
+                SimConfig::with_max_rounds(100_000),
+            );
+            let r = sim.run_to_completion();
+            assert!(r.completed);
+            r.total_messages
+        });
+    });
+}
+
+fn bench_tree_broadcast_baseline(c: &mut Criterion) {
+    c.bench_function("tree_broadcast_static/n16_k32", |b| {
+        let n = 16;
+        let assignment = TokenAssignment::single_source(n, 32, NodeId::new(0));
+        b.iter(|| {
+            let mut sim = UnicastSim::new(
+                "tree-broadcast",
+                TreeBroadcastStatic::nodes(NodeId::new(0), &assignment),
+                StaticAdversary::new(Graph::cycle(n)),
+                &assignment,
+                SimConfig::with_max_rounds(10_000),
+            );
+            let r = sim.run_to_completion();
+            assert!(r.completed);
+            r.total_messages
+        });
+    });
+}
+
+fn bench_rlnc_gossip(c: &mut Criterion) {
+    c.bench_function("rlnc_gossip/n16", |b| {
+        let n = 16;
+        let assignment = TokenAssignment::n_gossip(n);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim = dynspread_sim::sim::BroadcastSim::new(
+                "rlnc",
+                dynspread_core::network_coding::RlncNode::nodes(&assignment, seed),
+                PeriodicRewiring::new(Topology::RandomTree, 1, seed),
+                &assignment,
+                SimConfig::with_max_rounds(10_000),
+            );
+            let r = sim.run_to_completion();
+            assert!(r.completed);
+            r.rounds
+        });
+    });
+}
+
+fn bench_leader_election(c: &mut Criterion) {
+    use dynspread_core::leader_election::{run_election, ElectionMode};
+    let mut group = c.benchmark_group("leader_election");
+    for mode in [ElectionMode::Eager, ElectionMode::OnChange] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}_n32")),
+            &mode,
+            |b, &mode| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let adv = PeriodicRewiring::new(Topology::RandomTree, 3, seed);
+                    let (report, converged) = run_election(32, mode, adv, 100_000);
+                    assert!(converged);
+                    report.total_messages
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_oblivious_two_phase(c: &mut Criterion) {
+    c.bench_function("oblivious_two_phase/n16_k16", |b| {
+        let n = 16usize;
+        let k = 16usize;
+        let assignment = TokenAssignment::round_robin_sources(n, k, n);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = ObliviousConfig {
+                seed,
+                source_threshold: Some(1.0),
+                center_probability: Some(0.25),
+                ..ObliviousConfig::default()
+            };
+            let out = run_oblivious_multi_source(
+                &assignment,
+                PeriodicRewiring::new(Topology::Gnp(0.3), 3, seed + 1),
+                PeriodicRewiring::new(Topology::RandomTree, 3, seed + 2),
+                &cfg,
+            );
+            assert!(out.completed());
+            out.total_messages()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_source, bench_multi_source, bench_phased_flooding,
+              bench_unicast_flooding_baseline, bench_tree_broadcast_baseline,
+              bench_oblivious_two_phase, bench_rlnc_gossip, bench_leader_election
+}
+criterion_main!(benches);

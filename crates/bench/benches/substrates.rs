@@ -1,0 +1,125 @@
+//! Criterion benches of the substrates: graph generators, union–find,
+//! token sets, the free-edge computation, and the stability enforcer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynspread_core::lower_bound::{free_edge_structure, KPrimeSets};
+use dynspread_graph::generators::{gnp_connected, random_tree, Topology};
+use dynspread_graph::stability::StabilityEnforcer;
+use dynspread_graph::{Graph, NodeId, UnionFind};
+use dynspread_sim::token::{TokenId, TokenSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("random_tree", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| random_tree(n, &mut rng).edge_count());
+        });
+        group.bench_with_input(BenchmarkId::new("gnp_connected_p0.1", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| gnp_connected(n, 0.1, &mut rng).edge_count());
+        });
+        group.bench_with_input(BenchmarkId::new("near_regular_d4", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| Topology::NearRegular(4).sample(n, &mut rng).edge_count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    c.bench_function("union_find/10k_random_unions", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pairs: Vec<(usize, usize)> = (0..10_000)
+            .map(|_| (rng.gen_range(0..4096), rng.gen_range(0..4096)))
+            .collect();
+        b.iter(|| {
+            let mut uf = UnionFind::new(4096);
+            for &(a, x) in &pairs {
+                uf.union(a, x);
+            }
+            uf.component_count()
+        });
+    });
+}
+
+fn bench_token_set(c: &mut Criterion) {
+    c.bench_function("token_set/union_count_k4096", |b| {
+        let k = 4096;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = TokenSet::new(k);
+        let mut x = TokenSet::new(k);
+        for t in TokenId::all(k) {
+            if rng.gen_bool(0.3) {
+                a.insert(t);
+            }
+            if rng.gen_bool(0.3) {
+                x.insert(t);
+            }
+        }
+        b.iter(|| a.union_count(&x));
+    });
+}
+
+fn bench_free_edges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("free_edge_structure");
+    for &n in &[64usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let k = n / 2;
+            let mut rng = StdRng::seed_from_u64(6);
+            let kprime = KPrimeSets::sample(n, k, 0.25, &mut rng);
+            let know: Vec<TokenSet> = (0..n)
+                .map(|_| {
+                    let mut s = TokenSet::new(k);
+                    for t in TokenId::all(k) {
+                        if rng.gen_bool(0.25) {
+                            s.insert(t);
+                        }
+                    }
+                    s
+                })
+                .collect();
+            let choices: Vec<Option<TokenId>> = (0..n)
+                .map(|_| Some(TokenId::new(rng.gen_range(0..k as u32))))
+                .collect();
+            b.iter(|| free_edge_structure(&choices, &know, &kprime).components);
+        });
+    }
+    group.finish();
+}
+
+fn bench_stability_enforcer(c: &mut Criterion) {
+    c.bench_function("stability_enforcer/100_rounds_n64", |b| {
+        let n = 64;
+        let mut rng = StdRng::seed_from_u64(7);
+        let proposals: Vec<Graph> = (0..100)
+            .map(|_| Topology::SparseConnected(2.0).sample(n, &mut rng))
+            .collect();
+        b.iter(|| {
+            let mut enf = StabilityEnforcer::new(3);
+            let mut edges = 0usize;
+            for p in &proposals {
+                edges += enf.clamp(p.clone()).edge_count();
+            }
+            edges
+        });
+    });
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    c.bench_function("graph/bfs_distances_n256_gnp", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gnp_connected(256, 0.05, &mut rng);
+        b.iter(|| g.bfs_distances(NodeId::new(0)).len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generators, bench_union_find, bench_token_set,
+              bench_free_edges, bench_stability_enforcer, bench_bfs
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **Footnote 4** — strongly vs weakly adaptive adversaries.
+//!
+//! "The strongly adaptive adversary knows the algorithm's randomness of the
+//! current round … a weakly adaptive adversary only knows the algorithm's
+//! randomness up to the round before the current round."
+//!
+//! The Section 2 lower bound needs the *strong* variant: the adversary must
+//! see the committed broadcast tokens before wiring the round. This binary
+//! measures the gap: round-robin flooding (whose per-round token choice the
+//! lagged adversary cannot predict) is stalled forever by the strong
+//! adversary, but completes against the weak one.
+
+use dynspread_analysis::progress::stall_fraction;
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_core::flooding::RoundRobinBroadcast;
+use dynspread_core::lower_bound::{
+    bernoulli_assignment, LaggedPotentialAdversary, PotentialAdversary,
+};
+use dynspread_sim::sim::{BroadcastSim, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 71u64;
+    println!("Adaptivity gap: the §2 adversary with and without the one-round lag");
+    println!("algorithm: round-robin flooding (rotating token choice); k = n/2\n");
+
+    let mut table = Table::new(&[
+        "n",
+        "adversary",
+        "completed?",
+        "rounds",
+        "messages",
+        "stall fraction",
+    ]);
+    for (i, &n) in [16usize, 24, 32].iter().enumerate() {
+        let k = n / 2;
+        let cap = 30 * (n * k) as u64;
+        // Strong arm.
+        let mut rng = StdRng::seed_from_u64(seed + i as u64);
+        let assignment = bernoulli_assignment(n, k, 0.25, &mut rng);
+        let mut sim = BroadcastSim::new(
+            "round-robin",
+            RoundRobinBroadcast::nodes(&assignment),
+            PotentialAdversary::new(&assignment, 0.25, seed + 100 + i as u64),
+            &assignment,
+            SimConfig::with_max_rounds(cap),
+        );
+        let strong = sim.run_to_completion();
+        let strong_stalls = stall_fraction(sim.tracker().learnings_per_round());
+        table.row_owned(vec![
+            n.to_string(),
+            "strongly adaptive".into(),
+            strong.completed.to_string(),
+            strong.rounds.to_string(),
+            strong.total_messages.to_string(),
+            fmt_f64(strong_stalls),
+        ]);
+        // Weak arm (same K' seed, same initial assignment).
+        let mut sim = BroadcastSim::new(
+            "round-robin",
+            RoundRobinBroadcast::nodes(&assignment),
+            LaggedPotentialAdversary::new(&assignment, 0.25, seed + 100 + i as u64),
+            &assignment,
+            SimConfig::with_max_rounds(cap),
+        );
+        let weak = sim.run_to_completion();
+        let weak_stalls = stall_fraction(sim.tracker().learnings_per_round());
+        table.row_owned(vec![
+            n.to_string(),
+            "weakly adaptive".into(),
+            weak.completed.to_string(),
+            weak.rounds.to_string(),
+            weak.total_messages.to_string(),
+            fmt_f64(weak_stalls),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: identical K' sets and initial knowledge, yet the strong \
+         adversary stalls round-robin indefinitely while the weak one cannot — \
+         the one-round lag is exactly the power the Theorem 2.3 proof needs"
+    );
+}

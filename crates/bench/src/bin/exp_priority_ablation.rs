@@ -1,0 +1,206 @@
+//! **Ablation A-prio** — the request priority (new > idle > contributive)
+//! of Algorithm 1.
+//!
+//! The paper calls for "a careful strategy … to avoid redundant
+//! communication": incomplete nodes try *new* edges first, then *idle*,
+//! then *contributive*. The futile-round argument (Lemmas 3.2/3.3) hinges
+//! on it. This ablation compares the prioritized policy against an
+//! ID-order policy under adversaries that punish bad edge choices
+//! (request cutting and fast rewiring).
+
+use dynspread_analysis::stats::Summary;
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::run_single_source_with_policy;
+use dynspread_core::adaptive::RequestCuttingAdversary;
+use dynspread_core::single_source::RequestPolicy;
+use dynspread_graph::adversary::Adversary;
+use dynspread_graph::connectivity::connect_components;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_graph::{Edge, Graph, NodeId, Round};
+use dynspread_sim::message::MessageClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Every edge lives exactly `lifetime` rounds, with staggered births: in
+/// every round some edges are brand new (safe to request on) and some are
+/// one round from death (a request there is wasted). This is the regime
+/// where Algorithm 1's new > idle > contributive priority pays off.
+struct AgingAdversary {
+    lifetime: Round,
+    target_edges: usize,
+    rng: StdRng,
+    births: BTreeMap<Edge, Round>,
+}
+
+impl AgingAdversary {
+    fn new(lifetime: Round, target_edges: usize, seed: u64) -> Self {
+        AgingAdversary {
+            lifetime,
+            target_edges,
+            rng: StdRng::seed_from_u64(seed),
+            births: BTreeMap::new(),
+        }
+    }
+}
+
+impl Adversary for AgingAdversary {
+    fn graph_for_round(&mut self, round: Round, prev: &Graph) -> Graph {
+        let n = prev.node_count();
+        let lifetime = self.lifetime;
+        self.births.retain(|_, b| round - *b < lifetime);
+        let mut g = Graph::empty(n);
+        for e in self.births.keys() {
+            g.insert_edge(*e);
+        }
+        let mut attempts = 0;
+        while g.edge_count() < self.target_edges && attempts < 100 * self.target_edges {
+            attempts += 1;
+            let u = self.rng.gen_range(0..n as u32);
+            let v = self.rng.gen_range(0..n as u32);
+            if u != v {
+                let e = Edge::new(NodeId::new(u), NodeId::new(v));
+                if g.insert_edge(e) {
+                    self.births.insert(e, round);
+                }
+            }
+        }
+        for e in connect_components(&mut g, &mut self.rng) {
+            self.births.insert(e, round);
+        }
+        g
+    }
+
+    fn name(&self) -> &str {
+        "aging(exact-lifetime)"
+    }
+}
+
+fn main() {
+    // Small k and dense graphs: the regime where an incomplete node has
+    // more eligible edges than missing tokens, so *which* edge gets the
+    // request is an actual choice.
+    let (n, k) = (24usize, 4usize);
+    let trials = 10u64;
+    println!("Request-priority ablation: Single-Source-Unicast, n = {n}, k = {k}, {trials} seeds/cell\n");
+
+    let mut table = Table::new(&[
+        "adversary",
+        "policy",
+        "completed",
+        "rounds (mean)",
+        "messages (mean)",
+        "wasted requests (mean)",
+    ]);
+    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
+        let mut rounds = Vec::new();
+        let mut msgs = Vec::new();
+        let mut wasted = Vec::new();
+        let mut done = 0usize;
+        for t in 0..trials {
+            let adv = PeriodicRewiring::new(Topology::RandomTree, 3, 1000 + t);
+            let r = run_single_source_with_policy(n, k, adv, 2_000_000, policy);
+            if r.completed {
+                done += 1;
+            }
+            rounds.push(r.rounds as f64);
+            msgs.push(r.total_messages as f64);
+            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
+        }
+        table.row_owned(vec![
+            "rewire(tree,ρ=3)".into(),
+            format!("{policy:?}"),
+            format!("{done}/{trials}"),
+            fmt_f64(Summary::from_samples(&rounds).mean),
+            fmt_f64(Summary::from_samples(&msgs).mean),
+            fmt_f64(Summary::from_samples(&wasted).mean),
+        ]);
+    }
+    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
+        let mut rounds = Vec::new();
+        let mut msgs = Vec::new();
+        let mut wasted = Vec::new();
+        let mut done = 0usize;
+        for t in 0..trials {
+            // Exact 3-round edge lifetimes with staggered births: only new
+            // edges survive long enough to answer a request.
+            let adv = AgingAdversary::new(3, 5 * n, 3000 + t);
+            let r = run_single_source_with_policy(n, k, adv, 2_000_000, policy);
+            if r.completed {
+                done += 1;
+            }
+            rounds.push(r.rounds as f64);
+            msgs.push(r.total_messages as f64);
+            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
+        }
+        table.row_owned(vec![
+            "aging(lifetime=3)".into(),
+            format!("{policy:?}"),
+            format!("{done}/{trials}"),
+            fmt_f64(Summary::from_samples(&rounds).mean),
+            fmt_f64(Summary::from_samples(&msgs).mean),
+            fmt_f64(Summary::from_samples(&wasted).mean),
+        ]);
+    }
+    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
+        let mut rounds = Vec::new();
+        let mut msgs = Vec::new();
+        let mut wasted = Vec::new();
+        let mut done = 0usize;
+        for t in 0..trials {
+            // σ-stable adaptive cutting (Lemma 3.2's regime): only requests
+            // on *new* edges are guaranteed to be answered.
+            let adv = dynspread_core::adaptive::StableRequestCutter::new(3, 3 * n, 4000 + t);
+            let r = run_single_source_with_policy(n, k, adv, 20_000, policy);
+            if r.completed {
+                done += 1;
+            }
+            rounds.push(r.rounds as f64);
+            msgs.push(r.total_messages as f64);
+            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
+        }
+        table.row_owned(vec![
+            "stable-cutter(σ=3)".into(),
+            format!("{policy:?}"),
+            format!("{done}/{trials}"),
+            fmt_f64(Summary::from_samples(&rounds).mean),
+            fmt_f64(Summary::from_samples(&msgs).mean),
+            fmt_f64(Summary::from_samples(&wasted).mean),
+        ]);
+    }
+    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
+        let mut rounds = Vec::new();
+        let mut msgs = Vec::new();
+        let mut wasted = Vec::new();
+        let mut done = 0usize;
+        for t in 0..trials {
+            // Budget-1 cutting: one request edge killed per round.
+            let adv =
+                RequestCuttingAdversary::new(Topology::SparseConnected(2.5), 1, 1, 2000 + t);
+            let r = run_single_source_with_policy(n, k, adv, 2_000_000, policy);
+            if r.completed {
+                done += 1;
+            }
+            rounds.push(r.rounds as f64);
+            msgs.push(r.total_messages as f64);
+            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
+        }
+        table.row_owned(vec![
+            "request-cutting(b=1)".into(),
+            format!("{policy:?}"),
+            format!("{done}/{trials}"),
+            fmt_f64(Summary::from_samples(&rounds).mean),
+            fmt_f64(Summary::from_samples(&msgs).mean),
+            fmt_f64(Summary::from_samples(&wasted).mean),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: under oblivious dynamics the policies coincide (every \
+         eligible edge gets a request when tokens outnumber edges); under the σ-stable \
+         adaptive cutter the prioritized policy wastes fewer requests and finishes \
+         slightly sooner — the paper's priority is a worst-case (futile-round) \
+         guarantee, not an average-case speedup"
+    );
+}

@@ -1,0 +1,108 @@
+//! **Theorems 3.1 & 3.4** — Single-Source-Unicast: 1-adversary-competitive
+//! `O(n² + nk)` messages; `O(nk)` rounds under 3-edge stability.
+//!
+//! Sweeps `n` and `k` across adversary families and reports, per run:
+//! total messages, `TC(E)`, the competitive residual `M − TC`, the bound
+//! `n² + nk`, their ratio (the empirical hidden constant — Theorem 3.1
+//! holds iff it stays O(1)), and `rounds/(nk)` (Theorem 3.4's constant).
+
+use dynspread_analysis::competitive::{competitive_records, single_source_bound, worst_ratio};
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::run_single_source;
+use dynspread_core::adaptive::RequestCuttingAdversary;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::{ChurnAdversary, PeriodicRewiring, StaticAdversary};
+use dynspread_graph::Graph;
+
+fn main() {
+    let seed = 23u64;
+    println!("Theorems 3.1 & 3.4 reproduction: Single-Source-Unicast");
+    println!("bound: M − TC(E) ≤ c(n² + nk); rounds ≤ c'·nk on 3-stable graphs\n");
+
+    let mut table = Table::new(&[
+        "adversary",
+        "n",
+        "k",
+        "messages",
+        "TC(E)",
+        "residual",
+        "n²+nk",
+        "ratio",
+        "rounds/nk",
+    ]);
+    let mut reports = Vec::new();
+    let cases: Vec<(usize, usize)> = vec![(16, 8), (16, 32), (24, 24), (32, 16), (32, 64), (48, 48)];
+    for (i, &(n, k)) in cases.iter().enumerate() {
+        let arms: Vec<(String, dynspread_sim::RunReport)> = vec![
+            (
+                "static-clique".into(),
+                run_single_source(n, k, StaticAdversary::new(Graph::complete(n)), 4_000_000),
+            ),
+            (
+                "rewire(tree,ρ=3)".into(),
+                run_single_source(
+                    n,
+                    k,
+                    PeriodicRewiring::new(Topology::RandomTree, 3, seed + i as u64),
+                    4_000_000,
+                ),
+            ),
+            (
+                "churn(c=2,σ=3)".into(),
+                run_single_source(
+                    n,
+                    k,
+                    ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, seed + 40 + i as u64),
+                    4_000_000,
+                ),
+            ),
+        ];
+        for (name, report) in arms {
+            assert!(report.completed, "{name} n={n} k={k}: {report}");
+            let residual = report.competitive_residual(1.0);
+            let bound = single_source_bound(&report);
+            table.row_owned(vec![
+                name,
+                n.to_string(),
+                k.to_string(),
+                report.total_messages.to_string(),
+                report.tc().to_string(),
+                fmt_f64(residual),
+                fmt_f64(bound),
+                fmt_f64(residual / bound),
+                fmt_f64(report.rounds as f64 / (n * k) as f64),
+            ]);
+            reports.push(report);
+        }
+    }
+    println!("{}", table.render());
+    let records = competitive_records(&reports, 1.0, single_source_bound);
+    println!(
+        "worst residual/(n²+nk) ratio across all runs: {:.3} — Theorem 3.1 holds with this constant\n",
+        worst_ratio(&records)
+    );
+
+    // Adaptive arm: unbounded request cutting may prevent termination but
+    // cannot break the competitive bound (run capped).
+    println!("strongly adaptive arm: request-cutting adversary (capped at 3000 rounds)");
+    let mut adv_table = Table::new(&["n", "k", "completed?", "messages", "TC(E)", "residual", "ratio"]);
+    for &(n, k) in &[(16usize, 8usize), (24, 12)] {
+        let assignment_rounds = 3_000;
+        let adv =
+            RequestCuttingAdversary::new(Topology::SparseConnected(2.0), usize::MAX, 2, seed);
+        let report = run_single_source(n, k, adv, assignment_rounds);
+        let residual = report.competitive_residual(1.0);
+        let bound = single_source_bound(&report);
+        adv_table.row_owned(vec![
+            n.to_string(),
+            k.to_string(),
+            report.completed.to_string(),
+            report.total_messages.to_string(),
+            report.tc().to_string(),
+            fmt_f64(residual),
+            fmt_f64(residual / bound),
+        ]);
+    }
+    println!("{}", adv_table.render());
+    println!("expected: residual ratio stays O(1) even when the adversary stalls termination");
+}

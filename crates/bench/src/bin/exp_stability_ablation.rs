@@ -1,0 +1,53 @@
+//! **Ablation A-σ** — how edge stability affects Single-Source-Unicast.
+//!
+//! Theorem 3.4's `O(nk)` round bound assumes 3-edge stability: a request
+//! sent over an edge in round `r` is answered in round `r+1` and the
+//! answer is learned by `r+2`, so the request→token handshake needs every
+//! edge to live ≥ 3 rounds. This ablation sweeps the rewiring period
+//! σ ∈ {1, 2, 3, 5, 8} and reports rounds, messages, and wasted requests
+//! (requests whose edge died before the token arrived).
+
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::run_single_source;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_sim::message::MessageClass;
+
+fn main() {
+    let seed = 43u64;
+    let (n, k) = (24usize, 24usize);
+    println!("σ-stability ablation: Single-Source-Unicast, n = {n}, k = {k}");
+    println!("adversary: fresh random tree every σ rounds (σ-edge-stable by construction)\n");
+
+    let mut table = Table::new(&[
+        "σ (rewire period)",
+        "rounds",
+        "rounds/nk",
+        "messages",
+        "requests",
+        "wasted requests",
+        "TC(E)",
+    ]);
+    for (i, &sigma) in [1u64, 2, 3, 5, 8].iter().enumerate() {
+        let adv = PeriodicRewiring::new(Topology::RandomTree, sigma, seed + i as u64);
+        let report = run_single_source(n, k, adv, 8_000_000);
+        assert!(report.completed, "σ={sigma}: {report}");
+        let requests = report.class(MessageClass::Request);
+        let tokens = report.class(MessageClass::Token);
+        table.row_owned(vec![
+            sigma.to_string(),
+            report.rounds.to_string(),
+            fmt_f64(report.rounds as f64 / (n * k) as f64),
+            report.total_messages.to_string(),
+            requests.to_string(),
+            (requests - tokens).to_string(),
+            report.tc().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: σ ≥ 3 keeps rounds/nk and wasted requests low (Theorem 3.4's \
+         regime); σ < 3 kills in-flight handshakes every rewiring, inflating both — \
+         while the competitive bound (Theorem 3.1) still holds because TC(E) grows too"
+    );
+}

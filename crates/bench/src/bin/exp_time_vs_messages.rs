@@ -1,0 +1,75 @@
+//! **Section 1.2's time-vs-messages tradeoff** — "a message-efficient
+//! algorithm can take a longer time but exchanging less total number of
+//! messages, e.g., by sending messages only along a few edges and/or by
+//! using silence."
+//!
+//! Runs naive unicast flooding (time-greedy: every node pushes tokens over
+//! every edge every round) and Algorithm 1 (message-lean: silence except
+//! for the request/response handshake) on identical dynamics and reports
+//! the tradeoff: flooding finishes faster; Algorithm 1 sends far fewer
+//! messages net of the adversary's budget.
+
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_core::baselines::UnicastFlooding;
+use dynspread_core::single_source::SingleSourceNode;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_graph::NodeId;
+use dynspread_sim::sim::{SimConfig, UnicastSim};
+use dynspread_sim::token::TokenAssignment;
+
+fn main() {
+    let seed = 61u64;
+    println!("Time vs messages (unicast): naive flooding vs Algorithm 1, k = 2n\n");
+
+    let mut table = Table::new(&[
+        "n",
+        "algorithm",
+        "rounds",
+        "messages",
+        "residual M−TC",
+        "amortized msgs/token",
+    ]);
+    for (i, &n) in [12usize, 16, 24, 32].iter().enumerate() {
+        let k = 2 * n;
+        let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+
+        let mut flood_sim = UnicastSim::new(
+            "unicast-flooding",
+            UnicastFlooding::nodes(&assignment),
+            PeriodicRewiring::new(Topology::Gnp(0.3), 3, seed + i as u64),
+            &assignment,
+            SimConfig::with_max_rounds(1_000_000),
+        );
+        let flood = flood_sim.run_to_completion();
+        assert!(flood.completed);
+
+        let mut ss_sim = UnicastSim::new(
+            "single-source-unicast",
+            SingleSourceNode::nodes(&assignment),
+            PeriodicRewiring::new(Topology::Gnp(0.3), 3, seed + i as u64),
+            &assignment,
+            SimConfig::with_max_rounds(1_000_000),
+        );
+        let ss = ss_sim.run_to_completion();
+        assert!(ss.completed);
+
+        for r in [&flood, &ss] {
+            table.row_owned(vec![
+                n.to_string(),
+                r.algorithm.clone(),
+                r.rounds.to_string(),
+                r.total_messages.to_string(),
+                fmt_f64(r.competitive_residual(1.0)),
+                fmt_f64(r.amortized()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: flooding wins on rounds (pays Θ(n²) messages/token for it); \
+         Algorithm 1 wins on messages — its residual stays O(n² + nk) while flooding's \
+         grows with the edge density. This is the tradeoff that motivates studying \
+         message complexity separately from time complexity."
+    );
+}

@@ -1,0 +1,200 @@
+//! **Figure 1 / Lemma 2.2** — structure of the free-edge graph.
+//!
+//! Figure 1 depicts the free-edge graph in a round with few broadcasters:
+//! the silent nodes `B̄` form a clique of free edges and every broadcaster
+//! in `B` hangs off `B̄` by at least one free edge, so `F(r)` is a single
+//! connected component (Lemma 2.2, for `β ≤ n/(c log n)`). Lemma 2.1 says
+//! that even for arbitrary (worst-case) assignments, `F(r)` has `O(log n)`
+//! components.
+//!
+//! Lemma 2.2 quantifies over **all** token assignments, so this binary
+//! samples two arms per broadcaster count `β`:
+//!
+//! * *random* — each broadcaster broadcasts a uniformly random known
+//!   token (what a typical algorithm round looks like);
+//! * *adversarial* — each broadcaster picks a distinct token of minimum
+//!   coverage (`|{v : t ∈ K_v ∪ K'_v}|`), the algorithm's best attempt at
+//!   creating non-free edges.
+//!
+//! Expected shape: `F(r)` is connected with probability 1 for small `β` in
+//! both arms (Lemma 2.2); under the adversarial arm with large `β`, a few
+//! components appear — but always `O(log n)` many (Lemma 2.1), which is
+//! exactly the `O(log n)`-per-round progress cap behind Theorem 2.3.
+
+use dynspread_analysis::stats::Summary;
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_core::lower_bound::{free_edge_structure, FreeEdgeStructure, KPrimeSets};
+use dynspread_sim::token::{TokenId, TokenSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_knowledge(n: usize, k: usize, density: f64, rng: &mut StdRng) -> Vec<TokenSet> {
+    (0..n)
+        .map(|_| {
+            let mut s = TokenSet::new(k);
+            for t in TokenId::all(k) {
+                if rng.gen_bool(density) {
+                    s.insert(t);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Distinct minimum-coverage tokens for the first `beta` nodes; each
+/// broadcaster is seeded with its chosen token so the choice is legal.
+fn adversarial_choices(
+    beta: usize,
+    know: &mut [TokenSet],
+    kprime: &KPrimeSets,
+    k: usize,
+) -> Vec<Option<TokenId>> {
+    let n = know.len();
+    let mut coverage: Vec<(usize, TokenId)> = TokenId::all(k)
+        .map(|t| {
+            let cov = (0..n)
+                .filter(|&v| {
+                    know[v].contains(t)
+                        || kprime.get(dynspread_graph::NodeId::new(v as u32)).contains(t)
+                })
+                .count();
+            (cov, t)
+        })
+        .collect();
+    coverage.sort();
+    let mut choices = vec![None; n];
+    for b in 0..beta {
+        let (_, t) = coverage[b % coverage.len()];
+        know[b].insert(t);
+        choices[b] = Some(t);
+    }
+    choices
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_arm(
+    n: usize,
+    k: usize,
+    beta: usize,
+    trials: usize,
+    adversarial: bool,
+    density: f64,
+    rng: &mut StdRng,
+) -> (f64, Summary, f64) {
+    let mut connected = 0usize;
+    let mut comps = Vec::new();
+    let mut free = 0f64;
+    for _ in 0..trials {
+        let kprime = KPrimeSets::sample(n, k, density, rng);
+        let mut know = sample_knowledge(n, k, density, rng);
+        let choices: Vec<Option<TokenId>> = if adversarial {
+            adversarial_choices(beta, &mut know, &kprime, k)
+        } else {
+            let mut c = vec![None; n];
+            for (b, slot) in c.iter_mut().take(beta).enumerate() {
+                let t = TokenId::new(rng.gen_range(0..k as u32));
+                know[b].insert(t);
+                *slot = Some(t);
+            }
+            c
+        };
+        let FreeEdgeStructure {
+            free_edges,
+            components,
+            connected: is_conn,
+        } = free_edge_structure(&choices, &know, &kprime);
+        if is_conn {
+            connected += 1;
+        }
+        comps.push(components as f64);
+        free += free_edges as f64;
+    }
+    (
+        connected as f64 / trials as f64,
+        Summary::from_samples(&comps),
+        free / trials as f64,
+    )
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
+    let k = n / 2;
+    let trials = 40;
+    let seed = 7u64;
+    println!("Figure 1 / Lemma 2.2 reproduction: n = {n}, k = {k}, K' density 1/4, {trials} trials/arm");
+    println!("n/ln(n) = {:.1}, ln(n) = {:.1}\n", n as f64 / (n as f64).ln(), (n as f64).ln());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(&[
+        "β",
+        "P(conn) random",
+        "comps random",
+        "P(conn) adversarial",
+        "comps adversarial (mean)",
+        "comps adversarial (max)",
+    ]);
+    let mut betas = vec![];
+    let mut beta = 1usize;
+    while beta < n {
+        betas.push(beta);
+        beta *= 2;
+    }
+    betas.push(n);
+
+    for &beta in &betas {
+        let (p_rand, c_rand, _) = run_arm(n, k, beta, trials, false, 0.25, &mut rng);
+        let (p_adv, c_adv, _) = run_arm(n, k, beta, trials, true, 0.25, &mut rng);
+        table.row_owned(vec![
+            beta.to_string(),
+            fmt_f64(p_rand),
+            fmt_f64(c_rand.mean),
+            fmt_f64(p_adv),
+            fmt_f64(c_adv.mean),
+            fmt_f64(c_adv.max),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "at the paper's density 1/4, F(r) is connected for every β at this scale — \
+         the adversary concedes zero potential progress in (nearly) every round, which \
+         is the Theorem 2.3 mechanism. Components never exceed O(log n) (Lemma 2.1).\n"
+    );
+
+    // Density sweep: the connectivity transition of the B–B̄ attachment.
+    // A broadcaster attaches to the silent clique w.p. 1 − (1−q)^(n−β)
+    // where q ≈ P(token harmless) — lowering the K/K' density exposes the
+    // Figure 1 structure's failure point.
+    println!("density sweep (adversarial token choices):");
+    let mut dtable = Table::new(&[
+        "K/K' density",
+        "β",
+        "P(F connected)",
+        "components (mean)",
+        "components (max)",
+        "ln n",
+    ]);
+    for &density in &[0.25, 0.05, 0.02] {
+        for &beta in &[4usize, n / 2, (9 * n) / 10] {
+            let (p, c, _) = run_arm(n, k, beta, trials, true, density, &mut rng);
+            dtable.row_owned(vec![
+                fmt_f64(density),
+                beta.to_string(),
+                fmt_f64(p),
+                fmt_f64(c.mean),
+                fmt_f64(c.max),
+                fmt_f64((n as f64).ln()),
+            ]);
+        }
+    }
+    println!("{}", dtable.render());
+    println!(
+        "expected shape: sparse β stays connected even at low density (Lemma 2.2's \
+         regime: every broadcaster finds a free edge into the silent clique); large β \
+         with low density disconnects — and the adversary then pays ℓ−1 non-free \
+         edges, i.e. O(components) = O(log n) potential per round"
+    );
+}

@@ -1,0 +1,154 @@
+//! # dynspread-bench — benchmark and experiment harness
+//!
+//! Shared runners used by the experiment binaries (`src/bin/*.rs`) and the
+//! criterion benches (`benches/*.rs`). Every binary regenerates one of the
+//! paper's quantitative artifacts; the mapping lives in DESIGN.md
+//! (per-experiment index) and results are recorded in EXPERIMENTS.md.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 (amortized cost of the oblivious algorithm vs k) |
+//! | `fig1_free_edges` | Figure 1 / Lemma 2.2 (free-edge graph structure) |
+//! | `exp_local_broadcast_lb` | Theorem 2.3 (local-broadcast lower bound) |
+//! | `exp_single_source` | Theorems 3.1 and 3.4 |
+//! | `exp_multi_source` | Theorems 3.5 and 3.6 |
+//! | `exp_oblivious` | Theorem 3.8 |
+//! | `exp_random_walk` | Lemma 3.7 |
+//! | `exp_stability_ablation` | σ-stability ablation (design choice of §3.1) |
+//! | `exp_priority_ablation` | request-priority ablation (Algorithm 1) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dynspread_core::flooding::PhasedFlooding;
+use dynspread_core::multi_source::MultiSourceNode;
+use dynspread_core::single_source::{RequestPolicy, SingleSourceNode, SsMsg};
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_graph::{NodeId, Round};
+use dynspread_sim::adversary::{BroadcastAdversary, UnicastAdversary};
+use dynspread_sim::sim::{BroadcastSim, SimConfig, UnicastSim};
+use dynspread_sim::token::TokenAssignment;
+use dynspread_sim::RunReport;
+
+/// The default 3-edge-stable oblivious adversary used across experiments:
+/// a fresh random tree every 3 rounds.
+pub fn default_adversary(seed: u64) -> PeriodicRewiring {
+    PeriodicRewiring::new(Topology::RandomTree, 3, seed)
+}
+
+/// Runs Single-Source-Unicast (Algorithm 1) to completion.
+pub fn run_single_source<A: UnicastAdversary<SsMsg>>(
+    n: usize,
+    k: usize,
+    adversary: A,
+    max_rounds: Round,
+) -> RunReport {
+    run_single_source_with_policy(n, k, adversary, max_rounds, RequestPolicy::Prioritized)
+}
+
+/// Runs Single-Source-Unicast with an explicit request policy.
+pub fn run_single_source_with_policy<A: UnicastAdversary<SsMsg>>(
+    n: usize,
+    k: usize,
+    adversary: A,
+    max_rounds: Round,
+    policy: RequestPolicy,
+) -> RunReport {
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let nodes = NodeId::all(n)
+        .map(|v| SingleSourceNode::with_policy(v, &assignment, policy))
+        .collect();
+    let mut sim = UnicastSim::new(
+        match policy {
+            RequestPolicy::Prioritized => "single-source-unicast",
+            RequestPolicy::Unprioritized => "single-source-unicast(unprioritized)",
+        },
+        nodes,
+        adversary,
+        &assignment,
+        SimConfig::with_max_rounds(max_rounds),
+    );
+    sim.run_to_completion()
+}
+
+/// Runs Multi-Source-Unicast to completion on an arbitrary single-holder
+/// assignment.
+pub fn run_multi_source<A>(
+    assignment: &TokenAssignment,
+    adversary: A,
+    max_rounds: Round,
+) -> RunReport
+where
+    A: UnicastAdversary<dynspread_core::multi_source::MsMsg>,
+{
+    let (nodes, _map) = MultiSourceNode::nodes(assignment);
+    let mut sim = UnicastSim::new(
+        "multi-source-unicast",
+        nodes,
+        adversary,
+        assignment,
+        SimConfig::with_max_rounds(max_rounds),
+    );
+    sim.run_to_completion()
+}
+
+/// Runs phased flooding (the naive local-broadcast algorithm) to
+/// completion.
+pub fn run_phased_flooding<A>(
+    assignment: &TokenAssignment,
+    adversary: A,
+    max_rounds: Round,
+) -> RunReport
+where
+    A: BroadcastAdversary<dynspread_core::flooding::BcastMsg>,
+{
+    let nodes = PhasedFlooding::nodes(assignment);
+    let mut sim = BroadcastSim::new(
+        "phased-flooding",
+        nodes,
+        adversary,
+        assignment,
+        SimConfig::with_max_rounds(max_rounds),
+    );
+    sim.run_to_completion()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_source_runner_completes() {
+        let report = run_single_source(8, 4, default_adversary(1), 100_000);
+        assert!(report.completed);
+        assert_eq!(report.n, 8);
+        assert_eq!(report.k, 4);
+    }
+
+    #[test]
+    fn multi_source_runner_completes() {
+        let a = TokenAssignment::round_robin_sources(8, 8, 4);
+        let report = run_multi_source(&a, default_adversary(2), 200_000);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn phased_flooding_runner_completes() {
+        let a = TokenAssignment::round_robin_sources(8, 4, 4);
+        let report = run_phased_flooding(&a, default_adversary(3), 1_000);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn unprioritized_policy_also_completes_under_benign_dynamics() {
+        let report = run_single_source_with_policy(
+            8,
+            4,
+            default_adversary(4),
+            200_000,
+            RequestPolicy::Unprioritized,
+        );
+        assert!(report.completed);
+    }
+}

@@ -1,0 +1,322 @@
+//! Additional strongly adaptive unicast adversaries.
+//!
+//! The strongly adaptive adversary in the unicast model commits the round
+//! graph knowing the full execution history — in particular, which edges
+//! carried token requests in the previous round. [`RequestCuttingAdversary`]
+//! weaponizes this: it deletes exactly those edges, preventing the
+//! requested tokens from being delivered.
+//!
+//! This is the worst case for the type-3 (request) messages in the proof
+//! of Theorem 3.1: every killed request forces a re-request, but also costs
+//! the adversary one deletion (and a matching insertion somewhere else to
+//! restore connectivity/density) — so the 1-adversary-competitive residual
+//! `M − TC(E)` stays bounded even when the adversary delays termination
+//! indefinitely. The ablation experiments (`exp_priority_ablation`) use it
+//! to show why the algorithm's new > idle > contributive request priority
+//! matters.
+
+use dynspread_graph::connectivity::connect_components;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::{Edge, Graph, NodeId, Round};
+use dynspread_sim::adversary::{SentRecord, UnicastAdversary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// View of a protocol message as a potential token request.
+pub trait RequestView {
+    /// Whether this message is a token request.
+    fn is_request(&self) -> bool;
+}
+
+impl RequestView for crate::single_source::SsMsg {
+    fn is_request(&self) -> bool {
+        matches!(self, crate::single_source::SsMsg::Request(_))
+    }
+}
+
+impl RequestView for crate::multi_source::MsMsg {
+    fn is_request(&self) -> bool {
+        matches!(self, crate::multi_source::MsMsg::Request(_))
+    }
+}
+
+/// A strongly adaptive adversary that cuts the edges which carried token
+/// requests in the previous round (up to a per-round budget), then repairs
+/// connectivity and tops the graph back up with random edges.
+///
+/// With an unbounded budget it can stall the Single-Source algorithm
+/// forever — while its own `TC(E)` grows at the same rate as the
+/// algorithm's message count, which is exactly the regime Definition 1.3
+/// prices correctly.
+pub struct RequestCuttingAdversary {
+    topology: Topology,
+    /// Maximum request-carrying edges cut per round (`usize::MAX` = all).
+    budget: usize,
+    /// Random replacement edges added per round.
+    replacement_edges: usize,
+    rng: StdRng,
+    current: Option<Graph>,
+}
+
+impl RequestCuttingAdversary {
+    /// Creates the adversary starting from a sample of `topology`.
+    pub fn new(topology: Topology, budget: usize, replacement_edges: usize, seed: u64) -> Self {
+        RequestCuttingAdversary {
+            topology,
+            budget,
+            replacement_edges,
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+        }
+    }
+}
+
+impl<M: RequestView> UnicastAdversary<M> for RequestCuttingAdversary {
+    fn graph_for_round(
+        &mut self,
+        _round: Round,
+        prev: &Graph,
+        prev_sent: &[SentRecord<M>],
+    ) -> Graph {
+        let n = prev.node_count();
+        let mut g = match self.current.take() {
+            Some(g) => g,
+            None => self.topology.sample(n, &mut self.rng),
+        };
+        // Cut the edges that carried requests last round.
+        let mut cut = 0usize;
+        for rec in prev_sent {
+            if cut >= self.budget {
+                break;
+            }
+            if rec.msg.is_request() && g.remove_edge(Edge::new(rec.from, rec.to)) {
+                cut += 1;
+            }
+        }
+        // Top up with random fresh edges, then repair connectivity.
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < self.replacement_edges && attempts < 50 * self.replacement_edges + 50 {
+            attempts += 1;
+            let u = self.rng.gen_range(0..n as u32);
+            let v = self.rng.gen_range(0..n as u32);
+            if u != v && g.insert_edge(Edge::new(NodeId::new(u), NodeId::new(v))) {
+                added += 1;
+            }
+        }
+        connect_components(&mut g, &mut self.rng);
+        self.current = Some(g.clone());
+        g
+    }
+
+    fn name(&self) -> &str {
+        "request-cutting"
+    }
+}
+
+/// A σ-edge-stable strongly adaptive adversary: cuts edges that carried
+/// requests in the previous round, **but only once they are σ rounds old**
+/// (so the produced schedule is σ-edge-stable), and keeps the graph topped
+/// up with fresh random edges.
+///
+/// This is the adversary implicit in Lemmas 3.2/3.3: requests assigned to
+/// *new* edges are safe (the edge must survive ≥ σ = 3 rounds, long enough
+/// for the request → token handshake), while requests on old idle or
+/// contributive edges can be killed the moment they are sent. It therefore
+/// separates Algorithm 1's new > idle > contributive priority from naive
+/// edge choice — the `exp_priority_ablation` experiment.
+pub struct StableRequestCutter {
+    sigma: u64,
+    target_edges: usize,
+    rng: StdRng,
+    /// Birth round of every currently present edge.
+    births: std::collections::BTreeMap<Edge, Round>,
+}
+
+impl StableRequestCutter {
+    /// Creates the adversary with stability parameter `sigma` and a target
+    /// edge density.
+    pub fn new(sigma: u64, target_edges: usize, seed: u64) -> Self {
+        StableRequestCutter {
+            sigma,
+            target_edges,
+            rng: StdRng::seed_from_u64(seed),
+            births: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl<M: RequestView> UnicastAdversary<M> for StableRequestCutter {
+    fn graph_for_round(
+        &mut self,
+        round: Round,
+        prev: &Graph,
+        prev_sent: &[SentRecord<M>],
+    ) -> Graph {
+        let n = prev.node_count();
+        // Cut mature request-carrying edges (σ-stability permitting).
+        for rec in prev_sent {
+            if rec.msg.is_request() {
+                let e = Edge::new(rec.from, rec.to);
+                if let Some(&birth) = self.births.get(&e) {
+                    if round - birth >= self.sigma {
+                        self.births.remove(&e);
+                    }
+                }
+            }
+        }
+        let mut g = Graph::empty(n);
+        for e in self.births.keys() {
+            g.insert_edge(*e);
+        }
+        // Top up with fresh random edges.
+        let mut attempts = 0usize;
+        while g.edge_count() < self.target_edges && attempts < 100 * self.target_edges + 100 {
+            attempts += 1;
+            let u = self.rng.gen_range(0..n as u32);
+            let v = self.rng.gen_range(0..n as u32);
+            if u != v {
+                let e = Edge::new(NodeId::new(u), NodeId::new(v));
+                if g.insert_edge(e) {
+                    self.births.insert(e, round);
+                }
+            }
+        }
+        for e in connect_components(&mut g, &mut self.rng) {
+            self.births.insert(e, round);
+        }
+        g
+    }
+
+    fn name(&self) -> &str {
+        "stable-request-cutting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_source::{SingleSourceNode, SsMsg};
+    use dynspread_sim::message::MessageClass;
+    use dynspread_sim::sim::{SimConfig, UnicastSim};
+    use dynspread_sim::token::TokenAssignment;
+
+    #[test]
+    fn request_view_classifies_messages() {
+        use crate::multi_source::MsMsg;
+        use dynspread_sim::token::TokenId;
+        assert!(SsMsg::Request(TokenId::new(0)).is_request());
+        assert!(!SsMsg::Completeness.is_request());
+        assert!(!SsMsg::Token(TokenId::new(0)).is_request());
+        assert!(MsMsg::Request(TokenId::new(1)).is_request());
+        assert!(!MsMsg::Completeness(NodeId::new(0)).is_request());
+    }
+
+    #[test]
+    fn unbounded_cutting_stalls_but_residual_stays_bounded() {
+        // Theorem 3.1 in its sharpest form: the adversary may prevent
+        // completion indefinitely, but M − TC(E) remains O(n² + nk).
+        let (n, k) = (10, 6);
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let adv = RequestCuttingAdversary::new(Topology::SparseConnected(2.0), usize::MAX, 2, 7);
+        let mut sim = UnicastSim::new(
+            "single-source-unicast",
+            SingleSourceNode::nodes(&a),
+            adv,
+            &a,
+            SimConfig::with_max_rounds(2_000),
+        );
+        let report = sim.run_to_completion();
+        // Whether or not it completed, the competitive bound must hold.
+        let residual = report.competitive_residual(1.0);
+        let bound = 6.0 * ((n * n) as f64 + (n * k) as f64);
+        assert!(
+            residual <= bound,
+            "residual {residual} > 6(n²+nk) = {bound}: {report}"
+        );
+        // The adversary really does interfere: requests far exceed tokens.
+        assert!(report.class(MessageClass::Request) > report.class(MessageClass::Token));
+    }
+
+    #[test]
+    fn bounded_cutting_allows_completion() {
+        let (n, k) = (8, 4);
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        // Budget 1: at most one request killed per round; with several
+        // parallel requests per round dissemination gets through.
+        let adv = RequestCuttingAdversary::new(Topology::SparseConnected(2.5), 1, 1, 11);
+        let mut sim = UnicastSim::new(
+            "single-source-unicast",
+            SingleSourceNode::nodes(&a),
+            adv,
+            &a,
+            SimConfig::with_max_rounds(100_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+    }
+
+    #[test]
+    fn stable_cutter_produces_sigma_stable_schedules() {
+        use dynspread_graph::stability::StabilityChecker;
+        let n = 12;
+        let sigma = 3;
+        let mut adv = StableRequestCutter::new(sigma, 3 * n, 9);
+        let mut checker = StabilityChecker::new(sigma);
+        let mut prev = Graph::empty(n);
+        // Drive it with synthetic request traffic on every present edge.
+        for r in 1..=40u64 {
+            let sent: Vec<SentRecord<SsMsg>> = prev
+                .edges()
+                .iter()
+                .map(|e| SentRecord {
+                    from: e.lo(),
+                    to: e.hi(),
+                    msg: SsMsg::Request(dynspread_sim::token::TokenId::new(0)),
+                })
+                .collect();
+            let g = UnicastAdversary::graph_for_round(&mut adv, r, &prev, &sent);
+            assert!(g.is_connected(), "round {r} disconnected");
+            checker.observe(&g).expect("must be σ-stable");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn single_source_completes_against_stable_cutter() {
+        // With σ = 3, requests on new edges cannot be cut before they are
+        // answered, so the prioritized algorithm always makes progress.
+        let (n, k) = (12, 6);
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let adv = StableRequestCutter::new(3, 3 * n, 21);
+        let mut sim = UnicastSim::new(
+            "single-source-unicast",
+            SingleSourceNode::nodes(&a),
+            adv,
+            &a,
+            SimConfig::with_max_rounds(100_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+    }
+
+    #[test]
+    fn cutting_is_deterministic_per_seed() {
+        let (n, k) = (8, 4);
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let run = |seed: u64| {
+            let adv =
+                RequestCuttingAdversary::new(Topology::SparseConnected(2.0), usize::MAX, 1, seed);
+            let mut sim = UnicastSim::new(
+                "ss",
+                SingleSourceNode::nodes(&a),
+                adv,
+                &a,
+                SimConfig::with_max_rounds(500),
+            );
+            let r = sim.run_to_completion();
+            (r.total_messages, r.tc(), r.completed)
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,398 @@
+//! Baseline algorithms the paper compares against (Section 1).
+//!
+//! * [`UnicastFlooding`] — the trivial `O(n²)`-amortized unicast upper
+//!   bound: "each node sends each token at most once to each other node".
+//! * [`TreeBroadcastStatic`] — the classic static-network baseline: build a
+//!   BFS spanning tree from the source (`O(m) ⊆ O(n²)` messages in KT0),
+//!   then pipeline the `k` tokens down the tree (`k(n−1)` token messages),
+//!   for `O(n²/k + n)` amortized messages — optimal `O(n)` when `k = Ω(n)`.
+//!   Correct on **static** topologies only; dynamic rewiring breaks the
+//!   tree, which is precisely the paper's motivation.
+
+use dynspread_graph::{NodeId, Round};
+use dynspread_sim::message::{MessageClass, MessagePayload};
+use dynspread_sim::protocol::{Outbox, UnicastProtocol};
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+
+/// Message of [`UnicastFlooding`]: a bare token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FloodTokenMsg(pub TokenId);
+
+impl MessagePayload for FloodTokenMsg {
+    fn token_count(&self) -> usize {
+        1
+    }
+
+    fn class(&self) -> MessageClass {
+        MessageClass::Token
+    }
+}
+
+/// Naive unicast flooding: every node sends every token it knows to every
+/// other node at most once (one token per neighbor per round under the
+/// bandwidth constraint).
+///
+/// Message complexity is at most `n` sends per (node, token) pair →
+/// `O(n²k)` total, `O(n²)` amortized — the unicast upper bound the paper
+/// improves on via the adversary-competitive measure.
+#[derive(Clone, Debug)]
+pub struct UnicastFlooding {
+    know: TokenSet,
+    /// `sent[u]` = tokens already sent to node `u`.
+    sent: Vec<TokenSet>,
+}
+
+impl UnicastFlooding {
+    /// Creates node `v`.
+    pub fn new(v: NodeId, assignment: &TokenAssignment) -> Self {
+        let n = assignment.node_count();
+        let k = assignment.token_count();
+        UnicastFlooding {
+            know: assignment.initial_knowledge(v),
+            sent: (0..n).map(|_| TokenSet::new(k)).collect(),
+        }
+    }
+
+    /// Builds all `n` node protocols.
+    pub fn nodes(assignment: &TokenAssignment) -> Vec<UnicastFlooding> {
+        NodeId::all(assignment.node_count())
+            .map(|v| UnicastFlooding::new(v, assignment))
+            .collect()
+    }
+}
+
+impl UnicastProtocol for UnicastFlooding {
+    type Msg = FloodTokenMsg;
+
+    fn send(&mut self, _round: Round, neighbors: &[NodeId], out: &mut Outbox<FloodTokenMsg>) {
+        for &u in neighbors {
+            // One message per neighbor per round: the first known token not
+            // yet sent to u.
+            let next = self
+                .know
+                .iter()
+                .find(|&t| !self.sent[u.index()].contains(t));
+            if let Some(t) = next {
+                self.sent[u.index()].insert(t);
+                out.send(u, FloodTokenMsg(t));
+            }
+        }
+    }
+
+    fn receive(&mut self, _round: Round, from: NodeId, msg: &FloodTokenMsg) {
+        self.know.insert(msg.0);
+        // No need to echo the token back to its sender.
+        self.sent[from.index()].insert(msg.0);
+    }
+
+    fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+}
+
+/// Messages of [`TreeBroadcastStatic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeMsg {
+    /// BFS-tree construction wave from the root.
+    Join,
+    /// "You are my parent."
+    Child,
+    /// A token pipelined down the tree.
+    Token(TokenId),
+}
+
+impl MessagePayload for TreeMsg {
+    fn token_count(&self) -> usize {
+        match self {
+            TreeMsg::Token(_) => 1,
+            _ => 0,
+        }
+    }
+
+    fn class(&self) -> MessageClass {
+        match self {
+            TreeMsg::Token(_) => MessageClass::Token,
+            _ => MessageClass::Control,
+        }
+    }
+}
+
+/// Spanning-tree pipelining on a **static** network: the `O(n² + nk)`-
+/// message baseline of Section 1.
+///
+/// Round 1: the source floods `Join`. A node adopting a parent replies
+/// `Child` and floods `Join` onward. Tokens are then forwarded down the
+/// tree in arrival order, one token per child edge per round — classic
+/// pipelining, `O(n + k)` rounds on a static graph.
+///
+/// **Only correct on static topologies**: a rewired edge orphans the
+/// subtree below it. Run it under
+/// [`dynspread_graph::oblivious::StaticAdversary`].
+#[derive(Clone, Debug)]
+pub struct TreeBroadcastStatic {
+    id: NodeId,
+    know: TokenSet,
+    /// Tokens in forwarding order (the pipeline).
+    pipeline: Vec<TokenId>,
+    /// Parent in the BFS tree (root: itself).
+    parent: Option<NodeId>,
+    /// Children discovered via `Child` messages.
+    children: Vec<NodeId>,
+    /// Per-child cursor into `pipeline` (next index to send).
+    child_cursor: Vec<usize>,
+    /// Whether we still owe the onward `Join` flood (sent the round after
+    /// adopting a parent, to every neighbor except the parent).
+    need_join_flood: bool,
+    /// Whether this node has joined the tree.
+    joined: bool,
+    /// Pending `Child` reply.
+    reply_parent: Option<NodeId>,
+}
+
+impl TreeBroadcastStatic {
+    /// Creates node `v`; `root` must be the single source of `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's sources are not exactly `[root]`.
+    pub fn new(v: NodeId, root: NodeId, assignment: &TokenAssignment) -> Self {
+        assert_eq!(
+            assignment.sources(),
+            vec![root],
+            "tree broadcast requires the single-source case"
+        );
+        let know = assignment.initial_knowledge(v);
+        let pipeline: Vec<TokenId> = know.iter().collect();
+        TreeBroadcastStatic {
+            id: v,
+            know,
+            pipeline,
+            parent: (v == root).then_some(root),
+            children: Vec::new(),
+            child_cursor: Vec::new(),
+            need_join_flood: v == root,
+            joined: v == root,
+            reply_parent: None,
+        }
+    }
+
+    /// Builds all `n` node protocols.
+    pub fn nodes(root: NodeId, assignment: &TokenAssignment) -> Vec<TreeBroadcastStatic> {
+        NodeId::all(assignment.node_count())
+            .map(|v| TreeBroadcastStatic::new(v, root, assignment))
+            .collect()
+    }
+
+    /// The node's parent in the constructed tree, if adopted.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// The node's children in the constructed tree.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+}
+
+impl UnicastProtocol for TreeBroadcastStatic {
+    type Msg = TreeMsg;
+
+    fn send(&mut self, _round: Round, neighbors: &[NodeId], out: &mut Outbox<TreeMsg>) {
+        // One message per neighbor per round; priorities: Child reply >
+        // Join wave > token pipeline.
+        let mut used: Vec<NodeId> = Vec::new();
+        if let Some(p) = self.reply_parent.take() {
+            if neighbors.contains(&p) {
+                out.send(p, TreeMsg::Child);
+                used.push(p);
+            }
+        }
+        if self.need_join_flood {
+            self.need_join_flood = false;
+            for &u in neighbors {
+                if Some(u) != self.parent.filter(|&p| p != self.id) && !used.contains(&u) {
+                    out.send(u, TreeMsg::Join);
+                    used.push(u);
+                }
+            }
+        }
+        // Token pipeline: next unsent token per child.
+        for (ci, &c) in self.children.clone().iter().enumerate() {
+            if used.contains(&c) || !neighbors.contains(&c) {
+                continue;
+            }
+            let cursor = self.child_cursor[ci];
+            if cursor < self.pipeline.len() {
+                out.send(c, TreeMsg::Token(self.pipeline[cursor]));
+                self.child_cursor[ci] += 1;
+            }
+        }
+    }
+
+    fn receive(&mut self, _round: Round, from: NodeId, msg: &TreeMsg) {
+        match msg {
+            TreeMsg::Join => {
+                if !self.joined {
+                    self.joined = true;
+                    self.parent = Some(from);
+                    self.reply_parent = Some(from);
+                    self.need_join_flood = true;
+                }
+            }
+            TreeMsg::Child => {
+                if !self.children.contains(&from) {
+                    self.children.push(from);
+                    self.child_cursor.push(0);
+                }
+            }
+            TreeMsg::Token(t) => {
+                if self.know.insert(*t) {
+                    self.pipeline.push(*t);
+                }
+            }
+        }
+    }
+
+    fn end_round(&mut self, _round: Round) {}
+
+    fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynspread_graph::generators::Topology;
+    use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
+    use dynspread_graph::Graph;
+    use dynspread_sim::sim::{SimConfig, UnicastSim};
+
+    #[test]
+    fn unicast_flooding_completes_on_static_path() {
+        let n = 6;
+        let k = 3;
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let mut sim = UnicastSim::new(
+            "unicast-flooding",
+            UnicastFlooding::nodes(&a),
+            StaticAdversary::new(Graph::path(n)),
+            &a,
+            SimConfig::with_max_rounds(10_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+    }
+
+    #[test]
+    fn unicast_flooding_completes_under_rewiring() {
+        let n = 10;
+        let k = 5;
+        let a = TokenAssignment::round_robin_sources(n, k, 5);
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 2, 3);
+        let mut sim = UnicastSim::new(
+            "unicast-flooding",
+            UnicastFlooding::nodes(&a),
+            adv,
+            &a,
+            SimConfig::with_max_rounds(100_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+    }
+
+    #[test]
+    fn unicast_flooding_message_bound() {
+        let n = 8;
+        let k = 4;
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let mut sim = UnicastSim::new(
+            "unicast-flooding",
+            UnicastFlooding::nodes(&a),
+            StaticAdversary::new(Graph::complete(n)),
+            &a,
+            SimConfig::with_max_rounds(100_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed);
+        // Each (sender, token, receiver) triple at most once.
+        assert!(report.total_messages <= (n * n * k) as u64);
+        assert!(report.amortized() <= (n * n) as f64);
+    }
+
+    #[test]
+    fn tree_broadcast_completes_and_is_message_lean() {
+        let n = 12;
+        let k = 24;
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let g = Graph::cycle(n);
+        let m = g.edge_count();
+        let mut sim = UnicastSim::new(
+            "tree-broadcast",
+            TreeBroadcastStatic::nodes(NodeId::new(0), &a),
+            StaticAdversary::new(g),
+            &a,
+            SimConfig::with_max_rounds(10_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+        // Control ≤ 2m + n; tokens exactly k(n−1).
+        assert_eq!(report.class(MessageClass::Token), (k * (n - 1)) as u64);
+        assert!(report.class(MessageClass::Control) <= (2 * m + n) as u64);
+        // Amortized per token approaches n for k ≫ n.
+        assert!(report.amortized() < 1.5 * n as f64);
+    }
+
+    #[test]
+    fn tree_broadcast_pipelines_in_n_plus_k_rounds() {
+        let n = 10;
+        let k = 20;
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let mut sim = UnicastSim::new(
+            "tree-broadcast",
+            TreeBroadcastStatic::nodes(NodeId::new(0), &a),
+            StaticAdversary::new(Graph::path(n)),
+            &a,
+            SimConfig::with_max_rounds(10_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed);
+        assert!(
+            report.rounds <= (3 * (n + k)) as Round,
+            "pipelining took {} rounds",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn tree_structure_is_a_spanning_tree() {
+        let n = 9;
+        let a = TokenAssignment::single_source(n, 2, NodeId::new(0));
+        let mut sim = UnicastSim::new(
+            "tree-broadcast",
+            TreeBroadcastStatic::nodes(NodeId::new(0), &a),
+            StaticAdversary::new(Graph::cycle(n)),
+            &a,
+            SimConfig::with_max_rounds(1000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed);
+        // Every non-root node has a parent; child links mirror parents.
+        let mut child_edges = 0;
+        for v in NodeId::all(n) {
+            let node = sim.node(v);
+            if v != NodeId::new(0) {
+                assert!(node.parent().is_some(), "{v} never joined the tree");
+            }
+            child_edges += node.children().len();
+        }
+        assert_eq!(child_edges, n - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-source")]
+    fn tree_broadcast_rejects_multi_source() {
+        let a = TokenAssignment::round_robin_sources(4, 4, 2);
+        let _ = TreeBroadcastStatic::new(NodeId::new(0), NodeId::new(0), &a);
+    }
+}

@@ -1,0 +1,246 @@
+//! Local per-edge history tracking for the unicast algorithms.
+//!
+//! Both the Single-Source and Multi-Source unicast algorithms classify
+//! adjacent edges as **new**, **idle**, or **contributive** (Section 3.1)
+//! and track outstanding token requests per edge. This state is purely
+//! local: in the KT1 unicast model a node is informed of its neighbor IDs
+//! at the beginning of each round, so it can detect insertions and removals
+//! of its adjacent edges by diffing consecutive neighbor lists.
+
+use dynspread_graph::{NodeId, Round};
+use dynspread_sim::token::{TokenId, TokenSet};
+use std::collections::VecDeque;
+
+/// The per-round category of an adjacent edge (Section 3.1).
+///
+/// For an edge `{v, w}` (with `v` incomplete and `w` complete) in round `r`:
+/// *new* if inserted at the beginning of round `r` or `r − 1`;
+/// *contributive* if not new but a token was received over it since its
+/// last insertion; *idle* otherwise. Requests are assigned new-first, then
+/// idle, then contributive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeCategory {
+    /// Inserted at the beginning of round `r` or `r − 1`.
+    New,
+    /// Neither new nor contributive.
+    Idle,
+    /// A token arrived over this edge since its last insertion.
+    Contributive,
+}
+
+/// One tracked adjacent edge.
+#[derive(Clone, Debug, Default)]
+struct EdgeSlot {
+    /// Last round the edge was observed present.
+    last_seen: Option<Round>,
+    /// Round of the most recent insertion.
+    inserted_round: Round,
+    /// Whether a token arrived over this edge since its last insertion.
+    contributive: bool,
+    /// Requests sent over this edge and not yet answered (front = oldest).
+    pending: VecDeque<TokenId>,
+}
+
+/// Tracks the local view of all adjacent edges of one node: insertion
+/// rounds, contributiveness, and outstanding requests.
+///
+/// The companion `in_flight` [`TokenSet`] (owned by the caller) mirrors the
+/// union of all pending queues; the tracker keeps it in sync through the
+/// `kill` callbacks.
+#[derive(Clone, Debug)]
+pub struct EdgeTracker {
+    slots: Vec<EdgeSlot>,
+    prev_neighbors: Vec<NodeId>,
+}
+
+impl EdgeTracker {
+    /// Creates a tracker for a node in an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        EdgeTracker {
+            slots: vec![EdgeSlot::default(); n],
+            prev_neighbors: Vec::new(),
+        }
+    }
+
+    /// Refreshes history at the start of round `round` given the current
+    /// (sorted) neighbor list. Outstanding requests on removed or freshly
+    /// reinserted edges die; each dead request's token is removed from
+    /// `in_flight` (it becomes requestable again).
+    pub fn refresh(&mut self, round: Round, neighbors: &[NodeId], in_flight: &mut TokenSet) {
+        let prev = std::mem::take(&mut self.prev_neighbors);
+        for u in prev {
+            if neighbors.binary_search(&u).is_err() {
+                let slot = &mut self.slots[u.index()];
+                slot.last_seen = None;
+                for t in slot.pending.drain(..) {
+                    in_flight.remove(t);
+                }
+            }
+        }
+        for &u in neighbors {
+            let slot = &mut self.slots[u.index()];
+            let was_present = slot.last_seen == Some(round.wrapping_sub(1));
+            if !was_present {
+                slot.inserted_round = round;
+                slot.contributive = false;
+                for t in slot.pending.drain(..) {
+                    in_flight.remove(t);
+                }
+            }
+            slot.last_seen = Some(round);
+        }
+        self.prev_neighbors = neighbors.to_vec();
+    }
+
+    /// Classifies the edge to current neighbor `u` in round `round`.
+    pub fn classify(&self, u: NodeId, round: Round) -> EdgeCategory {
+        let slot = &self.slots[u.index()];
+        if slot.inserted_round + 1 >= round {
+            EdgeCategory::New
+        } else if slot.contributive {
+            EdgeCategory::Contributive
+        } else {
+            EdgeCategory::Idle
+        }
+    }
+
+    /// Marks the edge to `u` contributive (a token arrived over it).
+    pub fn note_token(&mut self, u: NodeId) {
+        self.slots[u.index()].contributive = true;
+    }
+
+    /// Records a request for `t` sent over the edge to `u`.
+    pub fn push_pending(&mut self, u: NodeId, t: TokenId) {
+        self.slots[u.index()].pending.push_back(t);
+    }
+
+    /// Whether the edge to `u` has any outstanding request.
+    pub fn has_pending(&self, u: NodeId) -> bool {
+        !self.slots[u.index()].pending.is_empty()
+    }
+
+    /// Retires an outstanding request for `t` on the edge to `u` (the
+    /// requested token arrived). Returns `true` if one was found.
+    pub fn retire_pending(&mut self, u: NodeId, t: TokenId) -> bool {
+        let slot = &mut self.slots[u.index()];
+        if let Some(pos) = slot.pending.iter().position(|p| *p == t) {
+            slot.pending.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every outstanding request (used when the node becomes
+    /// complete), clearing the matching `in_flight` entries.
+    pub fn clear_all_pending(&mut self, in_flight: &mut TokenSet) {
+        for slot in &mut self.slots {
+            for t in slot.pending.drain(..) {
+                in_flight.remove(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn tid(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn fresh_edge_is_new_for_two_rounds_then_idle() {
+        let mut tr = EdgeTracker::new(3);
+        let mut fl = TokenSet::new(4);
+        tr.refresh(5, &[nid(1)], &mut fl);
+        assert_eq!(tr.classify(nid(1), 5), EdgeCategory::New);
+        tr.refresh(6, &[nid(1)], &mut fl);
+        assert_eq!(tr.classify(nid(1), 6), EdgeCategory::New);
+        tr.refresh(7, &[nid(1)], &mut fl);
+        assert_eq!(tr.classify(nid(1), 7), EdgeCategory::Idle);
+    }
+
+    #[test]
+    fn token_arrival_makes_edge_contributive_until_reinsertion() {
+        let mut tr = EdgeTracker::new(3);
+        let mut fl = TokenSet::new(4);
+        tr.refresh(1, &[nid(2)], &mut fl);
+        tr.note_token(nid(2));
+        tr.refresh(2, &[nid(2)], &mut fl);
+        // Still new (inserted round 1 ≥ round − 1 = 1)…
+        assert_eq!(tr.classify(nid(2), 2), EdgeCategory::New);
+        tr.refresh(3, &[nid(2)], &mut fl);
+        assert_eq!(tr.classify(nid(2), 3), EdgeCategory::Contributive);
+        // Removal + reinsertion resets contributiveness.
+        tr.refresh(4, &[], &mut fl);
+        tr.refresh(5, &[nid(2)], &mut fl);
+        assert_eq!(tr.classify(nid(2), 5), EdgeCategory::New);
+        tr.refresh(6, &[nid(2)], &mut fl);
+        tr.refresh(7, &[nid(2)], &mut fl);
+        assert_eq!(tr.classify(nid(2), 7), EdgeCategory::Idle);
+    }
+
+    #[test]
+    fn pending_requests_die_with_the_edge() {
+        let mut tr = EdgeTracker::new(2);
+        let mut fl = TokenSet::new(4);
+        tr.refresh(1, &[nid(1)], &mut fl);
+        fl.insert(tid(2));
+        tr.push_pending(nid(1), tid(2));
+        assert!(tr.has_pending(nid(1)));
+        // Edge disappears: pending dies, token requestable again.
+        tr.refresh(2, &[], &mut fl);
+        assert!(!fl.contains(tid(2)));
+        tr.refresh(3, &[nid(1)], &mut fl);
+        assert!(!tr.has_pending(nid(1)));
+    }
+
+    #[test]
+    fn retire_pending_matches_token() {
+        let mut tr = EdgeTracker::new(2);
+        let mut fl = TokenSet::new(4);
+        tr.refresh(1, &[nid(1)], &mut fl);
+        tr.push_pending(nid(1), tid(0));
+        tr.push_pending(nid(1), tid(3));
+        assert!(tr.retire_pending(nid(1), tid(3)));
+        assert!(!tr.retire_pending(nid(1), tid(3)));
+        assert!(tr.retire_pending(nid(1), tid(0)));
+        assert!(!tr.has_pending(nid(1)));
+    }
+
+    #[test]
+    fn clear_all_pending_resets_in_flight() {
+        let mut tr = EdgeTracker::new(3);
+        let mut fl = TokenSet::new(4);
+        tr.refresh(1, &[nid(1), nid(2)], &mut fl);
+        for (u, t) in [(nid(1), tid(0)), (nid(2), tid(1))] {
+            fl.insert(t);
+            tr.push_pending(u, t);
+        }
+        tr.clear_all_pending(&mut fl);
+        assert!(fl.is_empty());
+        assert!(!tr.has_pending(nid(1)));
+        assert!(!tr.has_pending(nid(2)));
+    }
+
+    #[test]
+    fn gap_in_presence_is_reinsertion() {
+        let mut tr = EdgeTracker::new(2);
+        let mut fl = TokenSet::new(1);
+        tr.refresh(1, &[nid(1)], &mut fl);
+        tr.refresh(2, &[nid(1)], &mut fl);
+        tr.refresh(3, &[nid(1)], &mut fl);
+        assert_eq!(tr.classify(nid(1), 3), EdgeCategory::Idle);
+        // Absent in 4, back in 5 → new again.
+        tr.refresh(4, &[], &mut fl);
+        tr.refresh(5, &[nid(1)], &mut fl);
+        assert_eq!(tr.classify(nid(1), 5), EdgeCategory::New);
+        assert_eq!(tr.classify(nid(1), 6), EdgeCategory::New);
+    }
+}

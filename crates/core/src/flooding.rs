@@ -1,0 +1,429 @@
+//! Local-broadcast flooding algorithms (Sections 1 and 2).
+//!
+//! The naive token-forwarding upper bound in the local broadcast model:
+//! "an O(n²) amortized message upper bound per token is straightforward to
+//! obtain by using flooding (each node broadcasts each token for n rounds)".
+//!
+//! Two protocols:
+//!
+//! * [`FloodingBroadcast`] — the paper's naive algorithm: every node
+//!   broadcasts every token it knows for `n` rounds (round-robin across
+//!   tokens, one token per round by the bandwidth constraint). Total cost
+//!   is at most `n` broadcasts per (node, token) pair → `O(n²)` amortized
+//!   per token.
+//! * [`RoundRobinBroadcast`] — broadcasts known tokens cyclically forever;
+//!   used against the Section 2 [`crate::lower_bound::PotentialAdversary`],
+//!   where termination is decided by the global tracker and the adversary
+//!   controls progress.
+
+use dynspread_graph::{NodeId, Round};
+use dynspread_sim::message::{MessageClass, MessagePayload};
+use dynspread_sim::protocol::BroadcastProtocol;
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+use std::collections::VecDeque;
+
+/// A local-broadcast message carrying exactly one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BcastMsg(pub TokenId);
+
+impl MessagePayload for BcastMsg {
+    fn token_count(&self) -> usize {
+        1
+    }
+
+    fn class(&self) -> MessageClass {
+        MessageClass::Token
+    }
+}
+
+/// The paper's naive flooding algorithm: each node broadcasts each known
+/// token `repeats` times (with `repeats = n`, every token reaches every
+/// node on any always-connected dynamic graph).
+///
+/// Why `n` rounds suffice: in every round, the set of nodes that know token
+/// `τ` either already equals `V` or has (by connectivity) an edge to a
+/// non-knowing node, and every knowing node is still broadcasting `τ` in
+/// one of its `n` repeat slots… the classical flooding argument, valid as
+/// long as every knowing node keeps broadcasting `τ` until `n` repeats are
+/// spent.
+#[derive(Clone, Debug)]
+pub struct FloodingBroadcast {
+    know: TokenSet,
+    /// Remaining broadcast budget per token (0 = exhausted or unknown).
+    remaining: Vec<u32>,
+    /// Round-robin queue of tokens with remaining budget.
+    queue: VecDeque<TokenId>,
+    repeats: u32,
+}
+
+impl FloodingBroadcast {
+    /// Creates node `v` with `repeats` broadcast repetitions per token
+    /// (use `repeats = n` for the paper's guarantee).
+    pub fn new(v: NodeId, assignment: &TokenAssignment, repeats: u32) -> Self {
+        let know = assignment.initial_knowledge(v);
+        let mut remaining = vec![0u32; assignment.token_count()];
+        let mut queue = VecDeque::new();
+        for t in know.iter() {
+            remaining[t.index()] = repeats;
+            queue.push_back(t);
+        }
+        FloodingBroadcast {
+            know,
+            remaining,
+            queue,
+            repeats,
+        }
+    }
+
+    /// Builds all `n` node protocols with `repeats = n`.
+    pub fn nodes(assignment: &TokenAssignment) -> Vec<FloodingBroadcast> {
+        let n = assignment.node_count();
+        NodeId::all(n)
+            .map(|v| FloodingBroadcast::new(v, assignment, n as u32))
+            .collect()
+    }
+
+    /// Whether this node has exhausted all broadcast budgets.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl BroadcastProtocol for FloodingBroadcast {
+    type Msg = BcastMsg;
+
+    fn broadcast(&mut self, _round: Round) -> Option<BcastMsg> {
+        while let Some(t) = self.queue.pop_front() {
+            if self.remaining[t.index()] > 0 {
+                self.remaining[t.index()] -= 1;
+                if self.remaining[t.index()] > 0 {
+                    self.queue.push_back(t);
+                }
+                return Some(BcastMsg(t));
+            }
+        }
+        None
+    }
+
+    fn receive(&mut self, _round: Round, _from: NodeId, msg: &BcastMsg) {
+        if self.know.insert(msg.0) {
+            self.remaining[msg.0.index()] = self.repeats;
+            self.queue.push_back(msg.0);
+        }
+    }
+
+    fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+}
+
+/// Token-by-token *phased* flooding: the naive `O(nk)`-round algorithm that
+/// is correct even against the strongly adaptive adversary.
+///
+/// Rounds are partitioned into phases of `n` rounds; in phase `i` (taken
+/// cyclically over the `k` tokens), **every node that knows token `i`
+/// broadcasts token `i`**. Because every `G_r` is connected, each phase
+/// round has an edge from the knower set `S` to `V ∖ S`, so at least one
+/// new node learns token `i` per round — token `i` is fully disseminated
+/// within its `n`-round phase, and one sweep of `nk` rounds completes
+/// k-token dissemination. Messages: at most `n` broadcasts per round →
+/// `O(n²k)` total, i.e. the `O(n²)` amortized upper bound that Theorem 2.3
+/// proves near-optimal.
+#[derive(Clone, Debug)]
+pub struct PhasedFlooding {
+    know: TokenSet,
+    n: u64,
+    k: u64,
+}
+
+impl PhasedFlooding {
+    /// Creates node `v`.
+    pub fn new(v: NodeId, assignment: &TokenAssignment) -> Self {
+        PhasedFlooding {
+            know: assignment.initial_knowledge(v),
+            n: assignment.node_count() as u64,
+            k: assignment.token_count() as u64,
+        }
+    }
+
+    /// Builds all `n` node protocols.
+    pub fn nodes(assignment: &TokenAssignment) -> Vec<PhasedFlooding> {
+        NodeId::all(assignment.node_count())
+            .map(|v| PhasedFlooding::new(v, assignment))
+            .collect()
+    }
+
+    /// The token scheduled for broadcast in `round` (phase structure is
+    /// common knowledge: everyone knows `n`, `k`, and the round number).
+    pub fn scheduled_token(&self, round: Round) -> TokenId {
+        let phase = (round - 1) / self.n;
+        TokenId::new((phase % self.k) as u32)
+    }
+}
+
+impl BroadcastProtocol for PhasedFlooding {
+    type Msg = BcastMsg;
+
+    fn broadcast(&mut self, round: Round) -> Option<BcastMsg> {
+        let t = self.scheduled_token(round);
+        self.know.contains(t).then_some(BcastMsg(t))
+    }
+
+    fn receive(&mut self, _round: Round, _from: NodeId, msg: &BcastMsg) {
+        self.know.insert(msg.0);
+    }
+
+    fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+}
+
+/// Round-robin broadcaster: cycles through its known tokens forever, never
+/// silent once it knows at least one token.
+///
+/// This is the natural "always make progress if the adversary allows it"
+/// strategy for lower-bound experiments: the Section 2 adversary guarantees
+/// that with fewer than `n/(c log n)` broadcasters no token is ever learned,
+/// so an algorithm must keep nearly everyone broadcasting, and this one
+/// keeps *everyone* broadcasting.
+#[derive(Clone, Debug)]
+pub struct RoundRobinBroadcast {
+    know: TokenSet,
+    queue: VecDeque<TokenId>,
+}
+
+impl RoundRobinBroadcast {
+    /// Creates node `v`.
+    pub fn new(v: NodeId, assignment: &TokenAssignment) -> Self {
+        let know = assignment.initial_knowledge(v);
+        let queue = know.iter().collect();
+        RoundRobinBroadcast { know, queue }
+    }
+
+    /// Builds all `n` node protocols.
+    pub fn nodes(assignment: &TokenAssignment) -> Vec<RoundRobinBroadcast> {
+        NodeId::all(assignment.node_count())
+            .map(|v| RoundRobinBroadcast::new(v, assignment))
+            .collect()
+    }
+}
+
+impl BroadcastProtocol for RoundRobinBroadcast {
+    type Msg = BcastMsg;
+
+    fn broadcast(&mut self, _round: Round) -> Option<BcastMsg> {
+        let t = self.queue.pop_front()?;
+        self.queue.push_back(t);
+        Some(BcastMsg(t))
+    }
+
+    fn receive(&mut self, _round: Round, _from: NodeId, msg: &BcastMsg) {
+        if self.know.insert(msg.0) {
+            self.queue.push_back(msg.0);
+        }
+    }
+
+    fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynspread_graph::generators::Topology;
+    use dynspread_graph::oblivious::{EdgeMarkovian, PeriodicRewiring, StaticAdversary};
+    use dynspread_graph::Graph;
+    use dynspread_sim::sim::{BroadcastSim, SimConfig};
+
+    #[test]
+    fn flooding_completes_on_static_path() {
+        let n = 6;
+        let k = 3;
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let mut sim = BroadcastSim::new(
+            "flooding",
+            FloodingBroadcast::nodes(&a),
+            StaticAdversary::new(Graph::path(n)),
+            &a,
+            SimConfig::with_max_rounds(10_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+        assert_eq!(report.learnings, (k * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn flooding_completes_under_rewiring() {
+        let n = 8;
+        let k = 4;
+        let a = TokenAssignment::round_robin_sources(n, k, 4);
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 2, 5);
+        let mut sim = BroadcastSim::new(
+            "flooding",
+            FloodingBroadcast::nodes(&a),
+            adv,
+            &a,
+            SimConfig::with_max_rounds(100_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+    }
+
+    #[test]
+    fn flooding_completes_under_edge_markovian() {
+        let n = 8;
+        let k = 3;
+        let a = TokenAssignment::n_gossip(n);
+        // n-gossip needs k = n.
+        let _ = k;
+        let adv = EdgeMarkovian::new(0.1, 0.2, 1, 23);
+        let mut sim = BroadcastSim::new(
+            "flooding",
+            FloodingBroadcast::nodes(&a),
+            adv,
+            &a,
+            SimConfig::with_max_rounds(100_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+    }
+
+    #[test]
+    fn flooding_message_bound_is_n_per_node_token_pair() {
+        let n = 7;
+        let k = 4;
+        let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let mut sim = BroadcastSim::new(
+            "flooding",
+            FloodingBroadcast::nodes(&a),
+            StaticAdversary::new(Graph::cycle(n)),
+            &a,
+            SimConfig::with_max_rounds(100_000),
+        );
+        // Run until quiescence (all budgets exhausted), not just completion.
+        let report = sim.run_until(|s| {
+            (0..n).all(|i| s.node(NodeId::new(i as u32)).is_quiescent())
+        });
+        assert!(report.completed);
+        // Every (node, token) pair broadcasts at most n times.
+        assert!(report.total_messages <= (n * n * k) as u64);
+        // Amortized per token ≤ n².
+        assert!(report.amortized() <= (n * n) as f64);
+    }
+
+    #[test]
+    fn flooding_budget_exhausts_and_goes_silent() {
+        let a = TokenAssignment::single_source(1, 2, NodeId::new(0));
+        let mut node = FloodingBroadcast::new(NodeId::new(0), &a, 2);
+        let mut count = 0;
+        for r in 1..=10 {
+            if node.broadcast(r).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 4, "2 tokens × 2 repeats");
+        assert!(node.is_quiescent());
+    }
+
+    #[test]
+    fn flooding_alternates_tokens_round_robin() {
+        let a = TokenAssignment::single_source(1, 2, NodeId::new(0));
+        let mut node = FloodingBroadcast::new(NodeId::new(0), &a, 2);
+        let seq: Vec<TokenId> = (1..=4).map(|r| node.broadcast(r).unwrap().0).collect();
+        assert_eq!(
+            seq,
+            vec![
+                TokenId::new(0),
+                TokenId::new(1),
+                TokenId::new(0),
+                TokenId::new(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn phased_flooding_schedule_is_common_knowledge() {
+        let a = TokenAssignment::round_robin_sources(4, 3, 2);
+        let node = PhasedFlooding::new(NodeId::new(0), &a);
+        // n = 4: rounds 1-4 → token 0, rounds 5-8 → token 1, 9-12 → token 2,
+        // then the sweep repeats.
+        assert_eq!(node.scheduled_token(1), TokenId::new(0));
+        assert_eq!(node.scheduled_token(4), TokenId::new(0));
+        assert_eq!(node.scheduled_token(5), TokenId::new(1));
+        assert_eq!(node.scheduled_token(12), TokenId::new(2));
+        assert_eq!(node.scheduled_token(13), TokenId::new(0));
+    }
+
+    #[test]
+    fn phased_flooding_broadcasts_only_known_scheduled_token() {
+        let a = TokenAssignment::round_robin_sources(4, 2, 2);
+        // Node 2 knows nothing initially: silent in every phase.
+        let mut silent = PhasedFlooding::new(NodeId::new(2), &a);
+        assert_eq!(silent.broadcast(1), None);
+        // Node 0 holds token 0: broadcasts in phase 0 only.
+        let mut holder = PhasedFlooding::new(NodeId::new(0), &a);
+        assert_eq!(holder.broadcast(1), Some(BcastMsg(TokenId::new(0))));
+        assert_eq!(holder.broadcast(5), None);
+        // After learning token 1 it participates in phase 1 too.
+        holder.receive(5, NodeId::new(1), &BcastMsg(TokenId::new(1)));
+        assert_eq!(holder.broadcast(6), Some(BcastMsg(TokenId::new(1))));
+    }
+
+    #[test]
+    fn phased_flooding_completes_within_nk_rounds_under_rewiring() {
+        let n = 8;
+        let k = 5;
+        let a = TokenAssignment::round_robin_sources(n, k, 5);
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 1, 77);
+        let mut sim = BroadcastSim::new(
+            "phased-flooding",
+            PhasedFlooding::nodes(&a),
+            adv,
+            &a,
+            SimConfig::with_max_rounds((n * k) as Round),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+        assert!(report.amortized() <= (n * n) as f64);
+    }
+
+    #[test]
+    fn round_robin_never_goes_silent() {
+        let a = TokenAssignment::single_source(2, 1, NodeId::new(0));
+        let mut node = RoundRobinBroadcast::new(NodeId::new(0), &a);
+        for r in 1..=20 {
+            assert!(node.broadcast(r).is_some());
+        }
+        // A node with no tokens stays silent.
+        let mut empty = RoundRobinBroadcast::new(NodeId::new(1), &a);
+        assert!(empty.broadcast(1).is_none());
+    }
+
+    #[test]
+    fn round_robin_completes_on_static_star() {
+        let n = 6;
+        let a = TokenAssignment::n_gossip(n);
+        let mut sim = BroadcastSim::new(
+            "round-robin",
+            RoundRobinBroadcast::nodes(&a),
+            StaticAdversary::new(Graph::star(n)),
+            &a,
+            SimConfig::with_max_rounds(10_000),
+        );
+        let report = sim.run_to_completion();
+        assert!(report.completed, "{report}");
+    }
+
+    #[test]
+    fn received_token_joins_rotation() {
+        let a = TokenAssignment::single_source(2, 3, NodeId::new(0));
+        let mut node = RoundRobinBroadcast::new(NodeId::new(1), &a);
+        node.receive(1, NodeId::new(0), &BcastMsg(TokenId::new(2)));
+        assert_eq!(node.broadcast(2), Some(BcastMsg(TokenId::new(2))));
+        // Duplicate receipt doesn't duplicate the queue entry.
+        node.receive(2, NodeId::new(0), &BcastMsg(TokenId::new(2)));
+        assert_eq!(node.broadcast(3), Some(BcastMsg(TokenId::new(2))));
+        assert_eq!(node.broadcast(4), Some(BcastMsg(TokenId::new(2))));
+    }
+}

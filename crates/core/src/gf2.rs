@@ -1,0 +1,383 @@
+//! GF(2) linear algebra for network-coded gossip.
+//!
+//! The paper's related-work discussion (Section 1.2, citing Haeupler and
+//! Haeupler–Karger) contrasts token-forwarding with *network coding*: with
+//! sufficiently large tokens, random linear network coding solves k-gossip
+//! in `O(n + k)` rounds on the same adversarial dynamic networks where
+//! token-forwarding needs `Ω(nk/log n)`. To make that comparison executable
+//! we need a coefficient-vector algebra over GF(2); this module provides a
+//! word-packed vector type and an online row-echelon basis with O(k²/64)
+//! insertion.
+
+/// A GF(2) vector of fixed dimension `k`, packed into 64-bit words.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Gf2Vector {
+    words: Vec<u64>,
+    dim: usize,
+}
+
+impl Gf2Vector {
+    /// The zero vector of dimension `k`.
+    pub fn zero(k: usize) -> Self {
+        Gf2Vector {
+            words: vec![0; k.div_ceil(64)],
+            dim: k,
+        }
+    }
+
+    /// The unit vector `e_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn unit(k: usize, i: usize) -> Self {
+        assert!(i < k, "unit index {i} out of dimension {k}");
+        let mut v = Gf2Vector::zero(k);
+        v.set(i, true);
+        v
+    }
+
+    /// Dimension `k`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The coefficient at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.dim, "index {i} out of dimension {}", self.dim);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets the coefficient at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.dim, "index {i} out of dimension {}", self.dim);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Whether this is the zero vector.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place XOR (GF(2) addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn xor_assign(&mut self, other: &Gf2Vector) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= b;
+        }
+    }
+
+    /// Index of the leading (lowest-index) 1, if any.
+    pub fn leading_one(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                return (i < self.dim).then_some(i);
+            }
+        }
+        None
+    }
+
+    /// Number of ones (Hamming weight).
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl std::fmt::Debug for Gf2Vector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gf2Vector[")?;
+        for i in 0..self.dim {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An online row-echelon basis of a subspace of GF(2)^k.
+///
+/// Rows are kept reduced so that each stored row has a unique pivot column;
+/// insertion, membership, and rank are all `O(k²/64)` or better.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_core::gf2::{Gf2Basis, Gf2Vector};
+///
+/// let mut basis = Gf2Basis::new(3);
+/// assert!(basis.insert(Gf2Vector::unit(3, 0)));
+/// let mut v = Gf2Vector::unit(3, 0);
+/// v.set(2, true); // v = e0 + e2
+/// assert!(basis.insert(v));
+/// assert_eq!(basis.rank(), 2);
+/// assert!(basis.contains(&Gf2Vector::unit(3, 2)));
+/// assert!(!basis.contains(&Gf2Vector::unit(3, 1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gf2Basis {
+    /// Rows with distinct pivots, sorted by pivot column.
+    rows: Vec<Gf2Vector>,
+    dim: usize,
+}
+
+impl Gf2Basis {
+    /// The empty basis of dimension `k`.
+    pub fn new(k: usize) -> Self {
+        Gf2Basis {
+            rows: Vec::new(),
+            dim: k,
+        }
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the basis spans all of GF(2)^k.
+    pub fn is_full(&self) -> bool {
+        self.rank() == self.dim
+    }
+
+    /// Reduces `v` by the basis rows (in place); the result is zero iff
+    /// `v` is in the span.
+    fn reduce(&self, v: &mut Gf2Vector) {
+        for row in &self.rows {
+            let pivot = row.leading_one().expect("stored rows are nonzero");
+            if v.get(pivot) {
+                v.xor_assign(row);
+            }
+        }
+    }
+
+    /// Whether `v` lies in the span.
+    pub fn contains(&self, v: &Gf2Vector) -> bool {
+        let mut r = v.clone();
+        self.reduce(&mut r);
+        r.is_zero()
+    }
+
+    /// Inserts `v`; returns `true` iff it increased the rank (i.e. `v` was
+    /// linearly independent of the current basis — "innovative" in the
+    /// network-coding sense).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn insert(&mut self, mut v: Gf2Vector) -> bool {
+        assert_eq!(v.dim(), self.dim, "dimension mismatch");
+        self.reduce(&mut v);
+        let Some(pivot) = v.leading_one() else {
+            return false;
+        };
+        // Back-substitute so every stored row keeps a unique pivot column.
+        for row in &mut self.rows {
+            if row.get(pivot) {
+                row.xor_assign(&v);
+            }
+        }
+        let pos = self
+            .rows
+            .partition_point(|r| r.leading_one().expect("nonzero") < pivot);
+        self.rows.insert(pos, v);
+        true
+    }
+
+    /// The rows of the (reduced) basis.
+    pub fn rows(&self) -> &[Gf2Vector] {
+        &self.rows
+    }
+
+    /// The set of unit vectors `e_i` currently decodable (in the span).
+    ///
+    /// When the basis is kept in reduced row-echelon form (as `insert`
+    /// does), `e_i` is decodable iff some row equals `e_i` exactly —
+    /// equivalently, iff `i` is a pivot column and that row has weight 1.
+    pub fn decodable_units(&self) -> Vec<usize> {
+        self.rows
+            .iter()
+            .filter(|r| r.weight() == 1)
+            .map(|r| r.leading_one().expect("nonzero"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn vector_basics() {
+        let mut v = Gf2Vector::zero(70);
+        assert!(v.is_zero());
+        v.set(69, true);
+        v.set(3, true);
+        assert!(v.get(69));
+        assert!(!v.get(4));
+        assert_eq!(v.leading_one(), Some(3));
+        assert_eq!(v.weight(), 2);
+        v.set(3, false);
+        assert_eq!(v.leading_one(), Some(69));
+    }
+
+    #[test]
+    fn xor_is_gf2_addition() {
+        let mut a = Gf2Vector::unit(8, 1);
+        let b = Gf2Vector::unit(8, 1);
+        a.xor_assign(&b);
+        assert!(a.is_zero());
+        let mut c = Gf2Vector::unit(8, 2);
+        c.xor_assign(&Gf2Vector::unit(8, 5));
+        assert_eq!(c.weight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dimension")]
+    fn unit_out_of_range_panics() {
+        let _ = Gf2Vector::unit(4, 4);
+    }
+
+    #[test]
+    fn basis_rejects_dependent_vectors() {
+        let mut basis = Gf2Basis::new(4);
+        assert!(basis.insert(Gf2Vector::unit(4, 0)));
+        assert!(basis.insert(Gf2Vector::unit(4, 1)));
+        // e0 + e1 is dependent.
+        let mut v = Gf2Vector::unit(4, 0);
+        v.xor_assign(&Gf2Vector::unit(4, 1));
+        assert!(!basis.insert(v));
+        assert_eq!(basis.rank(), 2);
+    }
+
+    #[test]
+    fn basis_becomes_full_with_units() {
+        let k = 9;
+        let mut basis = Gf2Basis::new(k);
+        for i in 0..k {
+            assert!(basis.insert(Gf2Vector::unit(k, i)));
+        }
+        assert!(basis.is_full());
+        assert_eq!(basis.decodable_units(), (0..k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn decodable_units_track_rref() {
+        let k = 3;
+        let mut basis = Gf2Basis::new(k);
+        // Insert e0+e1 and e1+e2: rank 2, nothing decodable.
+        let mut a = Gf2Vector::unit(k, 0);
+        a.xor_assign(&Gf2Vector::unit(k, 1));
+        let mut b = Gf2Vector::unit(k, 1);
+        b.xor_assign(&Gf2Vector::unit(k, 2));
+        basis.insert(a);
+        basis.insert(b);
+        assert_eq!(basis.rank(), 2);
+        assert!(basis.decodable_units().is_empty());
+        // Insert e2: now everything is decodable.
+        basis.insert(Gf2Vector::unit(k, 2));
+        assert!(basis.is_full());
+        assert_eq!(basis.decodable_units().len(), k);
+    }
+
+    #[test]
+    fn contains_matches_brute_force_on_random_subspaces() {
+        let k = 12;
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut basis = Gf2Basis::new(k);
+            let mut generators: Vec<Gf2Vector> = Vec::new();
+            for _ in 0..6 {
+                let mut v = Gf2Vector::zero(k);
+                for i in 0..k {
+                    if rng.gen_bool(0.5) {
+                        v.set(i, true);
+                    }
+                }
+                generators.push(v.clone());
+                basis.insert(v);
+            }
+            // Every XOR-combination of generators must be contained.
+            for mask in 0u32..64 {
+                let mut combo = Gf2Vector::zero(k);
+                for (i, g) in generators.iter().enumerate() {
+                    if mask >> i & 1 == 1 {
+                        combo.xor_assign(g);
+                    }
+                }
+                assert!(basis.contains(&combo));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_never_exceeds_dimension() {
+        let k = 8;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut basis = Gf2Basis::new(k);
+        for _ in 0..100 {
+            let mut v = Gf2Vector::zero(k);
+            for i in 0..k {
+                if rng.gen_bool(0.5) {
+                    v.set(i, true);
+                }
+            }
+            basis.insert(v);
+            assert!(basis.rank() <= k);
+        }
+        assert!(basis.is_full(), "100 random vectors span GF(2)^8 w.h.p.");
+    }
+
+    #[test]
+    fn rows_stay_in_reduced_echelon_form() {
+        let k = 10;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut basis = Gf2Basis::new(k);
+        for _ in 0..30 {
+            let mut v = Gf2Vector::zero(k);
+            for i in 0..k {
+                if rng.gen_bool(0.4) {
+                    v.set(i, true);
+                }
+            }
+            basis.insert(v);
+            // Each pivot appears in exactly one row.
+            let pivots: Vec<usize> = basis
+                .rows()
+                .iter()
+                .map(|r| r.leading_one().expect("nonzero"))
+                .collect();
+            for (i, &p) in pivots.iter().enumerate() {
+                for (j, row) in basis.rows().iter().enumerate() {
+                    if i != j {
+                        assert!(!row.get(p), "pivot column {p} not unique");
+                    }
+                }
+            }
+            // Pivots strictly increasing.
+            assert!(pivots.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

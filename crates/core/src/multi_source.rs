@@ -1,0 +1,594 @@
+//! The Multi-Source-Unicast algorithm (Section 3.2.1).
+//!
+//! Tokens start at `s` source nodes `a_1 < a_2 < … < a_s`; source `a_i`
+//! initially holds `k_i` tokens (`k = Σ k_i`). The algorithm extends
+//! Single-Source-Unicast with per-source completeness:
+//!
+//! * a node is *complete with respect to source `x`* when it holds every
+//!   token originating at `x`;
+//! * each node maintains, per source `x`: `R_v(x)` (whom it has informed of
+//!   its `x`-completeness), `S_v(x)` (who informed it), and the set `I_v`
+//!   of sources it is complete for;
+//! * each round a node does three things **in parallel**: (1) per edge,
+//!   announce completeness for the *minimum* source the neighbor doesn't
+//!   know about; (2) answer last round's token requests; (3) pick the
+//!   minimum source `x ∉ I_v` with `S_v(x) ≠ ∅` and run the single-source
+//!   request logic for `x` alone.
+//!
+//! The strict minimum-source priority means the network effectively runs
+//! Single-Source-Unicast for source `a_1` first, then `a_2`, etc., which is
+//! how Theorem 3.6 inherits the `O(nk)` running time. Theorem 3.5: the
+//! algorithm has 1-adversary-competitive message complexity `O(n²s + nk)`.
+//!
+//! Token identities stay global (`0..k`); the map from token to source is
+//! common knowledge, fixed by the initial placement (this stands in for the
+//! paper's `⟨ID_x, i⟩` token labels, which every node can parse).
+
+use crate::edge_history::{EdgeCategory, EdgeTracker};
+use dynspread_graph::{NodeId, Round};
+use dynspread_sim::message::{MessageClass, MessagePayload};
+use dynspread_sim::protocol::{Outbox, UnicastProtocol};
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The global token → source labelling, shared (as common knowledge) by all
+/// nodes.
+///
+/// Built from a [`TokenAssignment`] in which every token has exactly one
+/// initial holder — its source.
+#[derive(Clone, Debug)]
+pub struct SourceMap {
+    /// The distinct sources, in increasing ID order (`a_1 < … < a_s`).
+    sources: Vec<NodeId>,
+    /// For each token, the index into `sources` of its origin.
+    source_idx_of: Vec<u32>,
+    /// For each source index, its tokens in increasing token order.
+    tokens_of: Vec<Vec<TokenId>>,
+}
+
+impl SourceMap {
+    /// Builds the map from an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some token has no holder or more than one holder (the
+    /// multi-source problem gives each token to exactly one source).
+    pub fn from_assignment(assignment: &TokenAssignment) -> Self {
+        let k = assignment.token_count();
+        let mut origin: Vec<NodeId> = Vec::with_capacity(k);
+        for t in TokenId::all(k) {
+            let holders: Vec<NodeId> = assignment.holders(t).collect();
+            assert_eq!(
+                holders.len(),
+                1,
+                "token {t} must have exactly one initial holder, got {}",
+                holders.len()
+            );
+            origin.push(holders[0]);
+        }
+        let sources: Vec<NodeId> = {
+            let set: std::collections::BTreeSet<NodeId> = origin.iter().copied().collect();
+            set.into_iter().collect()
+        };
+        let mut source_idx_of = Vec::with_capacity(k);
+        let mut tokens_of = vec![Vec::new(); sources.len()];
+        for (i, &src) in origin.iter().enumerate() {
+            let idx = sources.binary_search(&src).expect("source present") as u32;
+            source_idx_of.push(idx);
+            tokens_of[idx as usize].push(TokenId::new(i as u32));
+        }
+        SourceMap {
+            sources,
+            source_idx_of,
+            tokens_of,
+        }
+    }
+
+    /// Number of sources `s`.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of tokens `k`.
+    pub fn token_count(&self) -> usize {
+        self.source_idx_of.len()
+    }
+
+    /// The sources in increasing ID order.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The source index (rank) of token `t`.
+    pub fn source_index_of(&self, t: TokenId) -> usize {
+        self.source_idx_of[t.index()] as usize
+    }
+
+    /// The source node of token `t`.
+    pub fn source_of(&self, t: TokenId) -> NodeId {
+        self.sources[self.source_index_of(t)]
+    }
+
+    /// The tokens of the source with index `idx`.
+    pub fn tokens_of(&self, idx: usize) -> &[TokenId] {
+        &self.tokens_of[idx]
+    }
+}
+
+/// Messages of the Multi-Source-Unicast algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MsMsg {
+    /// "I am complete with respect to source `x`" (type-2 message).
+    Completeness(NodeId),
+    /// "Please send me token `i`" (type-3 message).
+    Request(TokenId),
+    /// The requested token (type-1 message).
+    Token(TokenId),
+}
+
+impl MessagePayload for MsMsg {
+    fn token_count(&self) -> usize {
+        match self {
+            MsMsg::Token(_) => 1,
+            _ => 0,
+        }
+    }
+
+    fn class(&self) -> MessageClass {
+        match self {
+            MsMsg::Completeness(_) => MessageClass::Completeness,
+            MsMsg::Request(_) => MessageClass::Request,
+            MsMsg::Token(_) => MessageClass::Token,
+        }
+    }
+}
+
+/// Per-node state of the Multi-Source-Unicast algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_core::multi_source::MultiSourceNode;
+/// use dynspread_graph::{oblivious::StaticAdversary, Graph};
+/// use dynspread_sim::{SimConfig, TokenAssignment, UnicastSim};
+///
+/// // Four tokens spread over two sources.
+/// let assignment = TokenAssignment::round_robin_sources(5, 4, 2);
+/// let (nodes, _map) = MultiSourceNode::nodes(&assignment);
+/// let mut sim = UnicastSim::new(
+///     "multi-source-unicast",
+///     nodes,
+///     StaticAdversary::new(Graph::cycle(5)),
+///     &assignment,
+///     SimConfig::default(),
+/// );
+/// assert!(sim.run_to_completion().completed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiSourceNode {
+    id: NodeId,
+    map: Arc<SourceMap>,
+    know: TokenSet,
+    /// Per source: how many of its tokens we hold.
+    have_count: Vec<usize>,
+    /// `R_v(x)`: per source, whom we've informed of our x-completeness.
+    informed: Vec<Vec<bool>>,
+    /// `S_v(x)`: per source, who announced x-completeness to us.
+    known_complete: Vec<Vec<bool>>,
+    /// Requests received this round (answered next round).
+    requests_arriving: Vec<(NodeId, TokenId)>,
+    /// Requests received last round (answered this round).
+    requests_to_answer: Vec<(NodeId, TokenId)>,
+    /// Local edge histories and outstanding-request queues.
+    edges: EdgeTracker,
+    /// Tokens with an outstanding (live) request on some edge.
+    in_flight: TokenSet,
+}
+
+impl MultiSourceNode {
+    /// Creates node `v` with initial knowledge from `assignment` and the
+    /// shared source map.
+    pub fn new(v: NodeId, assignment: &TokenAssignment, map: Arc<SourceMap>) -> Self {
+        let n = assignment.node_count();
+        assert!(v.index() < n, "node out of range");
+        let s = map.source_count();
+        let know = assignment.initial_knowledge(v);
+        let mut have_count = vec![0usize; s];
+        for t in know.iter() {
+            have_count[map.source_index_of(t)] += 1;
+        }
+        MultiSourceNode {
+            id: v,
+            know,
+            have_count,
+            informed: vec![vec![false; n]; s],
+            known_complete: vec![vec![false; n]; s],
+            requests_arriving: Vec::new(),
+            requests_to_answer: Vec::new(),
+            edges: EdgeTracker::new(n),
+            in_flight: TokenSet::new(assignment.token_count()),
+            map,
+        }
+    }
+
+    /// Creates node `v` with an explicit knowledge set (used by phase 2 of
+    /// the oblivious algorithm, where nodes keep the tokens they saw pass
+    /// through during the random-walk phase).
+    ///
+    /// The `map` describes token *ownership* (who answers requests as a
+    /// source); `know` is what this node already holds.
+    pub fn with_knowledge(v: NodeId, n: usize, know: TokenSet, map: Arc<SourceMap>) -> Self {
+        assert!(v.index() < n, "node out of range");
+        let s = map.source_count();
+        let mut have_count = vec![0usize; s];
+        for t in know.iter() {
+            have_count[map.source_index_of(t)] += 1;
+        }
+        MultiSourceNode {
+            id: v,
+            in_flight: TokenSet::new(know.universe()),
+            know,
+            have_count,
+            informed: vec![vec![false; n]; s],
+            known_complete: vec![vec![false; n]; s],
+            requests_arriving: Vec::new(),
+            requests_to_answer: Vec::new(),
+            edges: EdgeTracker::new(n),
+            map,
+        }
+    }
+
+    /// Builds all `n` node protocols plus the shared [`SourceMap`].
+    pub fn nodes(assignment: &TokenAssignment) -> (Vec<MultiSourceNode>, Arc<SourceMap>) {
+        let map = Arc::new(SourceMap::from_assignment(assignment));
+        let nodes = NodeId::all(assignment.node_count())
+            .map(|v| MultiSourceNode::new(v, assignment, Arc::clone(&map)))
+            .collect();
+        (nodes, map)
+    }
+
+    /// This node's ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is complete w.r.t. the source with index `idx`
+    /// (i.e. the source is in `I_v`).
+    pub fn complete_wrt(&self, idx: usize) -> bool {
+        self.have_count[idx] == self.map.tokens_of(idx).len()
+    }
+
+    /// Whether the node holds all `k` tokens.
+    pub fn is_complete(&self) -> bool {
+        self.know.is_full()
+    }
+
+    /// Task 1: per edge, announce completeness for the minimum source the
+    /// neighbor hasn't been told about.
+    fn send_announcements(&mut self, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
+        for &u in neighbors {
+            for idx in 0..self.map.source_count() {
+                if self.complete_wrt(idx) && !self.informed[idx][u.index()] {
+                    out.send(u, MsMsg::Completeness(self.map.sources()[idx]));
+                    self.informed[idx][u.index()] = true;
+                    break; // one announcement per edge per round
+                }
+            }
+        }
+    }
+
+    /// Task 2: answer last round's requests (if still connected and we hold
+    /// the token).
+    fn send_answers(&mut self, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
+        let to_answer = std::mem::take(&mut self.requests_to_answer);
+        for (u, t) in to_answer {
+            if neighbors.binary_search(&u).is_ok() && self.know.contains(t) {
+                out.send(u, MsMsg::Token(t));
+            }
+        }
+    }
+
+    /// Task 3: single-source request logic for the minimum incomplete
+    /// source with a known-complete node.
+    fn send_requests(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
+        // "Pick the minimum x such that x ∉ I_v and S_v(x) ≠ ∅."
+        let Some(active) = (0..self.map.source_count()).find(|&idx| {
+            !self.complete_wrt(idx) && self.known_complete[idx].iter().any(|&b| b)
+        }) else {
+            return;
+        };
+        let mut missing: VecDeque<TokenId> = self
+            .map
+            .tokens_of(active)
+            .iter()
+            .copied()
+            .filter(|&t| !self.know.contains(t) && !self.in_flight.contains(t))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let eligible: Vec<NodeId> = neighbors
+            .iter()
+            .copied()
+            .filter(|u| self.known_complete[active][u.index()])
+            .collect();
+        for category in [EdgeCategory::New, EdgeCategory::Idle, EdgeCategory::Contributive] {
+            for &u in &eligible {
+                if missing.is_empty() {
+                    return;
+                }
+                if self.edges.classify(u, round) == category {
+                    let t = missing.pop_front().expect("checked nonempty");
+                    out.send(u, MsMsg::Request(t));
+                    self.edges.push_pending(u, t);
+                    self.in_flight.insert(t);
+                }
+            }
+        }
+    }
+}
+
+impl UnicastProtocol for MultiSourceNode {
+    type Msg = MsMsg;
+
+    fn send(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
+        self.edges.refresh(round, neighbors, &mut self.in_flight);
+        // The three tasks run in parallel (Section 3.2.1); a node may send
+        // an announcement, a token, and a request over the same edge in the
+        // same round — they are separate messages and metered separately.
+        self.send_announcements(neighbors, out);
+        self.send_answers(neighbors, out);
+        if !self.is_complete() {
+            self.send_requests(round, neighbors, out);
+        }
+    }
+
+    fn receive(&mut self, _round: Round, from: NodeId, msg: &MsMsg) {
+        match msg {
+            MsMsg::Completeness(x) => {
+                let idx = self
+                    .map
+                    .sources()
+                    .binary_search(x)
+                    .expect("announced source must be a source");
+                self.known_complete[idx][from.index()] = true;
+            }
+            MsMsg::Request(t) => {
+                self.requests_arriving.push((from, *t));
+            }
+            MsMsg::Token(t) => {
+                if self.know.insert(*t) {
+                    self.have_count[self.map.source_index_of(*t)] += 1;
+                }
+                self.edges.note_token(from);
+                if self.edges.retire_pending(from, *t) {
+                    self.in_flight.remove(*t);
+                }
+            }
+        }
+    }
+
+    fn end_round(&mut self, _round: Round) {
+        self.requests_to_answer = std::mem::take(&mut self.requests_arriving);
+        if self.is_complete() {
+            self.edges.clear_all_pending(&mut self.in_flight);
+        }
+    }
+
+    fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynspread_graph::generators::Topology;
+    use dynspread_graph::oblivious::{ChurnAdversary, PeriodicRewiring, StaticAdversary};
+    use dynspread_graph::Graph;
+    use dynspread_sim::sim::{SimConfig, UnicastSim};
+
+    fn run_multi_source<A>(
+        assignment: &TokenAssignment,
+        adversary: A,
+        max_rounds: Round,
+    ) -> dynspread_sim::RunReport
+    where
+        A: dynspread_sim::adversary::UnicastAdversary<MsMsg>,
+    {
+        let (nodes, _map) = MultiSourceNode::nodes(assignment);
+        let mut sim = UnicastSim::new(
+            "multi-source-unicast",
+            nodes,
+            adversary,
+            assignment,
+            SimConfig::with_max_rounds(max_rounds),
+        );
+        sim.run_to_completion()
+    }
+
+    #[test]
+    fn source_map_partitions_tokens() {
+        let a = TokenAssignment::round_robin_sources(8, 10, 3);
+        let map = SourceMap::from_assignment(&a);
+        assert_eq!(map.source_count(), 3);
+        assert_eq!(map.token_count(), 10);
+        let total: usize = (0..3).map(|i| map.tokens_of(i).len()).sum();
+        assert_eq!(total, 10);
+        for t in TokenId::all(10) {
+            let idx = map.source_index_of(t);
+            assert!(map.tokens_of(idx).contains(&t));
+            assert_eq!(map.source_of(t), map.sources()[idx]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one initial holder")]
+    fn source_map_rejects_multi_holder_tokens() {
+        let mut a = TokenAssignment::round_robin_sources(4, 3, 2);
+        a.add_holder(TokenId::new(0), NodeId::new(3));
+        let _ = SourceMap::from_assignment(&a);
+    }
+
+    #[test]
+    fn message_classes() {
+        assert_eq!(
+            MsMsg::Completeness(NodeId::new(1)).class(),
+            MessageClass::Completeness
+        );
+        assert_eq!(MsMsg::Request(TokenId::new(0)).class(), MessageClass::Request);
+        assert_eq!(MsMsg::Token(TokenId::new(0)).class(), MessageClass::Token);
+        assert_eq!(MsMsg::Token(TokenId::new(0)).token_count(), 1);
+        assert_eq!(MsMsg::Completeness(NodeId::new(0)).token_count(), 0);
+    }
+
+    #[test]
+    fn completes_with_two_sources_static() {
+        let a = TokenAssignment::round_robin_sources(6, 6, 2);
+        let report = run_multi_source(&a, StaticAdversary::new(Graph::path(6)), 100_000);
+        assert!(report.completed, "did not complete: {report}");
+        // Every non-holder learns every token.
+        assert_eq!(report.learnings, (6 * 6 - 6) as u64);
+    }
+
+    #[test]
+    fn completes_n_gossip_static_clique() {
+        let n = 6;
+        let a = TokenAssignment::n_gossip(n);
+        let report = run_multi_source(&a, StaticAdversary::new(Graph::complete(n)), 100_000);
+        assert!(report.completed, "did not complete: {report}");
+    }
+
+    #[test]
+    fn completes_under_periodic_rewiring() {
+        let a = TokenAssignment::round_robin_sources(10, 12, 4);
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 3, 13);
+        let report = run_multi_source(&a, adv, 400_000);
+        assert!(report.completed, "did not complete: {report}");
+    }
+
+    #[test]
+    fn completes_under_churn() {
+        let a = TokenAssignment::round_robin_sources(9, 9, 3);
+        let adv = ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, 41);
+        let report = run_multi_source(&a, adv, 400_000);
+        assert!(report.completed, "did not complete: {report}");
+    }
+
+    #[test]
+    fn single_source_special_case_matches_problem() {
+        // With s = 1 the algorithm solves the same problem as Algorithm 1.
+        let a = TokenAssignment::single_source(7, 5, NodeId::new(0));
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 3, 3);
+        let report = run_multi_source(&a, adv, 200_000);
+        assert!(report.completed);
+        assert_eq!(report.learnings, (5 * 6) as u64);
+    }
+
+    #[test]
+    fn theorem_3_5_competitive_bound_holds() {
+        // M_total ≤ c(n²s + nk) + TC(E), generous c = 4.
+        for (n, k, s, seed) in [(8, 8, 2, 1u64), (10, 12, 3, 2), (12, 6, 6, 3)] {
+            let a = TokenAssignment::round_robin_sources(n, k, s);
+            let adv = PeriodicRewiring::new(Topology::RandomTree, 3, seed);
+            let report = run_multi_source(&a, adv, 600_000);
+            assert!(report.completed, "n={n} k={k} s={s}: {report}");
+            let residual = report.competitive_residual(1.0);
+            let bound = 4.0 * ((n * n * s) as f64 + (n * k) as f64);
+            assert!(
+                residual <= bound,
+                "residual {residual} > 4(n²s+nk) = {bound} for n={n}, k={k}, s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_6_round_bound_holds() {
+        // O(nk) rounds on 3-edge-stable dynamics; generous constant 10
+        // (the sequential per-source phases each pay their own overhead).
+        let (n, k, s) = (8, 8, 4);
+        let a = TokenAssignment::round_robin_sources(n, k, s);
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 3, 7);
+        let report = run_multi_source(&a, adv, 400_000);
+        assert!(report.completed);
+        assert!(
+            report.rounds <= (10 * n * k) as Round,
+            "took {} rounds > 10nk = {}",
+            report.rounds,
+            10 * n * k
+        );
+    }
+
+    #[test]
+    fn token_messages_bounded_by_nk() {
+        let (n, k, s) = (9, 10, 3);
+        let a = TokenAssignment::round_robin_sources(n, k, s);
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 3, 11);
+        let report = run_multi_source(&a, adv, 400_000);
+        assert!(report.completed);
+        assert!(report.class(MessageClass::Token) <= (n * k) as u64);
+    }
+
+    #[test]
+    fn completeness_messages_bounded_by_n_squared_s() {
+        let (n, k, s) = (8, 8, 4);
+        let a = TokenAssignment::round_robin_sources(n, k, s);
+        let adv = PeriodicRewiring::new(Topology::Gnp(0.4), 3, 19);
+        let report = run_multi_source(&a, adv, 400_000);
+        assert!(report.completed);
+        assert!(report.class(MessageClass::Completeness) <= (n * n * s) as u64);
+    }
+
+    #[test]
+    fn minimum_source_disseminates_first() {
+        // Theorem 3.6's mechanism: all nodes give priority to the minimum
+        // incomplete source, so source a_1's tokens finish disseminating
+        // (weakly) before a_s's do. We track the first round at which
+        // every node is complete w.r.t. each source.
+        let (n, k, s) = (10usize, 12usize, 3usize);
+        let a = TokenAssignment::round_robin_sources(n, k, s);
+        let (nodes, _map) = MultiSourceNode::nodes(&a);
+        let mut sim = UnicastSim::new(
+            "multi-source-unicast",
+            nodes,
+            PeriodicRewiring::new(Topology::RandomTree, 3, 23),
+            &a,
+            SimConfig::with_max_rounds(400_000),
+        );
+        let mut completion_round = vec![None::<u64>; s];
+        while !sim.tracker().all_complete() {
+            let round = sim.step();
+            for (idx, slot) in completion_round.iter_mut().enumerate() {
+                if slot.is_none()
+                    && sim.nodes().iter().all(|node| node.complete_wrt(idx))
+                {
+                    *slot = Some(round);
+                }
+            }
+            if round > 300_000 {
+                panic!("did not complete");
+            }
+        }
+        let rounds: Vec<u64> = completion_round
+            .into_iter()
+            .map(|r| r.expect("every source completes"))
+            .collect();
+        assert!(
+            rounds.windows(2).all(|w| w[0] <= w[1]),
+            "sources completed out of priority order: {rounds:?}"
+        );
+    }
+
+    #[test]
+    fn sources_complete_wrt_themselves_at_start() {
+        let a = TokenAssignment::round_robin_sources(5, 6, 2);
+        let (nodes, map) = MultiSourceNode::nodes(&a);
+        // Node 0 (source a_1) complete w.r.t. itself, not w.r.t. a_2.
+        assert!(nodes[0].complete_wrt(0));
+        assert!(!nodes[0].complete_wrt(1));
+        assert!(nodes[1].complete_wrt(1));
+        assert!(!nodes[2].complete_wrt(0));
+        assert_eq!(map.sources(), &[NodeId::new(0), NodeId::new(1)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the core algorithm machinery.
+
+use dynspread_core::flooding::PhasedFlooding;
+use dynspread_core::gf2::{Gf2Basis, Gf2Vector};
+use dynspread_core::leader_election::{run_election, ElectionMode};
+use dynspread_core::lower_bound::{
+    bernoulli_assignment, free_edge_structure, is_free_edge, KPrimeSets, PotentialAdversary,
+};
+use dynspread_core::network_coding::RlncNode;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_graph::NodeId;
+use dynspread_sim::sim::{BroadcastSim, SimConfig};
+use dynspread_sim::token::{TokenId, TokenSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn free_edge_predicate_is_symmetric(
+        k in 1usize..20,
+        seed in 0u64..1000,
+        iu in prop::option::of(0u32..20),
+        iv in prop::option::of(0u32..20),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KPrimeSets::sample(2, k, 0.3, &mut rng);
+        let mk = |s: u64| {
+            let mut t = TokenSet::new(k);
+            let mut r = StdRng::seed_from_u64(s);
+            for i in TokenId::all(k) {
+                if rand::Rng::gen_bool(&mut r, 0.3) {
+                    t.insert(i);
+                }
+            }
+            t
+        };
+        let ku = mk(seed + 1);
+        let kv = mk(seed + 2);
+        let iu = iu.map(|i| TokenId::new(i % k as u32));
+        let iv = iv.map(|i| TokenId::new(i % k as u32));
+        let a = is_free_edge(iu, iv, &ku, &kv, kp.get(NodeId::new(0)), kp.get(NodeId::new(1)));
+        let b = is_free_edge(iv, iu, &kv, &ku, kp.get(NodeId::new(1)), kp.get(NodeId::new(0)));
+        prop_assert_eq!(a, b, "free-edge predicate must be symmetric");
+    }
+
+    #[test]
+    fn all_silent_rounds_are_fully_free(
+        n in 2usize..20,
+        k in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KPrimeSets::sample(n, k, 0.25, &mut rng);
+        let know = vec![TokenSet::new(k); n];
+        let st = free_edge_structure(&vec![None; n], &know, &kp);
+        prop_assert_eq!(st.free_edges, n * (n - 1) / 2);
+        prop_assert!(st.connected);
+    }
+
+    #[test]
+    fn potential_adversary_invariants_hold_on_random_instances(
+        n in 6usize..20,
+        seed in 0u64..500,
+    ) {
+        let k = n / 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assignment = bernoulli_assignment(n, k, 0.25, &mut rng);
+        let adversary = PotentialAdversary::new(&assignment, 0.25, seed + 1);
+        let mut sim = BroadcastSim::new(
+            "phased-flooding",
+            PhasedFlooding::nodes(&assignment),
+            adversary,
+            &assignment,
+            SimConfig::with_max_rounds(2 * (n * k) as u64),
+        );
+        let report = sim.run_to_completion();
+        prop_assert!(report.completed, "{}", report);
+        // Potential is monotone and increases ≤ 2(components − 1) per round.
+        let phis = sim.adversary().potential_history();
+        prop_assert!(phis.windows(2).all(|w| w[1] >= w[0]));
+        let incs = sim.adversary().potential_increases();
+        let comps = sim.adversary().component_history();
+        for (inc, &c) in incs.iter().zip(comps.iter()) {
+            prop_assert!(*inc <= 2 * (c.saturating_sub(1)) as u64);
+        }
+        // Final potential is exactly nk (everyone knows everything).
+        prop_assert_eq!(*phis.last().unwrap(), (n * k) as u64);
+    }
+
+    #[test]
+    fn gf2_insert_preserves_span_membership(
+        k in 1usize..24,
+        vectors in prop::collection::vec(prop::collection::vec(prop::bool::ANY, 1..24), 1..12),
+    ) {
+        let mut basis = Gf2Basis::new(k);
+        let mut inserted: Vec<Gf2Vector> = Vec::new();
+        for bits in vectors {
+            let mut v = Gf2Vector::zero(k);
+            for (i, &b) in bits.iter().take(k).enumerate() {
+                v.set(i, b);
+            }
+            let was_independent = basis.insert(v.clone());
+            // Whatever was inserted is in the span afterwards.
+            prop_assert!(basis.contains(&v));
+            // Rank only grows on independent vectors.
+            if !was_independent {
+                prop_assert!(inserted.len() >= basis.rank());
+            }
+            inserted.push(v);
+            prop_assert!(basis.rank() <= k);
+        }
+        // The span contains every pairwise XOR of inserted vectors.
+        for i in 0..inserted.len() {
+            for j in 0..inserted.len() {
+                let mut x = inserted[i].clone();
+                x.xor_assign(&inserted[j]);
+                prop_assert!(basis.contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn rlnc_completes_and_ranks_are_monotone(
+        n in 4usize..12,
+        seed in 0u64..500,
+    ) {
+        let assignment = dynspread_sim::token::TokenAssignment::n_gossip(n);
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 1, seed);
+        let mut sim = BroadcastSim::new(
+            "rlnc",
+            RlncNode::nodes(&assignment, seed + 7),
+            adv,
+            &assignment,
+            SimConfig::with_max_rounds(40 * n as u64),
+        );
+        let mut last_ranks = vec![0usize; n];
+        while !sim.tracker().all_complete() && sim.dynamic_graph().round() < 40 * n as u64 {
+            sim.step();
+            for v in NodeId::all(n) {
+                let r = sim.node(v).rank();
+                prop_assert!(r >= last_ranks[v.index()], "rank decreased at {v}");
+                last_ranks[v.index()] = r;
+            }
+        }
+        prop_assert!(sim.tracker().all_complete(), "RLNC did not complete");
+        prop_assert!(last_ranks.iter().all(|&r| r == n));
+    }
+
+    #[test]
+    fn election_always_selects_the_max_id(
+        n in 2usize..20,
+        seed in 0u64..500,
+        eager in prop::bool::ANY,
+        period in 1u64..5,
+    ) {
+        let mode = if eager { ElectionMode::Eager } else { ElectionMode::OnChange };
+        let adv = PeriodicRewiring::new(Topology::RandomTree, period, seed);
+        let (report, converged) = run_election(n, mode, adv, 50_000 + 100 * n as u64);
+        prop_assert!(converged, "{:?} failed: {}", mode, report);
+        // Eager converges within n − 1 rounds on any connected dynamics.
+        if eager {
+            prop_assert!(report.rounds <= n as u64);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Connectivity helpers.
+//!
+//! The model requires every round graph to be connected. Adversaries use
+//! [`connect_components`] to repair a proposal with the minimum number of
+//! extra edges (`ℓ - 1` edges for `ℓ` components — the same repair step the
+//! Section 2 lower-bound adversary performs with non-free edges).
+
+use crate::edge::Edge;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Connects `g` by adding exactly `ℓ - 1` edges between randomly chosen
+/// representatives of its `ℓ` components. Returns the added edges.
+///
+/// The resulting graph is connected; if `g` was already connected, nothing
+/// is added.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{connectivity::connect_components, Graph};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut g = Graph::empty(5);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let added = connect_components(&mut g, &mut rng);
+/// assert_eq!(added.len(), 4);
+/// assert!(g.is_connected());
+/// ```
+pub fn connect_components<R: Rng>(g: &mut Graph, rng: &mut R) -> Vec<Edge> {
+    let n = g.node_count();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut uf = g.component_structure();
+    // Pick one random member per component.
+    let labels = uf.labels();
+    let mut members: std::collections::BTreeMap<usize, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    for v in g.nodes() {
+        members.entry(labels[v.index()]).or_default().push(v);
+    }
+    let mut reps: Vec<NodeId> = members
+        .values()
+        .map(|vs| *vs.choose(rng).expect("component is nonempty"))
+        .collect();
+    reps.shuffle(rng);
+    let mut added = Vec::new();
+    for w in reps.windows(2) {
+        let e = Edge::new(w[0], w[1]);
+        if g.insert_edge(e) {
+            added.push(e);
+        }
+    }
+    debug_assert!(g.is_connected());
+    added
+}
+
+/// Returns the bridge edges of `g` (edges whose removal disconnects their
+/// component), via a DFS low-link computation.
+///
+/// Churn adversaries avoid deleting bridges so that connectivity is
+/// maintained without re-inserting edges.
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    let n = g.node_count();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut out = Vec::new();
+    let mut timer = 1u32;
+    // Iterative DFS to avoid recursion limits on large path graphs.
+    for start in 0..n {
+        if disc[start] != 0 {
+            continue;
+        }
+        // Stack entries: (node, parent, neighbor index).
+        let mut stack: Vec<(usize, usize, usize)> = vec![(start, usize::MAX, 0)];
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        while let Some(&mut (u, parent, ref mut idx)) = stack.last_mut() {
+            let neighbors = g.neighbors(NodeId::new(u as u32));
+            if *idx < neighbors.len() {
+                let w = neighbors[*idx].index();
+                *idx += 1;
+                if disc[w] == 0 {
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    stack.push((w, u, 0));
+                } else if w != parent {
+                    low[u] = low[u].min(disc[w]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p] {
+                        out.push(Edge::new(NodeId::new(p as u32), NodeId::new(u as u32)));
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn e(u: u32, v: u32) -> Edge {
+        Edge::new(NodeId::new(u), NodeId::new(v))
+    }
+
+    #[test]
+    fn connecting_empty_graph_builds_spanning_tree() {
+        let mut g = Graph::empty(8);
+        let mut rng = StdRng::seed_from_u64(42);
+        let added = connect_components(&mut g, &mut rng);
+        assert_eq!(added.len(), 7);
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn connecting_connected_graph_is_noop() {
+        let mut g = Graph::cycle(6);
+        let before = g.edge_count();
+        let mut rng = StdRng::seed_from_u64(1);
+        let added = connect_components(&mut g, &mut rng);
+        assert!(added.is_empty());
+        assert_eq!(g.edge_count(), before);
+    }
+
+    #[test]
+    fn connecting_two_islands_adds_one_edge() {
+        let mut g = Graph::from_edges(4, [e(0, 1), e(2, 3)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let added = connect_components(&mut g, &mut rng);
+        assert_eq!(added.len(), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn path_edges_are_all_bridges() {
+        let g = Graph::path(5);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = Graph::cycle(5);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn lollipop_bridge() {
+        // Triangle 0-1-2 plus pendant path 2-3-4: bridges are {2,3} and {3,4}.
+        let g = Graph::from_edges(5, [e(0, 1), e(1, 2), e(0, 2), e(2, 3), e(3, 4)]);
+        assert_eq!(bridges(&g), vec![e(2, 3), e(3, 4)]);
+    }
+
+    #[test]
+    fn bridges_across_multiple_components() {
+        let g = Graph::from_edges(6, [e(0, 1), e(2, 3), e(3, 4), e(2, 4), e(4, 5)]);
+        // {0,1} bridges its tiny component; {4,5} is a pendant bridge.
+        assert_eq!(bridges(&g), vec![e(0, 1), e(4, 5)]);
+    }
+
+    #[test]
+    fn removing_non_bridge_keeps_component_connected() {
+        let g = Graph::cycle(7);
+        for edge in g.edges().iter().collect::<Vec<_>>() {
+            let mut h = g.clone();
+            h.remove_edge(edge);
+            assert!(h.is_connected(), "cycle minus one edge stays connected");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Dynamic-graph round sequences and topological-change accounting.
+//!
+//! The paper (Section 1.3) models an execution as a sequence of snapshots
+//! `G_0 = (V, ∅), G_1, G_2, …` and defines the *number of topological
+//! changes* of an execution as the total number of edge insertions:
+//! `TC(E) = Σ_r |E_r^+|`. Since `G_0` is empty, deletions are always bounded
+//! by insertions, so only insertions are charged (footnote 5).
+//!
+//! [`DynamicGraph`] tracks the current snapshot, the per-round deltas, and
+//! the running [`TopologyMeter`]. It optionally retains the full history for
+//! offline analysis.
+
+use crate::edge::{Edge, EdgeSet};
+use crate::graph::Graph;
+use crate::node::Round;
+
+/// Running counts of topological changes.
+///
+/// `insertions` is exactly the paper's `TC(E)`.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{DynamicGraph, Graph};
+///
+/// let mut dg = DynamicGraph::new(3);
+/// dg.advance(Graph::path(3));
+/// dg.advance(Graph::star(3));
+/// // path 0-1-2 → star 0-1, 0-2: {0,2} inserted, {1,2} removed.
+/// assert_eq!(dg.meter().insertions, 2 + 1);
+/// assert_eq!(dg.meter().deletions, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TopologyMeter {
+    /// Total edge insertions so far: the paper's `TC(E)`.
+    pub insertions: u64,
+    /// Total edge deletions so far (always `≤ insertions`).
+    pub deletions: u64,
+}
+
+impl TopologyMeter {
+    /// The adversary-competitive budget `α · TC(E)` for a given `α`
+    /// (Definition 1.3).
+    pub fn budget(&self, alpha: f64) -> f64 {
+        alpha * self.insertions as f64
+    }
+}
+
+/// The per-round delta `(E_r^+, E_r^-)`.
+#[derive(Clone, Debug, Default)]
+pub struct RoundDelta {
+    /// Edges inserted at the beginning of this round (`E_r \ E_{r-1}`).
+    pub inserted: Vec<Edge>,
+    /// Edges removed at the beginning of this round (`E_{r-1} \ E_r`).
+    pub removed: Vec<Edge>,
+}
+
+/// A dynamic graph: the evolving snapshot plus change accounting.
+///
+/// Starts at round 0 with the empty graph `G_0 = (V, ∅)`; each call to
+/// [`DynamicGraph::advance`] installs the next round's snapshot and returns
+/// the delta.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    current: Graph,
+    round: Round,
+    meter: TopologyMeter,
+    last_delta: RoundDelta,
+    history: Option<Vec<Graph>>,
+}
+
+impl DynamicGraph {
+    /// Creates a dynamic graph on `n` nodes at round 0 (empty snapshot).
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            current: Graph::empty(n),
+            round: 0,
+            meter: TopologyMeter::default(),
+            last_delta: RoundDelta::default(),
+            history: None,
+        }
+    }
+
+    /// Like [`DynamicGraph::new`], but retains every snapshot (including
+    /// `G_0`) for offline analysis. Memory grows linearly with rounds.
+    pub fn with_history(n: usize) -> Self {
+        let mut dg = DynamicGraph::new(n);
+        dg.history = Some(vec![dg.current.clone()]);
+        dg
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.current.node_count()
+    }
+
+    /// The current round number (0 before the first [`advance`]).
+    ///
+    /// [`advance`]: DynamicGraph::advance
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The current snapshot `G_r`.
+    pub fn current(&self) -> &Graph {
+        &self.current
+    }
+
+    /// The running topology meter.
+    pub fn meter(&self) -> TopologyMeter {
+        self.meter
+    }
+
+    /// The paper's `TC(E)` so far: total edge insertions.
+    pub fn topological_changes(&self) -> u64 {
+        self.meter.insertions
+    }
+
+    /// The delta produced by the most recent [`advance`].
+    ///
+    /// [`advance`]: DynamicGraph::advance
+    pub fn last_delta(&self) -> &RoundDelta {
+        &self.last_delta
+    }
+
+    /// Recorded history (only if constructed via [`DynamicGraph::with_history`]).
+    pub fn history(&self) -> Option<&[Graph]> {
+        self.history.as_deref()
+    }
+
+    /// Installs the snapshot of round `r+1` and updates the meter.
+    ///
+    /// Returns the delta `(E_{r+1}^+, E_{r+1}^-)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` has a different node count.
+    pub fn advance(&mut self, next: Graph) -> &RoundDelta {
+        assert_eq!(
+            next.node_count(),
+            self.current.node_count(),
+            "the vertex set is fixed; node counts must match"
+        );
+        let inserted: Vec<Edge> = next.edges().difference(self.current.edges()).collect();
+        let removed: Vec<Edge> = self.current.edges().difference(next.edges()).collect();
+        self.meter.insertions += inserted.len() as u64;
+        self.meter.deletions += removed.len() as u64;
+        self.last_delta = RoundDelta { inserted, removed };
+        self.current = next;
+        self.round += 1;
+        if let Some(h) = &mut self.history {
+            h.push(self.current.clone());
+        }
+        &self.last_delta
+    }
+}
+
+/// Computes the total topological changes `TC(E) = Σ_r |E_r^+|` of a
+/// complete schedule given as snapshots `G_1, …, G_x` (with implicit empty
+/// `G_0`).
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{dynamic::topological_changes, Graph};
+///
+/// let schedule = [Graph::path(3), Graph::path(3), Graph::star(3)];
+/// // Round 1 inserts 2 path edges; round 3 inserts {0,2}.
+/// assert_eq!(topological_changes(3, &schedule), 3);
+/// ```
+pub fn topological_changes(n: usize, schedule: &[Graph]) -> u64 {
+    let mut prev = EdgeSet::new();
+    let mut tc = 0u64;
+    for g in schedule {
+        assert_eq!(g.node_count(), n, "schedule node count mismatch");
+        tc += g.edges().difference(&prev).count() as u64;
+        prev = g.edges().clone();
+    }
+    tc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn starts_empty_at_round_zero() {
+        let dg = DynamicGraph::new(4);
+        assert_eq!(dg.round(), 0);
+        assert_eq!(dg.current().edge_count(), 0);
+        assert_eq!(dg.topological_changes(), 0);
+    }
+
+    #[test]
+    fn first_advance_charges_all_edges_as_insertions() {
+        let mut dg = DynamicGraph::new(4);
+        dg.advance(Graph::path(4));
+        assert_eq!(dg.round(), 1);
+        assert_eq!(dg.topological_changes(), 3);
+        assert_eq!(dg.meter().deletions, 0);
+        assert_eq!(dg.last_delta().inserted.len(), 3);
+    }
+
+    #[test]
+    fn unchanged_round_charges_nothing() {
+        let mut dg = DynamicGraph::new(4);
+        dg.advance(Graph::path(4));
+        dg.advance(Graph::path(4));
+        assert_eq!(dg.topological_changes(), 3);
+        assert!(dg.last_delta().inserted.is_empty());
+        assert!(dg.last_delta().removed.is_empty());
+    }
+
+    #[test]
+    fn rewiring_charges_only_new_edges() {
+        let mut dg = DynamicGraph::new(3);
+        dg.advance(Graph::path(3)); // edges {0,1},{1,2}
+        dg.advance(Graph::star(3)); // edges {0,1},{0,2}
+        assert_eq!(dg.topological_changes(), 3);
+        assert_eq!(dg.meter().deletions, 1);
+        assert_eq!(
+            dg.last_delta().inserted,
+            vec![Edge::new(NodeId::new(0), NodeId::new(2))]
+        );
+        assert_eq!(
+            dg.last_delta().removed,
+            vec![Edge::new(NodeId::new(1), NodeId::new(2))]
+        );
+    }
+
+    #[test]
+    fn deletions_never_exceed_insertions() {
+        let mut dg = DynamicGraph::new(5);
+        for g in [
+            Graph::complete(5),
+            Graph::path(5),
+            Graph::star(5),
+            Graph::path(5),
+        ] {
+            dg.advance(g);
+            assert!(dg.meter().deletions <= dg.meter().insertions);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node counts must match")]
+    fn node_count_change_panics() {
+        let mut dg = DynamicGraph::new(3);
+        dg.advance(Graph::path(4));
+    }
+
+    #[test]
+    fn history_records_all_snapshots() {
+        let mut dg = DynamicGraph::with_history(3);
+        dg.advance(Graph::path(3));
+        dg.advance(Graph::star(3));
+        let h = dg.history().unwrap();
+        assert_eq!(h.len(), 3); // G_0, G_1, G_2
+        assert_eq!(h[0].edge_count(), 0);
+        assert_eq!(h[2].edge_count(), 2);
+    }
+
+    #[test]
+    fn offline_tc_matches_online_meter() {
+        let schedule = vec![
+            Graph::path(4),
+            Graph::star(4),
+            Graph::star(4),
+            Graph::complete(4),
+        ];
+        let mut dg = DynamicGraph::new(4);
+        for g in &schedule {
+            dg.advance(g.clone());
+        }
+        assert_eq!(dg.topological_changes(), topological_changes(4, &schedule));
+    }
+
+    #[test]
+    fn budget_scales_with_alpha() {
+        let meter = TopologyMeter {
+            insertions: 10,
+            deletions: 4,
+        };
+        assert_eq!(meter.budget(1.0), 10.0);
+        assert_eq!(meter.budget(2.5), 25.0);
+        assert_eq!(meter.budget(0.0), 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Undirected edges and edge sets.
+//!
+//! All communication graphs in the paper are undirected; an edge `{u, v}` is
+//! stored in normalized form with the smaller endpoint first so that equal
+//! edges compare equal regardless of construction order.
+
+use crate::node::NodeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An undirected edge `{u, v}` between two distinct nodes.
+///
+/// The constructor normalizes endpoint order, so `Edge::new(a, b) ==
+/// Edge::new(b, a)`.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{Edge, NodeId};
+///
+/// let e = Edge::new(NodeId::new(4), NodeId::new(1));
+/// assert_eq!(e.lo(), NodeId::new(1));
+/// assert_eq!(e.hi(), NodeId::new(4));
+/// assert_eq!(e, Edge::new(NodeId::new(1), NodeId::new(4)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl Edge {
+    /// Creates the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`: the model has no self-loops on *actual* edges
+    /// (the virtual self-loops of Algorithm 2 never materialize as edges).
+    #[inline]
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert!(u != v, "self-loop edge {u} is not allowed");
+        if u < v {
+            Edge { lo: u, hi: v }
+        } else {
+            Edge { lo: v, hi: u }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub const fn lo(self) -> NodeId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub const fn hi(self) -> NodeId {
+        self.hi
+    }
+
+    /// Both endpoints, smaller first.
+    #[inline]
+    pub const fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns the endpoint opposite to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, v: NodeId) -> NodeId {
+        if v == self.lo {
+            self.hi
+        } else if v == self.hi {
+            self.lo
+        } else {
+            panic!("{v} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether `v` is an endpoint of this edge.
+    #[inline]
+    pub fn touches(self, v: NodeId) -> bool {
+        v == self.lo || v == self.hi
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, {}}}", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, {}}}", self.lo, self.hi)
+    }
+}
+
+/// An ordered set of undirected edges.
+///
+/// Backed by a `BTreeSet` so iteration order is deterministic — important
+/// because adversaries and algorithms iterate edge sets while holding seeded
+/// RNGs, and runs must be reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{Edge, EdgeSet, NodeId};
+///
+/// let mut es = EdgeSet::new();
+/// es.insert(Edge::new(NodeId::new(0), NodeId::new(1)));
+/// es.insert(Edge::new(NodeId::new(1), NodeId::new(0)));
+/// assert_eq!(es.len(), 1);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct EdgeSet {
+    set: BTreeSet<Edge>,
+}
+
+impl EdgeSet {
+    /// Creates an empty edge set.
+    pub fn new() -> Self {
+        EdgeSet::default()
+    }
+
+    /// Inserts an edge; returns `true` if it was not already present.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        self.set.insert(e)
+    }
+
+    /// Removes an edge; returns `true` if it was present.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        self.set.remove(&e)
+    }
+
+    /// Whether the edge is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.set.contains(&e)
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates edges in normalized (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Edges in `self` that are not in `other` (set difference).
+    ///
+    /// This is the primitive behind the paper's `E_r^+ = E_r \ E_{r-1}`
+    /// (inserted edges) and `E_r^- = E_{r-1} \ E_r` (removed edges).
+    pub fn difference<'a>(&'a self, other: &'a EdgeSet) -> impl Iterator<Item = Edge> + 'a {
+        self.set.difference(&other.set).copied()
+    }
+}
+
+impl FromIterator<Edge> for EdgeSet {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        EdgeSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Edge> for EdgeSet {
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        self.set.extend(iter);
+    }
+}
+
+impl fmt::Debug for EdgeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.set.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeSet {
+    type Item = Edge;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Edge>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.set.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(u: u32, v: u32) -> Edge {
+        Edge::new(NodeId::new(u), NodeId::new(v))
+    }
+
+    #[test]
+    fn edge_is_normalized() {
+        assert_eq!(e(3, 1), e(1, 3));
+        assert_eq!(e(3, 1).lo(), NodeId::new(1));
+        assert_eq!(e(3, 1).hi(), NodeId::new(3));
+        assert_eq!(e(3, 1).endpoints(), (NodeId::new(1), NodeId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = e(2, 2);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        assert_eq!(e(1, 3).other(NodeId::new(1)), NodeId::new(3));
+        assert_eq!(e(1, 3).other(NodeId::new(3)), NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let _ = e(1, 3).other(NodeId::new(2));
+    }
+
+    #[test]
+    fn touches() {
+        assert!(e(1, 3).touches(NodeId::new(1)));
+        assert!(e(1, 3).touches(NodeId::new(3)));
+        assert!(!e(1, 3).touches(NodeId::new(2)));
+    }
+
+    #[test]
+    fn edge_set_dedupes_normalized_edges() {
+        let mut es = EdgeSet::new();
+        assert!(es.insert(e(0, 1)));
+        assert!(!es.insert(e(1, 0)));
+        assert_eq!(es.len(), 1);
+        assert!(es.contains(e(0, 1)));
+        assert!(es.remove(e(1, 0)));
+        assert!(es.is_empty());
+    }
+
+    #[test]
+    fn edge_set_difference_models_insertions_and_removals() {
+        let prev: EdgeSet = [e(0, 1), e(1, 2)].into_iter().collect();
+        let cur: EdgeSet = [e(1, 2), e(2, 3)].into_iter().collect();
+        let inserted: Vec<_> = cur.difference(&prev).collect();
+        let removed: Vec<_> = prev.difference(&cur).collect();
+        assert_eq!(inserted, vec![e(2, 3)]);
+        assert_eq!(removed, vec![e(0, 1)]);
+    }
+
+    #[test]
+    fn edge_set_iterates_in_deterministic_order() {
+        let es: EdgeSet = [e(2, 3), e(0, 5), e(0, 1)].into_iter().collect();
+        let order: Vec<_> = es.iter().collect();
+        assert_eq!(order, vec![e(0, 1), e(0, 5), e(2, 3)]);
+    }
+}

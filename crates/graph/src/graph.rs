@@ -1,0 +1,366 @@
+//! Immutable-per-round graph snapshots.
+//!
+//! A [`Graph`] is the communication graph `G_r = (V, E_r)` of one round. The
+//! vertex set is fixed for the lifetime of an execution (the paper's model
+//! has no node churn); only the edge set varies between rounds.
+
+use crate::edge::{Edge, EdgeSet};
+use crate::node::NodeId;
+use crate::union_find::UnionFind;
+
+/// A snapshot of the communication graph of a single round.
+///
+/// Stores both an edge set (for per-edge queries and round-delta
+/// computation) and a sorted adjacency list (for per-node iteration). The
+/// two representations are kept consistent by construction.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{Graph, NodeId};
+///
+/// let g = Graph::path(4);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.is_connected());
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: EdgeSet,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// The empty graph `(V, ∅)` on `n` nodes — the paper's `G_0`.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            n,
+            edges: EdgeSet::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a graph on `n` nodes from an edge iterator.
+    ///
+    /// Duplicate edges are deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(n: usize, edges: I) -> Self {
+        let mut g = Graph::empty(n);
+        for e in edges {
+            g.insert_edge(e);
+        }
+        g
+    }
+
+    /// The path `v0 – v1 – … – v(n-1)`.
+    pub fn path(n: usize) -> Self {
+        Graph::from_edges(
+            n,
+            (1..n).map(|i| Edge::new(NodeId::new(i as u32 - 1), NodeId::new(i as u32))),
+        )
+    }
+
+    /// The cycle on `n ≥ 3` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
+        let mut g = Graph::path(n);
+        g.insert_edge(Edge::new(NodeId::new(0), NodeId::new(n as u32 - 1)));
+        g
+    }
+
+    /// The star with center `v0`.
+    pub fn star(n: usize) -> Self {
+        Graph::from_edges(
+            n,
+            (1..n).map(|i| Edge::new(NodeId::new(0), NodeId::new(i as u32))),
+        )
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::empty(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.insert_edge(Edge::new(NodeId::new(u as u32), NodeId::new(v as u32)));
+            }
+        }
+        g
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `m_r = |E_r|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge set `E_r`.
+    #[inline]
+    pub fn edges(&self) -> &EdgeSet {
+        &self.edges
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.edges.contains(Edge::new(u, v))
+    }
+
+    /// The neighbors of `v`, sorted by node ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// The degree of `v` in this round.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Iterates over all node IDs.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        NodeId::all(self.n)
+    }
+
+    /// Inserts an edge, keeping adjacency sorted. Returns `true` if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn insert_edge(&mut self, e: Edge) -> bool {
+        assert!(
+            e.hi().index() < self.n,
+            "edge {e} out of range for n = {}",
+            self.n
+        );
+        if !self.edges.insert(e) {
+            return false;
+        }
+        let (u, v) = e.endpoints();
+        let au = &mut self.adj[u.index()];
+        if let Err(pos) = au.binary_search(&v) {
+            au.insert(pos, v);
+        }
+        let av = &mut self.adj[v.index()];
+        if let Err(pos) = av.binary_search(&u) {
+            av.insert(pos, u);
+        }
+        true
+    }
+
+    /// Removes an edge. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, e: Edge) -> bool {
+        if !self.edges.remove(e) {
+            return false;
+        }
+        let (u, v) = e.endpoints();
+        if let Ok(pos) = self.adj[u.index()].binary_search(&v) {
+            self.adj[u.index()].remove(pos);
+        }
+        if let Ok(pos) = self.adj[v.index()].binary_search(&u) {
+            self.adj[v.index()].remove(pos);
+        }
+        true
+    }
+
+    /// Whether the graph is connected (the model requires every `G_r`,
+    /// `r ≥ 1`, to be connected).
+    ///
+    /// The empty-vertex-set graph and the single-node graph are connected.
+    pub fn is_connected(&self) -> bool {
+        self.component_structure().component_count() == 1 || self.n <= 1
+    }
+
+    /// Union–find over the graph's edges; exposes components.
+    pub fn component_structure(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.n);
+        for e in self.edges.iter() {
+            uf.union(e.lo().index(), e.hi().index());
+        }
+        uf
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        self.component_structure().component_count()
+    }
+
+    /// Breadth-first distances from `src`; `None` for unreachable nodes.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.n];
+        dist[src.index()] = Some(0);
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued nodes have distances");
+            for &w in self.neighbors(u) {
+                if dist[w.index()].is_none() {
+                    dist[w.index()] = Some(du + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The diameter (longest shortest path); `None` if disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut best = 0;
+        for v in self.nodes() {
+            let dist = self.bfs_distances(v);
+            for d in dist {
+                best = best.max(d?);
+            }
+        }
+        Some(best)
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.edges.len())
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.is_connected());
+        assert_eq!(g.component_count(), 5);
+    }
+
+    #[test]
+    fn single_node_graph_is_connected() {
+        assert!(Graph::empty(1).is_connected());
+        assert!(Graph::empty(0).is_connected());
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = Graph::path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(nid(0)), 1);
+        assert_eq!(g.degree(nid(2)), 2);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = Graph::cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        let _ = Graph::cycle(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = Graph::star(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(nid(0)), 6);
+        assert_eq!(g.degree(nid(3)), 1);
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = Graph::complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.diameter(), Some(1));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn insert_remove_keeps_adjacency_sorted_and_consistent() {
+        let mut g = Graph::empty(4);
+        assert!(g.insert_edge(Edge::new(nid(2), nid(0))));
+        assert!(g.insert_edge(Edge::new(nid(0), nid(3))));
+        assert!(!g.insert_edge(Edge::new(nid(3), nid(0))));
+        assert_eq!(g.neighbors(nid(0)), &[nid(2), nid(3)]);
+        assert!(g.has_edge(nid(0), nid(2)));
+        assert!(g.remove_edge(Edge::new(nid(0), nid(2))));
+        assert!(!g.remove_edge(Edge::new(nid(0), nid(2))));
+        assert_eq!(g.neighbors(nid(0)), &[nid(3)]);
+        assert_eq!(g.neighbors(nid(2)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::empty(3);
+        g.insert_edge(Edge::new(nid(1), nid(3)));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::path(4);
+        let d = g.bfs_distances(nid(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = Graph::from_edges(4, [Edge::new(nid(0), nid(1))]);
+        let d = g.bfs_distances(nid(0));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn has_edge_rejects_self_pair() {
+        let g = Graph::path(3);
+        assert!(!g.has_edge(nid(1), nid(1)));
+    }
+
+    #[test]
+    fn component_count_of_two_islands() {
+        let g = Graph::from_edges(5, [Edge::new(nid(0), nid(1)), Edge::new(nid(2), nid(3))]);
+        assert_eq!(g.component_count(), 3); // {0,1}, {2,3}, {4}
+    }
+}

@@ -1,0 +1,124 @@
+//! Structural metrics of graph snapshots.
+//!
+//! Experiments report the shape of the topologies an adversary produces —
+//! degree statistics matter because Algorithm 2's phase 1 branches on a
+//! degree threshold, and the Section 2 adversary's free-edge graphs are
+//! near-complete. These helpers compute the standard summary quantities.
+
+use crate::graph::Graph;
+
+/// Degree statistics of one snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (= `2m/n`).
+    pub mean: f64,
+    /// Number of nodes with degree ≥ the given threshold (set by
+    /// [`degree_stats_with_threshold`]; 0 from [`degree_stats`]).
+    pub at_or_above_threshold: usize,
+}
+
+/// Computes degree statistics.
+///
+/// # Panics
+///
+/// Panics on the empty graph (no nodes).
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    degree_stats_with_threshold(g, f64::INFINITY)
+}
+
+/// Degree statistics plus a count of "high-degree" nodes (degree ≥
+/// `threshold`), the quantity Algorithm 2's phase 1 branches on.
+///
+/// # Panics
+///
+/// Panics on the empty graph (no nodes).
+pub fn degree_stats_with_threshold(g: &Graph, threshold: f64) -> DegreeStats {
+    assert!(g.node_count() > 0, "degree stats of an empty graph");
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    DegreeStats {
+        min: *degrees.iter().min().expect("nonempty"),
+        max: *degrees.iter().max().expect("nonempty"),
+        mean: degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
+        at_or_above_threshold: degrees.iter().filter(|&&d| d as f64 >= threshold).count(),
+    }
+}
+
+/// Edge density: `m / (n(n−1)/2)`.
+///
+/// # Panics
+///
+/// Panics for `n < 2`.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.node_count();
+    assert!(n >= 2, "density needs at least two nodes");
+    g.edge_count() as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// The degree histogram: entry `d` counts nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.node_count()];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    while hist.len() > 1 && *hist.last().expect("nonempty") == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_degree_stats() {
+        let g = Graph::star(8);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 7);
+        assert!((s.mean - 14.0 / 8.0).abs() < 1e-12);
+        assert_eq!(s.at_or_above_threshold, 0);
+    }
+
+    #[test]
+    fn threshold_counts_high_degree_nodes() {
+        let g = Graph::star(8);
+        let s = degree_stats_with_threshold(&g, 2.0);
+        assert_eq!(s.at_or_above_threshold, 1); // only the hub
+        let all = degree_stats_with_threshold(&g, 1.0);
+        assert_eq!(all.at_or_above_threshold, 8);
+    }
+
+    #[test]
+    fn clique_density_is_one() {
+        assert!((density(&Graph::complete(6)) - 1.0).abs() < 1e-12);
+        let path_density = density(&Graph::path(6));
+        assert!((path_density - 5.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = Graph::path(7);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 7);
+        assert_eq!(h[1], 2); // the two endpoints
+        assert_eq!(h[2], 5);
+    }
+
+    #[test]
+    fn histogram_trims_trailing_zeros() {
+        let g = Graph::path(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h.len(), 3); // degrees 0, 1, 2
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_panics() {
+        let _ = degree_stats(&Graph::empty(0));
+    }
+}

@@ -1,0 +1,482 @@
+//! Oblivious adversary implementations.
+//!
+//! An oblivious adversary (Section 1.3) "has to commit to the sequence of
+//! network topologies before the execution of a distributed algorithm
+//! starts". Operationally, it may not read algorithm state; every adversary
+//! here depends only on its own seeded RNG and the round number, so the
+//! schedule it produces is a deterministic function of its seed — morally a
+//! pre-committed sequence.
+//!
+//! Families provided:
+//!
+//! * [`StaticAdversary`] — a fixed connected graph every round.
+//! * [`PeriodicRewiring`] — a fresh random topology every ρ rounds, hence
+//!   ρ-edge-stable.
+//! * [`EdgeMarkovian`] — independent per-edge birth/death chains with
+//!   σ-stability clamping and connectivity repair.
+//! * [`ChurnAdversary`] — bounded churn per round: deletes up to `c`
+//!   eligible non-bridge edges and inserts up to `c` random new edges.
+//! * [`ScriptedAdversary`] — replays an explicit schedule.
+
+use crate::adversary::Adversary;
+use crate::connectivity::{bridges, connect_components};
+use crate::edge::Edge;
+use crate::generators::Topology;
+use crate::graph::Graph;
+use crate::node::{NodeId, Round};
+use crate::stability::StabilityEnforcer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The adversary that never changes the topology: a static network.
+///
+/// Useful as the baseline where token dissemination costs `O(n² + nk)`
+/// messages total (Section 1).
+#[derive(Clone, Debug)]
+pub struct StaticAdversary {
+    graph: Graph,
+}
+
+impl StaticAdversary {
+    /// Uses `graph` for every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is not connected.
+    pub fn new(graph: Graph) -> Self {
+        assert!(graph.is_connected(), "static topology must be connected");
+        StaticAdversary { graph }
+    }
+
+    /// Samples a static topology from a family.
+    pub fn from_topology(topology: Topology, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StaticAdversary::new(topology.sample(n, &mut rng))
+    }
+}
+
+impl Adversary for StaticAdversary {
+    fn graph_for_round(&mut self, _round: Round, _prev: &Graph) -> Graph {
+        self.graph.clone()
+    }
+
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+/// Rewires the whole topology to a fresh sample of `topology` every
+/// `period` rounds, keeping it fixed in between.
+///
+/// The produced schedule is `period`-edge-stable by construction (edges
+/// change only at period boundaries). With `period = 3` this is the natural
+/// "worst-case but 3-stable" adversary for Theorem 3.4 experiments.
+#[derive(Debug)]
+pub struct PeriodicRewiring {
+    topology: Topology,
+    period: u64,
+    rng: StdRng,
+    current: Option<Graph>,
+    name: String,
+}
+
+impl PeriodicRewiring {
+    /// Creates a rewiring adversary with the given period (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(topology: Topology, period: u64, seed: u64) -> Self {
+        assert!(period >= 1, "period must be ≥ 1");
+        PeriodicRewiring {
+            topology,
+            period,
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            name: format!("rewire({topology:?}, ρ={period})"),
+        }
+    }
+}
+
+impl Adversary for PeriodicRewiring {
+    fn graph_for_round(&mut self, round: Round, prev: &Graph) -> Graph {
+        let due = (round - 1).is_multiple_of(self.period);
+        if due || self.current.is_none() {
+            self.current = Some(self.topology.sample(prev.node_count(), &mut self.rng));
+        }
+        self.current.clone().expect("just set")
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Edge-Markovian dynamics: every potential edge turns on with probability
+/// `p_on` and turns off with probability `p_off`, independently per round,
+/// clamped to σ-edge stability and repaired to connectivity.
+///
+/// This is the classic smoothly-dynamic model (e.g. Clementi et al.); the
+/// repair edges are charged to `TC(E)` like any other insertion.
+#[derive(Debug)]
+pub struct EdgeMarkovian {
+    p_on: f64,
+    p_off: f64,
+    enforcer: StabilityEnforcer,
+    rng: StdRng,
+    name: String,
+}
+
+impl EdgeMarkovian {
+    /// Creates edge-Markovian dynamics with σ-stability clamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are not in `[0, 1]` or `sigma == 0`.
+    pub fn new(p_on: f64, p_off: f64, sigma: u64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_on), "p_on must be a probability");
+        assert!((0.0..=1.0).contains(&p_off), "p_off must be a probability");
+        EdgeMarkovian {
+            p_on,
+            p_off,
+            enforcer: StabilityEnforcer::new(sigma),
+            rng: StdRng::seed_from_u64(seed),
+            name: format!("edge-markovian(p↑={p_on}, p↓={p_off}, σ={sigma})"),
+        }
+    }
+}
+
+impl Adversary for EdgeMarkovian {
+    fn graph_for_round(&mut self, _round: Round, prev: &Graph) -> Graph {
+        let n = prev.node_count();
+        let mut proposal = Graph::empty(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                let e = Edge::new(NodeId::new(u), NodeId::new(v));
+                let present = prev.edges().contains(e);
+                let keep = if present {
+                    !self.rng.gen_bool(self.p_off)
+                } else {
+                    self.rng.gen_bool(self.p_on)
+                };
+                if keep {
+                    proposal.insert_edge(e);
+                }
+            }
+        }
+        connect_components(&mut proposal, &mut self.rng);
+        self.enforcer.clamp(proposal)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Bounded-churn dynamics: each round deletes up to `churn` eligible
+/// (σ-mature, non-bridge) edges and inserts up to `churn` random absent
+/// edges, starting from an initial sample of `topology`.
+///
+/// Connectivity is maintained *without* repair insertions by only deleting
+/// non-bridges, so `TC(E)` grows by at most `churn` per round after the
+/// initial topology — making the adversary-competitive budget directly
+/// proportional to the churn-rate knob.
+#[derive(Debug)]
+pub struct ChurnAdversary {
+    topology: Topology,
+    churn: usize,
+    enforcer: StabilityEnforcer,
+    rng: StdRng,
+    current: Option<Graph>,
+    name: String,
+}
+
+impl ChurnAdversary {
+    /// Creates a churn adversary with the given per-round churn bound and
+    /// σ-stability.
+    pub fn new(topology: Topology, churn: usize, sigma: u64, seed: u64) -> Self {
+        ChurnAdversary {
+            topology,
+            churn,
+            enforcer: StabilityEnforcer::new(sigma),
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            name: format!("churn({topology:?}, c={churn}, σ={sigma})"),
+        }
+    }
+}
+
+impl Adversary for ChurnAdversary {
+    fn graph_for_round(&mut self, _round: Round, prev: &Graph) -> Graph {
+        let n = prev.node_count();
+        let mut g = match self.current.take() {
+            Some(g) => g,
+            None => {
+                let initial = self.topology.sample(n, &mut self.rng);
+                let clamped = self.enforcer.clamp(initial);
+                self.current = Some(clamped.clone());
+                return clamped;
+            }
+        };
+        // Delete up to `churn` non-bridge edges that are mature enough.
+        let pinned: std::collections::BTreeSet<Edge> =
+            self.enforcer.pinned_edges().into_iter().collect();
+        for _ in 0..self.churn {
+            let bridge_set: std::collections::BTreeSet<Edge> = bridges(&g).into_iter().collect();
+            let candidates: Vec<Edge> = g
+                .edges()
+                .iter()
+                .filter(|e| !bridge_set.contains(e) && !pinned.contains(e))
+                .collect();
+            if let Some(&e) = candidates.as_slice().choose(&mut self.rng) {
+                g.remove_edge(e);
+            } else {
+                break;
+            }
+        }
+        // Insert up to `churn` random absent edges.
+        let mut inserted = 0usize;
+        let mut attempts = 0usize;
+        while inserted < self.churn && attempts < 50 * self.churn + 50 {
+            attempts += 1;
+            let u = self.rng.gen_range(0..n as u32);
+            let v = self.rng.gen_range(0..n as u32);
+            if u != v && g.insert_edge(Edge::new(NodeId::new(u), NodeId::new(v))) {
+                inserted += 1;
+            }
+        }
+        let clamped = self.enforcer.clamp(g);
+        self.current = Some(clamped.clone());
+        clamped
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Replays an explicit schedule `G_1, …, G_x`, clamping to the last graph
+/// after the script runs out.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{oblivious::ScriptedAdversary, adversary::Adversary, Graph};
+///
+/// let mut adv = ScriptedAdversary::new(vec![Graph::path(3), Graph::star(3)]);
+/// assert_eq!(adv.graph_for_round(1, &Graph::empty(3)).edge_count(), 2);
+/// assert_eq!(adv.graph_for_round(5, &Graph::empty(3)).degree(dynspread_graph::NodeId::new(0)), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScriptedAdversary {
+    schedule: Vec<Graph>,
+}
+
+impl ScriptedAdversary {
+    /// Creates a scripted adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty or contains a disconnected graph.
+    pub fn new(schedule: Vec<Graph>) -> Self {
+        assert!(!schedule.is_empty(), "schedule must be nonempty");
+        for (i, g) in schedule.iter().enumerate() {
+            assert!(g.is_connected(), "scripted graph {} is disconnected", i + 1);
+        }
+        ScriptedAdversary { schedule }
+    }
+}
+
+impl Adversary for ScriptedAdversary {
+    fn graph_for_round(&mut self, round: Round, _prev: &Graph) -> Graph {
+        let idx = ((round - 1) as usize).min(self.schedule.len() - 1);
+        self.schedule[idx].clone()
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stability::StabilityChecker;
+
+    #[test]
+    fn static_adversary_is_constant() {
+        let mut adv = StaticAdversary::from_topology(Topology::RandomTree, 10, 3);
+        let g0 = Graph::empty(10);
+        let g1 = adv.graph_for_round(1, &g0);
+        let g2 = adv.graph_for_round(2, &g1);
+        assert_eq!(g1, g2);
+        assert!(g1.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn static_adversary_rejects_disconnected() {
+        let _ = StaticAdversary::new(Graph::empty(3));
+    }
+
+    #[test]
+    fn periodic_rewiring_changes_only_at_boundaries() {
+        let mut adv = PeriodicRewiring::new(Topology::RandomTree, 3, 11);
+        let g0 = Graph::empty(12);
+        let mut graphs = Vec::new();
+        let mut prev = g0;
+        for r in 1..=9 {
+            let g = adv.graph_for_round(r, &prev);
+            graphs.push(g.clone());
+            prev = g;
+        }
+        assert_eq!(graphs[0], graphs[1]);
+        assert_eq!(graphs[1], graphs[2]);
+        assert_eq!(graphs[3], graphs[4]);
+        assert_ne!(graphs[2], graphs[3], "seeded trees on 12 nodes should differ");
+    }
+
+    #[test]
+    fn periodic_rewiring_is_period_stable() {
+        let period = 3;
+        let mut adv = PeriodicRewiring::new(Topology::RandomTree, period, 5);
+        let mut checker = StabilityChecker::new(period);
+        let mut prev = Graph::empty(10);
+        for r in 1..=30 {
+            let g = adv.graph_for_round(r, &prev);
+            checker.observe(&g).expect("period-stable by construction");
+            assert!(g.is_connected());
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn edge_markovian_stays_connected_and_stable() {
+        let sigma = 2;
+        let mut adv = EdgeMarkovian::new(0.1, 0.3, sigma, 17);
+        let mut checker = StabilityChecker::new(sigma);
+        let mut prev = Graph::empty(12);
+        for r in 1..=40 {
+            let g = adv.graph_for_round(r, &prev);
+            assert!(g.is_connected(), "round {r} disconnected");
+            checker.observe(&g).expect("σ-stable by clamping");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn edge_markovian_actually_churns() {
+        let mut adv = EdgeMarkovian::new(0.05, 0.2, 1, 23);
+        let mut prev = Graph::empty(10);
+        let g1 = adv.graph_for_round(1, &prev);
+        prev = g1.clone();
+        let g2 = adv.graph_for_round(2, &prev);
+        assert_ne!(g1, g2, "dynamics should change something");
+    }
+
+    #[test]
+    fn churn_adversary_bounded_insertions() {
+        let churn = 2;
+        let mut adv = ChurnAdversary::new(Topology::SparseConnected(2.0), churn, 1, 29);
+        let mut dg = crate::dynamic::DynamicGraph::new(14);
+        let g1 = adv.graph_for_round(1, dg.current());
+        dg.advance(g1);
+        let initial_tc = dg.topological_changes();
+        for r in 2..=20 {
+            let g = adv.graph_for_round(r, dg.current());
+            assert!(g.is_connected(), "round {r} disconnected");
+            dg.advance(g);
+        }
+        let later_tc = dg.topological_changes() - initial_tc;
+        assert!(
+            later_tc <= (churn as u64) * 19,
+            "TC grew by {later_tc} > churn bound {}",
+            churn * 19
+        );
+    }
+
+    #[test]
+    fn churn_adversary_respects_sigma() {
+        let sigma = 3;
+        let mut adv = ChurnAdversary::new(Topology::SparseConnected(1.5), 3, sigma, 31);
+        let mut checker = StabilityChecker::new(sigma);
+        let mut prev = Graph::empty(10);
+        for r in 1..=30 {
+            let g = adv.graph_for_round(r, &prev);
+            checker.observe(&g).expect("σ-stable by clamping");
+            assert!(g.is_connected(), "round {r} disconnected");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn scripted_adversary_replays_then_clamps() {
+        let mut adv = ScriptedAdversary::new(vec![Graph::path(4), Graph::star(4)]);
+        let g0 = Graph::empty(4);
+        assert_eq!(adv.graph_for_round(1, &g0), Graph::path(4));
+        assert_eq!(adv.graph_for_round(2, &g0), Graph::star(4));
+        assert_eq!(adv.graph_for_round(9, &g0), Graph::star(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn scripted_adversary_rejects_disconnected() {
+        let _ = ScriptedAdversary::new(vec![Graph::empty(3)]);
+    }
+
+    #[test]
+    fn edge_markovian_extreme_probabilities() {
+        // p_off = 1 with σ = 1: every mature edge dies each round, yet the
+        // graph stays connected through repairs.
+        let mut adv = EdgeMarkovian::new(0.0, 1.0, 1, 3);
+        let mut prev = Graph::empty(8);
+        for r in 1..=10 {
+            let g = adv.graph_for_round(r, &prev);
+            assert!(g.is_connected(), "round {r}");
+            // With p_on = 0, only repair edges exist: exactly a tree.
+            assert_eq!(g.edge_count(), 7);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn churn_zero_is_static_after_round_one() {
+        let mut adv = ChurnAdversary::new(Topology::RandomTree, 0, 1, 5);
+        let g1 = adv.graph_for_round(1, &Graph::empty(9));
+        let g2 = adv.graph_for_round(2, &g1);
+        let g3 = adv.graph_for_round(3, &g2);
+        assert_eq!(g1, g2);
+        assert_eq!(g2, g3);
+    }
+
+    #[test]
+    fn periodic_rewiring_long_period_never_rewires_in_short_run() {
+        let mut adv = PeriodicRewiring::new(Topology::RandomTree, 1000, 7);
+        let mut prev = Graph::empty(6);
+        let first = adv.graph_for_round(1, &prev);
+        prev = first.clone();
+        for r in 2..=50 {
+            let g = adv.graph_for_round(r, &prev);
+            assert_eq!(g, first, "round {r} should not rewire");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let mut adv = EdgeMarkovian::new(0.1, 0.2, 1, seed);
+            let mut prev = Graph::empty(9);
+            let mut out = Vec::new();
+            for r in 1..=10 {
+                let g = adv.graph_for_round(r, &prev);
+                out.push(g.edges().iter().collect::<Vec<_>>());
+                prev = g;
+            }
+            out
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+}

@@ -1,0 +1,168 @@
+//! Disjoint-set (union–find) structure.
+//!
+//! Used throughout the crate for connectivity queries and by the Section 2
+//! lower-bound adversary, which must find the connected components of the
+//! free-edge graph `F(r)` in every round.
+
+/// Disjoint-set forest with union by rank and path halving.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// One representative element per component, in increasing order.
+    pub fn representatives(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut reps = Vec::with_capacity(self.components);
+        for x in 0..n {
+            if self.find(x) == x {
+                reps.push(x);
+            }
+        }
+        reps
+    }
+
+    /// Component label (representative) of every element.
+    pub fn labels(&mut self) -> Vec<usize> {
+        (0..self.len()).map(|x| self.find(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn representatives_cover_all_components() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(1, 4);
+        let reps = uf.representatives();
+        assert_eq!(reps.len(), uf.component_count());
+        // Every element's root is one of the representatives.
+        for x in 0..6 {
+            let root = uf.find(x);
+            assert!(reps.contains(&root));
+        }
+    }
+
+    #[test]
+    fn labels_agree_with_connected() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 7);
+        uf.union(2, 5);
+        uf.union(5, 7);
+        let labels = uf.labels();
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(labels[a] == labels[b], uf.connected(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_unions_yields_single_component() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.component_count(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the dynamic-graph substrate.
+
+use dynspread_graph::connectivity::{bridges, connect_components};
+use dynspread_graph::dynamic::topological_changes;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::stability::{check_schedule, StabilityEnforcer};
+use dynspread_graph::{DynamicGraph, Edge, Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Path),
+        Just(Topology::Cycle),
+        Just(Topology::Star),
+        Just(Topology::RandomTree),
+        (0.05f64..0.5).prop_map(Topology::Gnp),
+        (1.0f64..3.0).prop_map(Topology::SparseConnected),
+        (2usize..5).prop_map(Topology::NearRegular),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_generator_yields_connected_graphs(
+        topology in topology_strategy(),
+        n in 3usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology.sample(n, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn adjacency_and_edge_set_agree(
+        topology in topology_strategy(),
+        n in 3usize..25,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology.sample(n, &mut rng);
+        // Sum of degrees = 2·|E|, and neighbors mirror has_edge.
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                prop_assert!(g.has_edge(v, w));
+                prop_assert!(g.neighbors(w).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_components_match_bfs(
+        topology in topology_strategy(),
+        n in 3usize..25,
+        seed in 0u64..1000,
+        drop in 0usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = topology.sample(n, &mut rng);
+        // Drop some edges so we exercise multi-component cases.
+        let edges: Vec<Edge> = g.edges().iter().collect();
+        for e in edges.iter().take(drop) {
+            g.remove_edge(*e);
+        }
+        // BFS-derived component count.
+        let mut seen = vec![false; n];
+        let mut bfs_components = 0;
+        for v in 0..n {
+            if !seen[v] {
+                bfs_components += 1;
+                let dist = g.bfs_distances(NodeId::new(v as u32));
+                for (i, d) in dist.iter().enumerate() {
+                    if d.is_some() {
+                        seen[i] = true;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(g.component_count(), bfs_components);
+    }
+
+    #[test]
+    fn connect_components_always_connects(
+        n in 2usize..30,
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..40),
+        seed in 0u64..1000,
+    ) {
+        let mut g = Graph::empty(n);
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v {
+                g.insert_edge(Edge::new(NodeId::new(u), NodeId::new(v)));
+            }
+        }
+        let before_components = g.component_count();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let added = connect_components(&mut g, &mut rng);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(added.len(), before_components.saturating_sub(1));
+    }
+
+    #[test]
+    fn removing_a_non_bridge_preserves_component_count(
+        topology in topology_strategy(),
+        n in 4usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology.sample(n, &mut rng);
+        let bridge_set: std::collections::BTreeSet<Edge> = bridges(&g).into_iter().collect();
+        let components = g.component_count();
+        for e in g.edges().iter() {
+            let mut h = g.clone();
+            h.remove_edge(e);
+            if bridge_set.contains(&e) {
+                prop_assert_eq!(h.component_count(), components + 1);
+            } else {
+                prop_assert_eq!(h.component_count(), components);
+            }
+        }
+    }
+
+    #[test]
+    fn enforcer_output_is_sigma_stable_and_supersets_proposal_minus_old(
+        sigma in 1u64..5,
+        n in 3usize..15,
+        seeds in prop::collection::vec(0u64..1000, 3..20),
+    ) {
+        let mut enforcer = StabilityEnforcer::new(sigma);
+        let mut schedule = Vec::new();
+        for seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let proposal = Topology::Gnp(0.3).sample(n, &mut rng);
+            let clamped = enforcer.clamp(proposal.clone());
+            // Clamping only adds edges.
+            for e in proposal.edges().iter() {
+                prop_assert!(clamped.edges().contains(e));
+            }
+            schedule.push(clamped);
+        }
+        prop_assert!(check_schedule(sigma, &schedule).is_ok());
+    }
+
+    #[test]
+    fn online_and_offline_tc_agree(
+        n in 2usize..15,
+        seeds in prop::collection::vec(0u64..1000, 1..15),
+    ) {
+        let mut dg = DynamicGraph::new(n);
+        let mut schedule = Vec::new();
+        for seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = Topology::RandomTree.sample(n, &mut rng);
+            dg.advance(g.clone());
+            schedule.push(g);
+        }
+        prop_assert_eq!(dg.topological_changes(), topological_changes(n, &schedule));
+        prop_assert!(dg.meter().deletions <= dg.meter().insertions);
+    }
+}

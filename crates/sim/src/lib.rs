@@ -1,0 +1,91 @@
+//! # dynspread-sim — synchronous network simulator
+//!
+//! The execution model of *The Communication Cost of Information Spreading
+//! in Dynamic Networks* (Ahmadi et al., ICDCS 2019), as an executable
+//! substrate:
+//!
+//! * **Tokens** ([`token`]): the k-token dissemination problem
+//!   (Definition 1.2), per-node knowledge bitsets, initial assignments
+//!   (single-source, multi-source, n-gossip).
+//! * **Messages** ([`message`]): the bandwidth constraint (≤ 1 token +
+//!   O(log n) control bits per message) and meter classification.
+//! * **Metering** ([`meter`]): message complexity per Definition 1.1 — a
+//!   local broadcast counts as one message; unicasts count per neighbor.
+//! * **Tracking** ([`tracker`]): token-learning events ⟨v, τ, r⟩
+//!   (Definition 1.4) observed globally, never by protocols.
+//! * **Protocols** ([`protocol`]): per-node state machines for the unicast
+//!   (KT1, rewire-then-send) and local-broadcast (choose-then-rewire)
+//!   modes.
+//! * **Adaptive adversaries** ([`adversary`]): the strongly adaptive
+//!   interfaces; every oblivious `dynspread_graph` adversary lifts into
+//!   them.
+//! * **Engines** ([`sim`]): [`UnicastSim`] and [`BroadcastSim`] drive
+//!   protocols against adversaries, asserting the model invariants
+//!   (connectivity, bandwidth, neighbor-only delivery) every round and
+//!   producing [`run::RunReport`]s.
+//!
+//! # Examples
+//!
+//! A one-token unicast flood on a static path:
+//!
+//! ```
+//! use dynspread_graph::{adversary::FnAdversary, Graph, NodeId, Round};
+//! use dynspread_sim::{
+//!     message::{MessageClass, MessagePayload},
+//!     protocol::{Outbox, UnicastProtocol},
+//!     sim::{SimConfig, UnicastSim},
+//!     token::{TokenAssignment, TokenId, TokenSet},
+//! };
+//!
+//! #[derive(Clone)]
+//! struct Tok(TokenId);
+//! impl MessagePayload for Tok {
+//!     fn token_count(&self) -> usize { 1 }
+//!     fn class(&self) -> MessageClass { MessageClass::Token }
+//! }
+//!
+//! struct Flood { know: TokenSet }
+//! impl UnicastProtocol for Flood {
+//!     type Msg = Tok;
+//!     fn send(&mut self, _r: Round, nbrs: &[NodeId], out: &mut Outbox<Tok>) {
+//!         for t in self.know.iter().collect::<Vec<_>>() {
+//!             for &w in nbrs { out.send(w, Tok(t)); }
+//!         }
+//!     }
+//!     fn receive(&mut self, _r: Round, _from: NodeId, m: &Tok) {
+//!         self.know.insert(m.0);
+//!     }
+//!     fn known_tokens(&self) -> &TokenSet { &self.know }
+//! }
+//!
+//! let n = 4;
+//! let assignment = TokenAssignment::single_source(n, 1, NodeId::new(0));
+//! let nodes: Vec<Flood> = NodeId::all(n)
+//!     .map(|v| Flood { know: assignment.initial_knowledge(v) })
+//!     .collect();
+//! let adversary = FnAdversary::new("path", |_, p: &Graph| Graph::path(p.node_count()));
+//! let mut sim = UnicastSim::new("flood", nodes, adversary, &assignment, SimConfig::default());
+//! let report = sim.run_to_completion();
+//! assert!(report.completed);
+//! assert_eq!(report.rounds, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod message;
+pub mod meter;
+pub mod protocol;
+pub mod run;
+pub mod sim;
+pub mod token;
+pub mod tracker;
+
+pub use dynspread_graph::{Graph, NodeId, Round};
+pub use message::{MessageClass, MessagePayload};
+pub use meter::MessageMeter;
+pub use run::RunReport;
+pub use sim::{BroadcastSim, SimConfig, UnicastSim};
+pub use token::{TokenAssignment, TokenId, TokenSet};
+pub use tracker::TokenTracker;

@@ -1,0 +1,203 @@
+//! Message-complexity metering (Definition 1.1).
+//!
+//! "The message complexity of a distributed algorithm is the total number of
+//! messages sent in a worst-case execution. If communication is by local
+//! broadcast, each local broadcast by some node counts as one message. If
+//! communication is by unicast, messages to different neighbors are counted
+//! separately."
+//!
+//! The meter counts at *send time* and classifies by [`MessageClass`]; it
+//! also records a per-round series so experiments can analyze progress.
+
+use crate::message::MessageClass;
+use dynspread_graph::Round;
+
+/// Per-round message counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundCounts {
+    /// Unicast messages sent this round.
+    pub unicast: u64,
+    /// Local-broadcast messages (each counts 1 regardless of degree).
+    pub broadcast: u64,
+}
+
+impl RoundCounts {
+    /// Total messages this round under Definition 1.1.
+    pub fn total(&self) -> u64 {
+        self.unicast + self.broadcast
+    }
+}
+
+/// Totals and per-class/per-round breakdowns of message complexity.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_sim::meter::MessageMeter;
+/// use dynspread_sim::message::MessageClass;
+///
+/// let mut m = MessageMeter::new();
+/// m.begin_round(1);
+/// m.record_unicast(MessageClass::Request);
+/// m.record_unicast(MessageClass::Token);
+/// m.record_broadcast(MessageClass::Token);
+/// assert_eq!(m.total(), 3);
+/// assert_eq!(m.by_class(MessageClass::Token), 2);
+/// assert_eq!(m.round_series().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MessageMeter {
+    unicast_total: u64,
+    broadcast_total: u64,
+    by_class: [u64; MessageClass::ALL.len()],
+    rounds: Vec<RoundCounts>,
+    current_round: Option<Round>,
+}
+
+impl MessageMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        MessageMeter::default()
+    }
+
+    /// Opens accounting for the given round (1-based, strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds are opened out of order.
+    pub fn begin_round(&mut self, round: Round) {
+        let expected = self.rounds.len() as Round + 1;
+        assert_eq!(round, expected, "rounds must be opened in order");
+        self.rounds.push(RoundCounts::default());
+        self.current_round = Some(round);
+    }
+
+    /// Records one unicast message of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is open.
+    pub fn record_unicast(&mut self, class: MessageClass) {
+        let r = self.current_round.expect("no round open") as usize - 1;
+        self.rounds[r].unicast += 1;
+        self.unicast_total += 1;
+        self.by_class[class.index()] += 1;
+    }
+
+    /// Records one local broadcast of the given class (counts 1 message
+    /// regardless of how many neighbors receive it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is open.
+    pub fn record_broadcast(&mut self, class: MessageClass) {
+        let r = self.current_round.expect("no round open") as usize - 1;
+        self.rounds[r].broadcast += 1;
+        self.broadcast_total += 1;
+        self.by_class[class.index()] += 1;
+    }
+
+    /// Total message complexity (Definition 1.1).
+    pub fn total(&self) -> u64 {
+        self.unicast_total + self.broadcast_total
+    }
+
+    /// Total unicast messages.
+    pub fn unicast_total(&self) -> u64 {
+        self.unicast_total
+    }
+
+    /// Total local-broadcast messages.
+    pub fn broadcast_total(&self) -> u64 {
+        self.broadcast_total
+    }
+
+    /// Total messages of a class.
+    pub fn by_class(&self, class: MessageClass) -> u64 {
+        self.by_class[class.index()]
+    }
+
+    /// The per-round series (index 0 = round 1).
+    pub fn round_series(&self) -> &[RoundCounts] {
+        &self.rounds
+    }
+
+    /// Amortized messages per token: `total / k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn amortized_per_token(&self, k: usize) -> f64 {
+        assert!(k > 0, "k must be positive");
+        self.total() as f64 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_classes_accumulate() {
+        let mut m = MessageMeter::new();
+        m.begin_round(1);
+        m.record_unicast(MessageClass::Token);
+        m.record_unicast(MessageClass::Token);
+        m.record_unicast(MessageClass::Request);
+        m.begin_round(2);
+        m.record_broadcast(MessageClass::Completeness);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.unicast_total(), 3);
+        assert_eq!(m.broadcast_total(), 1);
+        assert_eq!(m.by_class(MessageClass::Token), 2);
+        assert_eq!(m.by_class(MessageClass::Request), 1);
+        assert_eq!(m.by_class(MessageClass::Completeness), 1);
+        assert_eq!(m.by_class(MessageClass::Walk), 0);
+    }
+
+    #[test]
+    fn per_round_series() {
+        let mut m = MessageMeter::new();
+        m.begin_round(1);
+        m.record_unicast(MessageClass::Token);
+        m.begin_round(2);
+        m.begin_round(3);
+        m.record_broadcast(MessageClass::Token);
+        m.record_broadcast(MessageClass::Token);
+        let s = m.round_series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].total(), 1);
+        assert_eq!(s[1].total(), 0);
+        assert_eq!(s[2].broadcast, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_round_panics() {
+        let mut m = MessageMeter::new();
+        m.begin_round(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no round open")]
+    fn recording_before_round_panics() {
+        let mut m = MessageMeter::new();
+        m.record_unicast(MessageClass::Token);
+    }
+
+    #[test]
+    fn amortized_per_token() {
+        let mut m = MessageMeter::new();
+        m.begin_round(1);
+        for _ in 0..10 {
+            m.record_unicast(MessageClass::Token);
+        }
+        assert_eq!(m.amortized_per_token(5), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn amortized_zero_k_panics() {
+        MessageMeter::new().amortized_per_token(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Execution reports.
+//!
+//! A [`RunReport`] captures everything an experiment needs from one
+//! execution: message complexity (total, by mode, by class), topological
+//! changes (the adversary-competitive budget), rounds, and learning
+//! statistics. `dynspread-analysis` consumes these to build the paper's
+//! tables.
+
+use crate::message::MessageClass;
+use crate::meter::MessageMeter;
+use dynspread_graph::{Round, TopologyMeter};
+
+/// Summary of one simulated execution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Number of tokens `k`.
+    pub k: usize,
+    /// Rounds executed.
+    pub rounds: Round,
+    /// Whether every node ended complete.
+    pub completed: bool,
+    /// Total messages (Definition 1.1).
+    pub total_messages: u64,
+    /// Unicast messages.
+    pub unicast_messages: u64,
+    /// Local-broadcast messages.
+    pub broadcast_messages: u64,
+    /// Messages by class, indexed by [`MessageClass::index`].
+    pub by_class: [u64; MessageClass::ALL.len()],
+    /// Topology-change meter: `insertions` = `TC(E)`.
+    pub topology: TopologyMeter,
+    /// Total token learnings observed.
+    pub learnings: u64,
+}
+
+impl RunReport {
+    /// Builds a report from the simulator's meters.
+    #[allow(clippy::too_many_arguments)] // one-stop internal constructor
+    pub fn from_meters(
+        algorithm: impl Into<String>,
+        adversary: impl Into<String>,
+        n: usize,
+        k: usize,
+        rounds: Round,
+        completed: bool,
+        meter: &MessageMeter,
+        topology: TopologyMeter,
+        learnings: u64,
+    ) -> Self {
+        let mut by_class = [0u64; MessageClass::ALL.len()];
+        for c in MessageClass::ALL {
+            by_class[c.index()] = meter.by_class(c);
+        }
+        RunReport {
+            algorithm: algorithm.into(),
+            adversary: adversary.into(),
+            n,
+            k,
+            rounds,
+            completed,
+            total_messages: meter.total(),
+            unicast_messages: meter.unicast_total(),
+            broadcast_messages: meter.broadcast_total(),
+            by_class,
+            topology,
+            learnings,
+        }
+    }
+
+    /// Messages of one class.
+    pub fn class(&self, class: MessageClass) -> u64 {
+        self.by_class[class.index()]
+    }
+
+    /// The paper's `TC(E)`: total edge insertions.
+    pub fn tc(&self) -> u64 {
+        self.topology.insertions
+    }
+
+    /// Amortized message complexity: `total / k`.
+    pub fn amortized(&self) -> f64 {
+        self.total_messages as f64 / self.k.max(1) as f64
+    }
+
+    /// The α-adversary-competitive *residual*: `total − α · TC(E)`
+    /// (Definition 1.3: an algorithm has α-competitive message complexity
+    /// `M` iff this residual is ≤ `M` in every execution).
+    pub fn competitive_residual(&self, alpha: f64) -> f64 {
+        self.total_messages as f64 - self.topology.budget(alpha)
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} vs {} (n={}, k={}): {} in {} rounds",
+            self.algorithm,
+            self.adversary,
+            self.n,
+            self.k,
+            if self.completed { "completed" } else { "DID NOT COMPLETE" },
+            self.rounds
+        )?;
+        write!(
+            f,
+            "  messages: {} total ({} unicast, {} broadcast)",
+            self.total_messages, self.unicast_messages, self.broadcast_messages,
+        )?;
+        if self.k > 0 {
+            write!(f, ", amortized {:.1}/token", self.amortized())?;
+        }
+        writeln!(f)?;
+        for c in MessageClass::ALL {
+            if self.class(c) > 0 {
+                writeln!(f, "    {:>16}: {}", c.label(), self.class(c))?;
+            }
+        }
+        write!(
+            f,
+            "  TC(E) = {} insertions ({} deletions); 1-competitive residual = {:.0}",
+            self.topology.insertions,
+            self.topology.deletions,
+            self.competitive_residual(1.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut meter = MessageMeter::new();
+        meter.begin_round(1);
+        meter.record_unicast(MessageClass::Token);
+        meter.record_unicast(MessageClass::Request);
+        meter.record_broadcast(MessageClass::Token);
+        RunReport::from_meters(
+            "alg",
+            "adv",
+            4,
+            2,
+            1,
+            true,
+            &meter,
+            TopologyMeter {
+                insertions: 5,
+                deletions: 2,
+            },
+            6,
+        )
+    }
+
+    #[test]
+    fn report_captures_meters() {
+        let r = sample_report();
+        assert_eq!(r.total_messages, 3);
+        assert_eq!(r.unicast_messages, 2);
+        assert_eq!(r.broadcast_messages, 1);
+        assert_eq!(r.class(MessageClass::Token), 2);
+        assert_eq!(r.tc(), 5);
+        assert_eq!(r.amortized(), 1.5);
+    }
+
+    #[test]
+    fn competitive_residual_subtracts_budget() {
+        let r = sample_report();
+        assert_eq!(r.competitive_residual(0.0), 3.0);
+        assert_eq!(r.competitive_residual(1.0), -2.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample_report().to_string();
+        assert!(s.contains("completed"));
+        assert!(s.contains("TC(E) = 5"));
+        assert!(s.contains("token"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Strongly adaptive adversaries in action.
+//!
+//! Two demonstrations of what "worst-case" means in this model:
+//!
+//! 1. **Local broadcast vs the Section 2 potential adversary** — the
+//!    adversary rewires the graph *after* seeing each node's chosen
+//!    broadcast, adds every free edge, and throttles progress to
+//!    `O(log n)` potential per round. Phased flooding still completes
+//!    (the cut argument), but pays ~`n²` broadcasts per token — the
+//!    Theorem 2.3 regime.
+//!
+//! 2. **Unicast vs the request-cutting adversary** — the adversary deletes
+//!    exactly the edges that carried token requests. It can delay
+//!    termination indefinitely, but every cut costs it a topological
+//!    change, so Algorithm 1's messages stay within `O(n² + nk)` of
+//!    `TC(E)` (Definition 1.3 / Theorem 3.1).
+//!
+//! Run with: `cargo run --example adversarial_stress`
+
+use dynspread::core::adaptive::RequestCuttingAdversary;
+use dynspread::core::flooding::PhasedFlooding;
+use dynspread::core::lower_bound::{bernoulli_assignment, PotentialAdversary};
+use dynspread::core::single_source::SingleSourceNode;
+use dynspread::graph::generators::Topology;
+use dynspread::graph::{NodeId, Round};
+use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- 1. The Section 2 adversary vs phased flooding. ---
+    let n = 32;
+    let k = 16;
+    let mut rng = StdRng::seed_from_u64(1);
+    let assignment = bernoulli_assignment(n, k, 0.25, &mut rng);
+    let adversary = PotentialAdversary::new(&assignment, 0.25, 2);
+    let mut sim = BroadcastSim::new(
+        "phased-flooding",
+        PhasedFlooding::nodes(&assignment),
+        adversary,
+        &assignment,
+        SimConfig::with_max_rounds(2 * (n * k) as Round),
+    );
+    let report = sim.run_to_completion();
+    println!("--- local broadcast vs §2 potential adversary ---");
+    println!("{report}\n");
+    let max_phi = sim
+        .adversary()
+        .potential_increases()
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    println!(
+        "max potential increase in any round: {max_phi} (Lemma 2.1 cap: O(log n) = {:.1})",
+        (n as f64).ln()
+    );
+    println!(
+        "amortized broadcasts per token: {:.0} — between the Ω(n²/log²n) = {:.0} \
+         lower bound and the n² = {} flooding upper bound\n",
+        report.amortized(),
+        (n * n) as f64 / (n as f64).ln().powi(2),
+        n * n
+    );
+    assert!(report.completed);
+
+    // --- 2. The request-cutting adversary vs Algorithm 1. ---
+    let n = 16;
+    let k = 8;
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let adversary = RequestCuttingAdversary::new(
+        Topology::SparseConnected(2.0),
+        usize::MAX, // cut every request edge, every round
+        2,
+        3,
+    );
+    let mut sim = UnicastSim::new(
+        "single-source-unicast",
+        SingleSourceNode::nodes(&assignment),
+        adversary,
+        &assignment,
+        SimConfig::with_max_rounds(3_000),
+    );
+    let report = sim.run_to_completion();
+    println!("--- unicast vs request-cutting adversary (capped at 3000 rounds) ---");
+    println!("{report}\n");
+    println!(
+        "the adversary {} termination, but the 1-competitive residual {:.0} stays \
+         within O(n² + nk) = {} — every stall it buys costs it a topological change",
+        if report.completed { "failed to stop" } else { "stalled" },
+        report.competitive_residual(1.0),
+        n * n + n * k
+    );
+}

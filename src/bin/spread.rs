@@ -1,0 +1,378 @@
+//! `spread` — run any dissemination algorithm against any adversary from
+//! the command line.
+//!
+//! ```text
+//! Usage: spread [OPTIONS]
+//!   --alg  ALG     single-source | multi-source | unicast-flood |
+//!                  phased-flood | rlnc | oblivious        [single-source]
+//!   --adv  ADV     static:TOPO | rewire:TOPO:PERIOD |
+//!                  markov:P_ON:P_OFF:SIGMA | churn:TOPO:C:SIGMA
+//!                                                         [rewire:tree:3]
+//!   --n    N       nodes                                  [32]
+//!   --k    K       tokens                                 [64]
+//!   --s    S       sources (multi-source / rlnc / oblivious) [4]
+//!   --seed SEED    RNG seed                               [42]
+//!   --max-rounds R round cap                              [1000000]
+//!   --kt0          charge neighbor-discovery hellos (unicast algorithms)
+//!
+//! TOPO: path | cycle | star | complete | tree | gnp:P | sparse:C | regular:D
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! spread --alg multi-source --adv churn:sparse:2.0:2:3 --n 40 --k 80 --s 4
+//! spread --alg rlnc --adv rewire:tree:1 --n 24 --k 24 --s 24
+//! ```
+
+use dynspread::core::baselines::UnicastFlooding;
+use dynspread::core::flooding::PhasedFlooding;
+use dynspread::core::multi_source::MultiSourceNode;
+use dynspread::core::network_coding::RlncNode;
+use dynspread::core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
+use dynspread::core::single_source::SingleSourceNode;
+use dynspread::graph::adversary::Adversary;
+use dynspread::graph::generators::Topology;
+use dynspread::graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary};
+use dynspread::graph::NodeId;
+use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
+
+/// Parsed CLI configuration.
+#[derive(Clone, Debug, PartialEq)]
+struct Config {
+    alg: String,
+    adv: String,
+    n: usize,
+    k: usize,
+    s: usize,
+    seed: u64,
+    max_rounds: u64,
+    kt0: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            alg: "single-source".into(),
+            adv: "rewire:tree:3".into(),
+            n: 32,
+            k: 64,
+            s: 4,
+            seed: 42,
+            max_rounds: 1_000_000,
+            kt0: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--alg" => cfg.alg = value("--alg")?,
+            "--adv" => cfg.adv = value("--adv")?,
+            "--n" => cfg.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--k" => cfg.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--s" => cfg.s = value("--s")?.parse().map_err(|e| format!("--s: {e}"))?,
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--max-rounds" => {
+                cfg.max_rounds = value("--max-rounds")?
+                    .parse()
+                    .map_err(|e| format!("--max-rounds: {e}"))?
+            }
+            "--kt0" => cfg.kt0 = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cfg.n < 2 {
+        return Err("--n must be at least 2".into());
+    }
+    if cfg.k < 1 {
+        return Err("--k must be at least 1".into());
+    }
+    if cfg.s < 1 || cfg.s > cfg.n {
+        return Err("--s must be in 1..=n".into());
+    }
+    Ok(cfg)
+}
+
+fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["path"] => Ok(Topology::Path),
+        ["cycle"] => Ok(Topology::Cycle),
+        ["star"] => Ok(Topology::Star),
+        ["complete"] => Ok(Topology::Complete),
+        ["tree"] => Ok(Topology::RandomTree),
+        ["gnp", p] => p
+            .parse()
+            .map(Topology::Gnp)
+            .map_err(|e| format!("gnp probability: {e}")),
+        ["sparse", c] => c
+            .parse()
+            .map(Topology::SparseConnected)
+            .map_err(|e| format!("sparse factor: {e}")),
+        ["regular", d] => d
+            .parse()
+            .map(Topology::NearRegular)
+            .map_err(|e| format!("regular degree: {e}")),
+        _ => Err(format!("unknown topology '{spec}'")),
+    }
+}
+
+fn parse_adversary(spec: &str, n: usize, seed: u64) -> Result<Box<dyn Adversary>, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "static" => {
+            let topo = parse_topology(rest)?;
+            Ok(Box::new(StaticAdversary::from_topology(topo, n, seed)))
+        }
+        "rewire" => {
+            let (topo_spec, period) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| "rewire needs TOPO:PERIOD".to_string())?;
+            let topo = parse_topology(topo_spec)?;
+            let period: u64 = period.parse().map_err(|e| format!("period: {e}"))?;
+            Ok(Box::new(PeriodicRewiring::new(topo, period, seed)))
+        }
+        "markov" => {
+            let parts: Vec<&str> = rest.split(':').collect();
+            let [p_on, p_off, sigma] = parts.as_slice() else {
+                return Err("markov needs P_ON:P_OFF:SIGMA".into());
+            };
+            Ok(Box::new(EdgeMarkovian::new(
+                p_on.parse().map_err(|e| format!("p_on: {e}"))?,
+                p_off.parse().map_err(|e| format!("p_off: {e}"))?,
+                sigma.parse().map_err(|e| format!("sigma: {e}"))?,
+                seed,
+            )))
+        }
+        "churn" => {
+            // churn:TOPO[:..]:C:SIGMA — topology may itself contain ':'.
+            let (head, sigma) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| "churn needs TOPO:C:SIGMA".to_string())?;
+            let (topo_spec, churn) = head
+                .rsplit_once(':')
+                .ok_or_else(|| "churn needs TOPO:C:SIGMA".to_string())?;
+            Ok(Box::new(ChurnAdversary::new(
+                parse_topology(topo_spec)?,
+                churn.parse().map_err(|e| format!("churn: {e}"))?,
+                sigma.parse().map_err(|e| format!("sigma: {e}"))?,
+                seed,
+            )))
+        }
+        _ => Err(format!("unknown adversary '{spec}'")),
+    }
+}
+
+fn run(cfg: &Config) -> Result<String, String> {
+    let sim_cfg = SimConfig {
+        max_rounds: cfg.max_rounds,
+        charge_neighbor_discovery: cfg.kt0,
+        ..SimConfig::default()
+    };
+    let adversary = parse_adversary(&cfg.adv, cfg.n, cfg.seed)?;
+    let report = match cfg.alg.as_str() {
+        "single-source" => {
+            let a = TokenAssignment::single_source(cfg.n, cfg.k, NodeId::new(0));
+            let mut sim = UnicastSim::new(
+                "single-source-unicast",
+                SingleSourceNode::nodes(&a),
+                adversary,
+                &a,
+                sim_cfg,
+            );
+            sim.run_to_completion()
+        }
+        "multi-source" => {
+            let a = TokenAssignment::round_robin_sources(cfg.n, cfg.k, cfg.s);
+            let (nodes, _map) = MultiSourceNode::nodes(&a);
+            let mut sim = UnicastSim::new("multi-source-unicast", nodes, adversary, &a, sim_cfg);
+            sim.run_to_completion()
+        }
+        "unicast-flood" => {
+            let a = TokenAssignment::single_source(cfg.n, cfg.k, NodeId::new(0));
+            let mut sim = UnicastSim::new(
+                "unicast-flooding",
+                UnicastFlooding::nodes(&a),
+                adversary,
+                &a,
+                sim_cfg,
+            );
+            sim.run_to_completion()
+        }
+        "phased-flood" => {
+            let a = TokenAssignment::round_robin_sources(cfg.n, cfg.k, cfg.s);
+            let mut sim = BroadcastSim::new(
+                "phased-flooding",
+                PhasedFlooding::nodes(&a),
+                adversary,
+                &a,
+                sim_cfg,
+            );
+            sim.run_to_completion()
+        }
+        "rlnc" => {
+            let a = TokenAssignment::round_robin_sources(cfg.n, cfg.k, cfg.s);
+            let mut sim = BroadcastSim::new(
+                "rlnc-gossip",
+                RlncNode::nodes(&a, cfg.seed),
+                adversary,
+                &a,
+                sim_cfg,
+            );
+            sim.run_to_completion()
+        }
+        "oblivious" => {
+            let a = TokenAssignment::round_robin_sources(cfg.n, cfg.k, cfg.s);
+            let adversary2 = parse_adversary(&cfg.adv, cfg.n, cfg.seed + 1)?;
+            let ob_cfg = ObliviousConfig {
+                seed: cfg.seed,
+                source_threshold: Some((cfg.n as f64).powf(2.0 / 3.0)),
+                ..ObliviousConfig::default()
+            };
+            let out = run_oblivious_multi_source(&a, adversary, adversary2, &ob_cfg);
+            let mut text = String::new();
+            if let Some(p1) = &out.phase1 {
+                text.push_str(&format!("{p1}\n"));
+            }
+            text.push_str(&format!("{}\n", out.phase2));
+            text.push_str(&format!(
+                "total: {} messages in {} rounds, amortized {:.1}/token, {} centers",
+                out.total_messages(),
+                out.total_rounds(),
+                out.amortized(),
+                out.centers.len()
+            ));
+            return Ok(text);
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    Ok(report.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(cfg) => match run(&cfg) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: spread [--alg ALG] [--adv ADV] [--n N] [--k K] [--s S] \
+                 [--seed SEED] [--max-rounds R] [--kt0]\n\
+                 ALG:  single-source | multi-source | unicast-flood | phased-flood | rlnc | oblivious\n\
+                 ADV:  static:TOPO | rewire:TOPO:PERIOD | markov:P_ON:P_OFF:SIGMA | churn:TOPO:C:SIGMA\n\
+                 TOPO: path | cycle | star | complete | tree | gnp:P | sparse:C | regular:D"
+            );
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg, Config::default());
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let cfg = parse_args(&args("--n 10 --k 5 --s 2 --seed 7 --kt0")).unwrap();
+        assert_eq!(cfg.n, 10);
+        assert_eq!(cfg.k, 5);
+        assert_eq!(cfg.s, 2);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.kt0);
+    }
+
+    #[test]
+    fn rejects_bad_flags_and_values() {
+        assert!(parse_args(&args("--bogus 1")).is_err());
+        assert!(parse_args(&args("--n")).is_err());
+        assert!(parse_args(&args("--n zero")).is_err());
+        assert!(parse_args(&args("--n 1")).is_err());
+        assert!(parse_args(&args("--n 4 --s 9")).is_err());
+    }
+
+    #[test]
+    fn topology_specs_parse() {
+        assert_eq!(parse_topology("path").unwrap(), Topology::Path);
+        assert_eq!(parse_topology("gnp:0.3").unwrap(), Topology::Gnp(0.3));
+        assert_eq!(
+            parse_topology("sparse:2.5").unwrap(),
+            Topology::SparseConnected(2.5)
+        );
+        assert_eq!(parse_topology("regular:4").unwrap(), Topology::NearRegular(4));
+        assert!(parse_topology("hex").is_err());
+        assert!(parse_topology("gnp:x").is_err());
+    }
+
+    #[test]
+    fn adversary_specs_parse() {
+        assert!(parse_adversary("static:complete", 6, 1).is_ok());
+        assert!(parse_adversary("rewire:tree:3", 6, 1).is_ok());
+        assert!(parse_adversary("rewire:gnp:0.3:3", 6, 1).is_ok());
+        assert!(parse_adversary("markov:0.1:0.2:2", 6, 1).is_ok());
+        assert!(parse_adversary("churn:sparse:2.0:2:3", 6, 1).is_ok());
+        assert!(parse_adversary("quantum:1", 6, 1).is_err());
+        assert!(parse_adversary("rewire:tree", 6, 1).is_err());
+    }
+
+    #[test]
+    fn end_to_end_small_runs() {
+        for alg in [
+            "single-source",
+            "multi-source",
+            "unicast-flood",
+            "phased-flood",
+            "rlnc",
+            "oblivious",
+        ] {
+            let cfg = Config {
+                alg: alg.into(),
+                adv: "rewire:tree:3".into(),
+                n: 8,
+                k: 8,
+                s: 4,
+                seed: 5,
+                max_rounds: 200_000,
+                kt0: false,
+            };
+            let out = run(&cfg).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(out.contains("completed"), "{alg} output: {out}");
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        let cfg = Config {
+            alg: "teleport".into(),
+            ..Config::default()
+        };
+        assert!(run(&cfg).is_err());
+    }
+}

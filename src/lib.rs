@@ -1,0 +1,55 @@
+//! # dynspread — information spreading in adversarial dynamic networks
+//!
+//! A from-scratch Rust reproduction of *The Communication Cost of
+//! Information Spreading in Dynamic Networks* (Ahmadi, Kuhn, Kutten,
+//! Molla, Pandurangan; ICDCS 2019): the synchronous adversarial
+//! dynamic-network model, all four token-forwarding dissemination
+//! algorithms, their baselines, the Section 2 lower-bound adversary, and
+//! a benchmark harness regenerating every table and figure.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name and hosts the cross-crate integration tests and runnable
+//! examples.
+//!
+//! * [`graph`] — dynamic graphs, σ-edge stability, `TC(E)` accounting,
+//!   generators, oblivious adversaries.
+//! * [`sim`] — the synchronous round engines, message metering
+//!   (Definition 1.1), token-learning tracking (Definition 1.4).
+//! * [`core`] — Algorithms 1 & 2, Multi-Source-Unicast, flooding,
+//!   baselines, the potential adversary of Theorem 2.3, random walks.
+//! * [`analysis`] — statistics, power-law fits, adversary-competitive
+//!   accounting (Definition 1.3), result tables.
+//!
+//! # Quickstart
+//!
+//! Disseminate 32 tokens from one source over a dynamic network that
+//! rewires to a fresh random tree every 3 rounds:
+//!
+//! ```
+//! use dynspread::core::single_source::SingleSourceNode;
+//! use dynspread::graph::{generators::Topology, oblivious::PeriodicRewiring, NodeId};
+//! use dynspread::sim::{SimConfig, TokenAssignment, UnicastSim};
+//!
+//! let (n, k) = (16, 32);
+//! let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+//! let adversary = PeriodicRewiring::new(Topology::RandomTree, 3, 42);
+//! let mut sim = UnicastSim::new(
+//!     "single-source-unicast",
+//!     SingleSourceNode::nodes(&assignment),
+//!     adversary,
+//!     &assignment,
+//!     SimConfig::default(),
+//! );
+//! let report = sim.run_to_completion();
+//! assert!(report.completed);
+//! // Theorem 3.1: messages − TC(E) = O(n² + nk).
+//! assert!(report.competitive_residual(1.0) <= 4.0 * ((n * n + n * k) as f64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dynspread_analysis as analysis;
+pub use dynspread_core as core;
+pub use dynspread_graph as graph;
+pub use dynspread_sim as sim;

@@ -1,0 +1,196 @@
+//! Integration matrix: every dissemination algorithm against every
+//! adversary family it is specified for, with the paper's correctness and
+//! accounting invariants checked end-to-end.
+
+use dynspread::core::baselines::{TreeBroadcastStatic, UnicastFlooding};
+use dynspread::core::flooding::{FloodingBroadcast, PhasedFlooding};
+use dynspread::core::multi_source::MultiSourceNode;
+use dynspread::core::single_source::SingleSourceNode;
+use dynspread::graph::adversary::Adversary;
+use dynspread::graph::generators::Topology;
+use dynspread::graph::oblivious::{
+    ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary,
+};
+use dynspread::graph::{Graph, NodeId};
+use dynspread::sim::message::MessageClass;
+use dynspread::sim::{BroadcastSim, RunReport, SimConfig, TokenAssignment, UnicastSim};
+
+fn adversaries(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(StaticAdversary::new(Graph::path(12))),
+        Box::new(StaticAdversary::new(Graph::complete(12))),
+        Box::new(PeriodicRewiring::new(Topology::RandomTree, 3, seed)),
+        Box::new(PeriodicRewiring::new(Topology::Gnp(0.3), 3, seed + 1)),
+        Box::new(ChurnAdversary::new(
+            Topology::SparseConnected(2.0),
+            2,
+            3,
+            seed + 2,
+        )),
+        Box::new(EdgeMarkovian::new(0.08, 0.2, 2, seed + 3)),
+    ]
+}
+
+/// The universal correctness invariants of a completed dissemination run.
+fn check_report(report: &RunReport, n: usize, k: usize, initial_knowledge_total: usize) {
+    assert!(report.completed, "did not complete: {report}");
+    assert_eq!(report.n, n);
+    assert_eq!(report.k, k);
+    // Exactly (nk − initial knowledge) learnings happen, each exactly once.
+    assert_eq!(
+        report.learnings,
+        (n * k - initial_knowledge_total) as u64,
+        "wrong learning count: {report}"
+    );
+}
+
+#[test]
+fn single_source_against_all_adversaries() {
+    let (n, k) = (12, 9);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    for (i, adversary) in adversaries(10).into_iter().enumerate() {
+        let mut sim = UnicastSim::new(
+            "single-source",
+            SingleSourceNode::nodes(&assignment),
+            adversary,
+            &assignment,
+            SimConfig::with_max_rounds(500_000),
+        );
+        let report = sim.run_to_completion();
+        check_report(&report, n, k, k);
+        // Tokens are sent only in response to requests and learned once.
+        assert_eq!(report.class(MessageClass::Token), report.learnings, "arm {i}");
+        assert!(report.class(MessageClass::Completeness) <= (n * (n - 1)) as u64);
+    }
+}
+
+#[test]
+fn multi_source_against_all_adversaries() {
+    let (n, k, s) = (12, 12, 4);
+    let assignment = TokenAssignment::round_robin_sources(n, k, s);
+    for adversary in adversaries(20) {
+        let (nodes, _map) = MultiSourceNode::nodes(&assignment);
+        let mut sim = UnicastSim::new(
+            "multi-source",
+            nodes,
+            adversary,
+            &assignment,
+            SimConfig::with_max_rounds(500_000),
+        );
+        let report = sim.run_to_completion();
+        check_report(&report, n, k, k);
+        assert_eq!(report.class(MessageClass::Token), report.learnings);
+        assert!(report.class(MessageClass::Completeness) <= (n * n * s) as u64);
+    }
+}
+
+#[test]
+fn phased_flooding_against_all_adversaries() {
+    let (n, k) = (12, 6);
+    let assignment = TokenAssignment::round_robin_sources(n, k, 6);
+    for adversary in adversaries(30) {
+        let mut sim = BroadcastSim::new(
+            "phased-flooding",
+            PhasedFlooding::nodes(&assignment),
+            adversary,
+            &assignment,
+            SimConfig::with_max_rounds((n * k) as u64),
+        );
+        let report = sim.run_to_completion();
+        check_report(&report, n, k, k);
+        // Completion within one sweep of nk rounds.
+        assert!(report.rounds <= (n * k) as u64);
+        // Broadcast-only algorithm.
+        assert_eq!(report.unicast_messages, 0);
+    }
+}
+
+#[test]
+fn budgeted_flooding_against_all_adversaries() {
+    let (n, k) = (12, 4);
+    let assignment = TokenAssignment::round_robin_sources(n, k, 4);
+    for adversary in adversaries(40) {
+        let mut sim = BroadcastSim::new(
+            "budgeted-flooding",
+            FloodingBroadcast::nodes(&assignment),
+            adversary,
+            &assignment,
+            SimConfig::with_max_rounds(100_000),
+        );
+        let report = sim.run_to_completion();
+        check_report(&report, n, k, k);
+        // Budget: every (node, token) pair broadcasts at most n times.
+        assert!(report.total_messages <= (n * n * k) as u64);
+    }
+}
+
+#[test]
+fn unicast_flooding_against_all_adversaries() {
+    let (n, k) = (12, 5);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(3));
+    for adversary in adversaries(50) {
+        let mut sim = UnicastSim::new(
+            "unicast-flooding",
+            UnicastFlooding::nodes(&assignment),
+            adversary,
+            &assignment,
+            SimConfig::with_max_rounds(200_000),
+        );
+        let report = sim.run_to_completion();
+        check_report(&report, n, k, k);
+        // Each (sender, token, receiver) at most once → ≤ n²k messages.
+        assert!(report.total_messages <= (n * n * k) as u64);
+    }
+}
+
+#[test]
+fn tree_broadcast_on_static_topologies() {
+    let (n, k) = (12, 18);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    for g in [Graph::path(n), Graph::cycle(n), Graph::star(n), Graph::complete(n)] {
+        let m = g.edge_count();
+        let mut sim = UnicastSim::new(
+            "tree-broadcast",
+            TreeBroadcastStatic::nodes(NodeId::new(0), &assignment),
+            StaticAdversary::new(g),
+            &assignment,
+            SimConfig::with_max_rounds(10_000),
+        );
+        let report = sim.run_to_completion();
+        check_report(&report, n, k, k);
+        assert_eq!(report.class(MessageClass::Token), (k * (n - 1)) as u64);
+        assert!(report.class(MessageClass::Control) <= (2 * m + n) as u64);
+    }
+}
+
+#[test]
+fn all_unicast_algorithms_agree_on_learning_totals() {
+    // Different algorithms, same instance: identical learning totals
+    // (nk − k), different message costs.
+    let (n, k) = (10, 10);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let expected = (n * k - k) as u64;
+
+    let mut ss = UnicastSim::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 60),
+        &assignment,
+        SimConfig::with_max_rounds(500_000),
+    );
+    let ss_report = ss.run_to_completion();
+    assert_eq!(ss_report.learnings, expected);
+
+    let mut uf = UnicastSim::new(
+        "uf",
+        UnicastFlooding::nodes(&assignment),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 60),
+        &assignment,
+        SimConfig::with_max_rounds(500_000),
+    );
+    let uf_report = uf.run_to_completion();
+    assert_eq!(uf_report.learnings, expected);
+
+    // Algorithm 1 is dramatically cheaper than naive unicast flooding.
+    assert!(ss_report.total_messages < uf_report.total_messages);
+}

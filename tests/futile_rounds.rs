@@ -1,0 +1,102 @@
+//! Verification of the futile-round analysis (Definition 3.3,
+//! Lemmas 3.2/3.3) behind Theorem 3.4.
+//!
+//! Definition 3.3: round `r` is *futile* if no token request is sent over a
+//! contributive edge in round `r`, and no token learning occurs in rounds
+//! `r + 1` and `r + 2`. Lemma 3.3: on a 3-edge-stable dynamic network there
+//! are at most `n` futile rounds until the last token request is sent.
+
+use dynspread::core::single_source::SingleSourceNode;
+use dynspread::graph::generators::Topology;
+use dynspread::graph::oblivious::{ChurnAdversary, PeriodicRewiring};
+use dynspread::graph::NodeId;
+use dynspread::sim::message::MessageClass;
+use dynspread::sim::{SimConfig, TokenAssignment, UnicastSim};
+
+/// Runs Algorithm 1 while recording, per round, whether any node sent a
+/// request over a contributive edge; returns the futile-round count.
+fn count_futile_rounds<A>(n: usize, k: usize, adversary: A) -> (u64, dynspread::sim::RunReport)
+where
+    A: dynspread::sim::adversary::UnicastAdversary<dynspread::core::single_source::SsMsg>,
+{
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let mut sim = UnicastSim::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        adversary,
+        &assignment,
+        SimConfig::with_max_rounds(1_000_000),
+    );
+    let mut contributive_by_round: Vec<bool> = Vec::new();
+    let mut requests_by_round: Vec<u64> = Vec::new();
+    let mut prev_contributive_total = 0u64;
+    let mut prev_request_total = 0u64;
+    while !sim.tracker().all_complete() && sim.dynamic_graph().round() < 1_000_000 {
+        sim.step();
+        let contributive_total: u64 = sim
+            .nodes()
+            .iter()
+            .map(|node| node.requests_sent_by_category()[2])
+            .sum();
+        contributive_by_round.push(contributive_total > prev_contributive_total);
+        prev_contributive_total = contributive_total;
+        let request_total = sim.meter().by_class(MessageClass::Request);
+        requests_by_round.push(request_total - prev_request_total);
+        prev_request_total = request_total;
+    }
+    let report = sim.report();
+    assert!(report.completed, "{report}");
+    // Last round in which any token request was sent.
+    let last_request_round = requests_by_round
+        .iter()
+        .rposition(|&r| r > 0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let learnings = sim.tracker().learnings_per_round();
+    let learned = |round1: usize| -> bool {
+        round1 >= 1 && round1 <= learnings.len() && learnings[round1 - 1] > 0
+    };
+    let mut futile = 0u64;
+    for r in 1..=last_request_round {
+        let contributive_request = contributive_by_round[r - 1];
+        if !contributive_request && !learned(r + 1) && !learned(r + 2) {
+            futile += 1;
+        }
+    }
+    (futile, report)
+}
+
+#[test]
+fn lemma_3_3_futile_rounds_bounded_on_three_stable_rewiring() {
+    for (n, k, seed) in [(10usize, 10usize, 1u64), (16, 8, 2), (20, 20, 3)] {
+        let adv = PeriodicRewiring::new(Topology::RandomTree, 3, seed);
+        let (futile, report) = count_futile_rounds(n, k, adv);
+        assert!(
+            futile <= n as u64,
+            "n={n} k={k}: {futile} futile rounds > n (report: {report})"
+        );
+    }
+}
+
+#[test]
+fn lemma_3_3_futile_rounds_bounded_under_churn() {
+    for (n, k, seed) in [(12usize, 12usize, 5u64), (16, 16, 6)] {
+        let adv = ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, seed);
+        let (futile, report) = count_futile_rounds(n, k, adv);
+        assert!(
+            futile <= n as u64,
+            "n={n} k={k}: {futile} futile rounds > n (report: {report})"
+        );
+    }
+}
+
+#[test]
+fn no_futile_rounds_on_static_graphs() {
+    // On a static clique nothing is ever removed, so every non-learning
+    // gap is covered by contributive requests or completion.
+    let adv = dynspread::graph::oblivious::StaticAdversary::new(
+        dynspread::graph::Graph::complete(10),
+    );
+    let (futile, _) = count_futile_rounds(10, 6, adv);
+    assert_eq!(futile, 0);
+}

@@ -1,0 +1,145 @@
+//! Hand-computed known-answer tests on tiny instances.
+//!
+//! These pin down the exact round-by-round behavior of each protocol on
+//! instances small enough to verify by hand; any unintended change to
+//! message scheduling shows up here first.
+
+use dynspread::core::baselines::TreeBroadcastStatic;
+use dynspread::core::flooding::PhasedFlooding;
+use dynspread::core::multi_source::MultiSourceNode;
+use dynspread::core::network_coding::RlncNode;
+use dynspread::core::single_source::SingleSourceNode;
+use dynspread::graph::oblivious::StaticAdversary;
+use dynspread::graph::{Graph, NodeId};
+use dynspread::sim::message::MessageClass;
+use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
+
+#[test]
+fn single_source_two_nodes_one_token() {
+    // Round 1: source announces completeness.
+    // Round 2: node 1 requests the token (edge is new).
+    // Round 3: source answers; node 1 completes.
+    let a = TokenAssignment::single_source(2, 1, NodeId::new(0));
+    let mut sim = UnicastSim::new(
+        "ss",
+        SingleSourceNode::nodes(&a),
+        StaticAdversary::new(Graph::path(2)),
+        &a,
+        SimConfig::default(),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed);
+    assert_eq!(report.rounds, 3);
+    assert_eq!(report.total_messages, 3);
+    assert_eq!(report.class(MessageClass::Completeness), 1);
+    assert_eq!(report.class(MessageClass::Request), 1);
+    assert_eq!(report.class(MessageClass::Token), 1);
+}
+
+#[test]
+fn multi_source_two_nodes_two_sources() {
+    // Each node is the source of one token.
+    // Round 1: both announce completeness w.r.t. themselves.
+    // Round 2: both request the other's token (new edge).
+    // Round 3: both answer; both complete.
+    let a = TokenAssignment::round_robin_sources(2, 2, 2);
+    let (nodes, _map) = MultiSourceNode::nodes(&a);
+    let mut sim = UnicastSim::new(
+        "ms",
+        nodes,
+        StaticAdversary::new(Graph::path(2)),
+        &a,
+        SimConfig::default(),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed);
+    assert_eq!(report.rounds, 3);
+    assert_eq!(report.total_messages, 6);
+    assert_eq!(report.class(MessageClass::Completeness), 2);
+    assert_eq!(report.class(MessageClass::Request), 2);
+    assert_eq!(report.class(MessageClass::Token), 2);
+}
+
+#[test]
+fn phased_flooding_path_three_nodes_one_token() {
+    // Phase 0 covers rounds 1..=3; token 0 starts at node 0.
+    // Round 1: node 0 broadcasts (1 message), node 1 learns.
+    // Round 2: nodes 0 and 1 broadcast (2 messages), node 2 learns.
+    let a = TokenAssignment::single_source(3, 1, NodeId::new(0));
+    let mut sim = BroadcastSim::new(
+        "phased",
+        PhasedFlooding::nodes(&a),
+        StaticAdversary::new(Graph::path(3)),
+        &a,
+        SimConfig::default(),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed);
+    assert_eq!(report.rounds, 2);
+    assert_eq!(report.total_messages, 3);
+    assert_eq!(report.learnings, 2);
+}
+
+#[test]
+fn rlnc_two_nodes_completes_in_one_round() {
+    // Both nodes broadcast their unit vector; both reach rank 2.
+    let a = TokenAssignment::n_gossip(2);
+    let mut sim = BroadcastSim::new(
+        "rlnc",
+        RlncNode::nodes(&a, 1),
+        StaticAdversary::new(Graph::path(2)),
+        &a,
+        SimConfig::default(),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed);
+    assert_eq!(report.rounds, 1);
+    assert_eq!(report.total_messages, 2);
+}
+
+#[test]
+fn tree_broadcast_path_three_nodes_two_tokens() {
+    // Round 1: root joins node 1.          (1 msg: Join)
+    // Round 2: node 1 replies Child, joins node 2.  (2 msgs)
+    // Round 3: root pipes token 0; node 2 replies Child. (2 msgs)
+    // Round 4: root pipes token 1; node 1 pipes token 0. (2 msgs)
+    // Round 5: node 1 pipes token 1.       (1 msg) → done.
+    let a = TokenAssignment::single_source(3, 2, NodeId::new(0));
+    let mut sim = UnicastSim::new(
+        "tree",
+        TreeBroadcastStatic::nodes(NodeId::new(0), &a),
+        StaticAdversary::new(Graph::path(3)),
+        &a,
+        SimConfig::default(),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed);
+    assert_eq!(report.rounds, 5);
+    assert_eq!(report.class(MessageClass::Control), 4); // 2 Join + 2 Child
+    assert_eq!(report.class(MessageClass::Token), 4); // 2 tokens × 2 hops
+    assert_eq!(report.total_messages, 8);
+}
+
+#[test]
+fn single_source_star_is_bounded_by_parallel_requests() {
+    // Star with the source at the hub: all leaves request in parallel.
+    // Round 1: hub announces to all n−1 leaves.
+    // Round 2: every leaf requests its first missing token.
+    // Rounds 3…k+2: hub answers one token per leaf per round while leaves
+    // pipeline their next request (one request per edge per round).
+    let (n, k) = (5, 3);
+    let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let mut sim = UnicastSim::new(
+        "ss",
+        SingleSourceNode::nodes(&a),
+        StaticAdversary::new(Graph::star(n)),
+        &a,
+        SimConfig::default(),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed);
+    // Pipelined: announcement round + first-request round + k answer
+    // rounds = k + 2.
+    assert_eq!(report.rounds, (k + 2) as u64);
+    assert_eq!(report.class(MessageClass::Token), ((n - 1) * k) as u64);
+}

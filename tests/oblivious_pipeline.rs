@@ -1,0 +1,138 @@
+//! Integration tests of the full Oblivious-Multi-Source pipeline
+//! (Algorithm 2): phase hand-off invariants, accounting conservation,
+//! and end-to-end correctness.
+
+use dynspread::core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
+use dynspread::graph::generators::Topology;
+use dynspread::graph::oblivious::{EdgeMarkovian, PeriodicRewiring, StaticAdversary};
+use dynspread::graph::Graph;
+use dynspread::sim::message::MessageClass;
+use dynspread::sim::TokenAssignment;
+
+fn two_phase_config(seed: u64) -> ObliviousConfig {
+    ObliviousConfig {
+        seed,
+        source_threshold: Some(1.0), // force phase 1 at small scale
+        center_probability: Some(0.25),
+        ..ObliviousConfig::default()
+    }
+}
+
+#[test]
+fn pipeline_completes_on_n_gossip() {
+    let n = 18;
+    let assignment = TokenAssignment::n_gossip(n);
+    let out = run_oblivious_multi_source(
+        &assignment,
+        PeriodicRewiring::new(Topology::Gnp(0.25), 3, 1),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 2),
+        &two_phase_config(3),
+    );
+    assert!(out.completed(), "{}", out.phase2);
+    assert!(out.phase1.is_some());
+    assert_eq!(out.stranded_tokens, 0);
+    // All centers are actual nodes; at least one exists.
+    assert!(!out.centers.is_empty());
+    assert!(out.centers.len() <= n);
+}
+
+#[test]
+fn totals_are_sums_of_phases() {
+    let n = 16;
+    let assignment = TokenAssignment::round_robin_sources(n, 2 * n, n);
+    let out = run_oblivious_multi_source(
+        &assignment,
+        PeriodicRewiring::new(Topology::Gnp(0.3), 3, 4),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 5),
+        &two_phase_config(6),
+    );
+    assert!(out.completed());
+    let p1 = out.phase1.as_ref().unwrap();
+    assert_eq!(
+        out.total_messages(),
+        p1.total_messages + out.phase2.total_messages
+    );
+    assert_eq!(out.total_rounds(), p1.rounds + out.phase2.rounds);
+    assert_eq!(out.total_tc(), p1.tc() + out.phase2.tc());
+}
+
+#[test]
+fn phase_one_only_walks_and_announces() {
+    let n = 16;
+    let assignment = TokenAssignment::n_gossip(n);
+    let out = run_oblivious_multi_source(
+        &assignment,
+        EdgeMarkovian::new(0.1, 0.2, 2, 7),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 8),
+        &two_phase_config(9),
+    );
+    assert!(out.completed());
+    let p1 = out.phase1.as_ref().unwrap();
+    assert_eq!(p1.class(MessageClass::Request), 0);
+    assert_eq!(p1.class(MessageClass::Completeness), 0);
+    assert_eq!(
+        p1.total_messages,
+        p1.class(MessageClass::Walk) + p1.class(MessageClass::CenterAnnounce)
+    );
+    // Phase 2 never sends walk messages.
+    assert_eq!(out.phase2.class(MessageClass::Walk), 0);
+}
+
+#[test]
+fn direct_path_taken_for_few_sources() {
+    let n = 16;
+    let assignment = TokenAssignment::round_robin_sources(n, 8, 2);
+    let out = run_oblivious_multi_source(
+        &assignment,
+        StaticAdversary::new(Graph::path(n)),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 10),
+        &ObliviousConfig::default(), // paper threshold ≫ 2 sources
+    );
+    assert!(out.phase1.is_none());
+    assert!(out.completed());
+    assert_eq!(out.centers, assignment.sources());
+}
+
+#[test]
+fn stranded_tokens_become_fallback_sources() {
+    // Phase 1 capped at 1 round: almost every token is still in transit;
+    // the pipeline must still complete via fallback sources.
+    let n = 14;
+    let assignment = TokenAssignment::n_gossip(n);
+    let cfg = ObliviousConfig {
+        seed: 11,
+        source_threshold: Some(1.0),
+        center_probability: Some(0.2),
+        phase1_max_rounds: 1,
+        ..ObliviousConfig::default()
+    };
+    let out = run_oblivious_multi_source(
+        &assignment,
+        PeriodicRewiring::new(Topology::Gnp(0.3), 3, 12),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 13),
+        &cfg,
+    );
+    assert!(out.completed(), "{}", out.phase2);
+    assert!(
+        out.stranded_tokens > 0,
+        "with a 1-round phase 1 some tokens must be stranded"
+    );
+}
+
+#[test]
+fn every_node_knows_every_token_at_the_end() {
+    let n = 15;
+    let k = 15;
+    let assignment = TokenAssignment::n_gossip(n);
+    let _ = k;
+    let out = run_oblivious_multi_source(
+        &assignment,
+        PeriodicRewiring::new(Topology::Gnp(0.3), 3, 14),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 15),
+        &two_phase_config(16),
+    );
+    assert!(out.completed());
+    // learnings in phase1 + phase2 = nk − k (initial holders know theirs).
+    let p1 = out.phase1.as_ref().unwrap();
+    assert_eq!(p1.learnings + out.phase2.learnings, (n * n - n) as u64);
+}

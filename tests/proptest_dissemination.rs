@@ -1,0 +1,137 @@
+//! Property-based end-to-end tests: random instances, random (oblivious)
+//! dynamics — dissemination must always complete with exact accounting.
+
+use dynspread::core::multi_source::MultiSourceNode;
+use dynspread::core::single_source::{RequestPolicy, SingleSourceNode};
+use dynspread::graph::adversary::Adversary;
+use dynspread::graph::generators::Topology;
+use dynspread::graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewiring};
+use dynspread::sim::message::MessageClass;
+use dynspread::sim::{SimConfig, TokenAssignment, UnicastSim};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum AdversaryKind {
+    Rewire(u64),
+    Churn,
+    Markovian,
+}
+
+fn adversary_strategy() -> impl Strategy<Value = AdversaryKind> {
+    prop_oneof![
+        (1u64..6).prop_map(AdversaryKind::Rewire),
+        Just(AdversaryKind::Churn),
+        Just(AdversaryKind::Markovian),
+    ]
+}
+
+fn make_adversary(kind: AdversaryKind, seed: u64) -> Box<dyn Adversary> {
+    match kind {
+        AdversaryKind::Rewire(period) => Box::new(PeriodicRewiring::new(
+            Topology::RandomTree,
+            period,
+            seed,
+        )),
+        AdversaryKind::Churn => Box::new(ChurnAdversary::new(
+            Topology::SparseConnected(2.0),
+            2,
+            3,
+            seed,
+        )),
+        AdversaryKind::Markovian => Box::new(EdgeMarkovian::new(0.1, 0.25, 2, seed)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn single_source_always_completes_with_exact_accounting(
+        n in 4usize..14,
+        k in 1usize..12,
+        kind in adversary_strategy(),
+        seed in 0u64..10_000,
+        prioritized in prop::bool::ANY,
+    ) {
+        let assignment = TokenAssignment::single_source(n, k, dynspread::graph::NodeId::new(0));
+        let policy = if prioritized {
+            RequestPolicy::Prioritized
+        } else {
+            RequestPolicy::Unprioritized
+        };
+        let nodes = dynspread::graph::NodeId::all(n)
+            .map(|v| SingleSourceNode::with_policy(v, &assignment, policy))
+            .collect();
+        let mut sim = UnicastSim::new(
+            "ss",
+            nodes,
+            make_adversary(kind, seed),
+            &assignment,
+            SimConfig::with_max_rounds(2_000_000),
+        );
+        let report = sim.run_to_completion();
+        prop_assert!(report.completed, "{report}");
+        // Exact learning count; every token message is a learning.
+        prop_assert_eq!(report.learnings, (k * (n - 1)) as u64);
+        prop_assert_eq!(report.class(MessageClass::Token), report.learnings);
+        // Announcements bounded by n(n−1); requests ≥ tokens.
+        prop_assert!(report.class(MessageClass::Completeness) <= (n * (n - 1)) as u64);
+        prop_assert!(report.class(MessageClass::Request) >= report.class(MessageClass::Token));
+        // Theorem 3.1 with a liberal constant (8): holds on every instance.
+        prop_assert!(
+            report.competitive_residual(1.0) <= 8.0 * ((n * n + n * k) as f64),
+            "competitive bound violated: {}", report
+        );
+    }
+
+    #[test]
+    fn multi_source_always_completes_with_exact_accounting(
+        n in 4usize..12,
+        k in 1usize..14,
+        s_raw in 1usize..12,
+        kind in adversary_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let s = s_raw.min(n).min(k);
+        let assignment = TokenAssignment::round_robin_sources(n, k, s);
+        let (nodes, _map) = MultiSourceNode::nodes(&assignment);
+        let mut sim = UnicastSim::new(
+            "ms",
+            nodes,
+            make_adversary(kind, seed),
+            &assignment,
+            SimConfig::with_max_rounds(2_000_000),
+        );
+        let report = sim.run_to_completion();
+        prop_assert!(report.completed, "{report}");
+        prop_assert_eq!(report.learnings, (k * (n - 1)) as u64);
+        prop_assert_eq!(report.class(MessageClass::Token), report.learnings);
+        prop_assert!(report.class(MessageClass::Completeness) <= (n * n * s) as u64);
+        prop_assert!(
+            report.competitive_residual(1.0) <= 8.0 * ((n * n * s + n * k) as f64),
+            "competitive bound violated: {}", report
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seeds(
+        n in 4usize..10,
+        k in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let run = || {
+            let assignment =
+                TokenAssignment::single_source(n, k, dynspread::graph::NodeId::new(0));
+            let mut sim = UnicastSim::new(
+                "ss",
+                SingleSourceNode::nodes(&assignment),
+                PeriodicRewiring::new(Topology::RandomTree, 3, seed),
+                &assignment,
+                SimConfig::with_max_rounds(1_000_000),
+            );
+            let r = sim.run_to_completion();
+            (r.total_messages, r.rounds, r.tc())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,67 @@
+//! Large-scale stress runs (ignored by default — run with
+//! `cargo test --release -- --ignored`).
+
+use dynspread::core::multi_source::MultiSourceNode;
+use dynspread::core::single_source::SingleSourceNode;
+use dynspread::graph::generators::Topology;
+use dynspread::graph::oblivious::PeriodicRewiring;
+use dynspread::graph::NodeId;
+use dynspread::sim::{SimConfig, TokenAssignment, UnicastSim};
+
+#[test]
+#[ignore = "large-scale run; use --release"]
+fn single_source_at_scale() {
+    let (n, k) = (96usize, 192usize);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let mut sim = UnicastSim::new(
+        "ss-scale",
+        SingleSourceNode::nodes(&assignment),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 1),
+        &assignment,
+        SimConfig::with_max_rounds(10_000_000),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed, "{report}");
+    assert!(report.competitive_residual(1.0) <= 4.0 * ((n * n + n * k) as f64));
+    assert!(report.rounds <= (8 * n * k) as u64);
+}
+
+#[test]
+#[ignore = "large-scale run; use --release"]
+fn multi_source_at_scale() {
+    let (n, k, s) = (64usize, 128usize, 16usize);
+    let assignment = TokenAssignment::round_robin_sources(n, k, s);
+    let (nodes, _map) = MultiSourceNode::nodes(&assignment);
+    let mut sim = UnicastSim::new(
+        "ms-scale",
+        nodes,
+        PeriodicRewiring::new(Topology::RandomTree, 3, 2),
+        &assignment,
+        SimConfig::with_max_rounds(10_000_000),
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed, "{report}");
+    assert!(report.competitive_residual(1.0) <= 4.0 * ((n * n * s + n * k) as f64));
+}
+
+#[test]
+#[ignore = "large-scale run; use --release"]
+fn n_gossip_at_scale_with_the_oblivious_algorithm() {
+    use dynspread::core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
+    let n = 64usize;
+    let assignment = TokenAssignment::n_gossip(n);
+    let cfg = ObliviousConfig {
+        seed: 3,
+        source_threshold: Some((n as f64).powf(2.0 / 3.0)),
+        center_probability: Some(0.25),
+        ..ObliviousConfig::default()
+    };
+    let out = run_oblivious_multi_source(
+        &assignment,
+        PeriodicRewiring::new(Topology::Gnp(0.15), 3, 4),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 5),
+        &cfg,
+    );
+    assert!(out.completed());
+    assert!(out.centers.len() < n);
+}

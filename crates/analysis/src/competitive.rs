@@ -73,8 +73,8 @@ pub fn multi_source_bound(s: usize) -> impl Fn(&RunReport) -> f64 {
 mod tests {
     use super::*;
     use dynspread_graph::TopologyMeter;
-    use dynspread_sim::meter::MessageMeter;
     use dynspread_sim::message::MessageClass;
+    use dynspread_sim::meter::MessageMeter;
 
     fn report(n: usize, k: usize, msgs: u64, tc: u64) -> RunReport {
         let mut meter = MessageMeter::new();

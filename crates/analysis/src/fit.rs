@@ -43,7 +43,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { f64::NAN };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        f64::NAN
+    };
     LinearFit {
         intercept,
         slope,

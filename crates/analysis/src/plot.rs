@@ -41,7 +41,11 @@ pub fn column_chart(values: &[f64], width: usize, height: usize) -> String {
     for row in (1..=height).rev() {
         let threshold = max * (row as f64 - 0.5) / height as f64;
         for &v in &binned {
-            out.push(if max > 0.0 && v >= threshold { '█' } else { ' ' });
+            out.push(if max > 0.0 && v >= threshold {
+                '█'
+            } else {
+                ' '
+            });
         }
         out.push('\n');
     }

@@ -1,7 +1,11 @@
 //! Criterion benches of the substrates: graph generators, union–find,
 //! token sets, the free-edge computation, and the stability enforcer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dynspread_bench::perf::{
+    prepare_updates, run_baseline_schedule, run_delta_schedule, sample_schedule,
+    to_baseline_graphs, to_graphs,
+};
 use dynspread_core::lower_bound::{free_edge_structure, KPrimeSets};
 use dynspread_graph::generators::{gnp_connected, random_tree, Topology};
 use dynspread_graph::stability::StabilityEnforcer;
@@ -108,6 +112,31 @@ fn bench_stability_enforcer(c: &mut Criterion) {
     });
 }
 
+/// The acceptance benchmark of the data-plane overhaul: per-round
+/// `DynamicGraph` update + connectivity at n = 512 under the default
+/// 3-stable rewiring workload — frozen seed baseline vs. the live
+/// delta-applied path. `bench_core` records the same kernels in
+/// `BENCH_core.json`.
+fn bench_dynamic_advance(c: &mut Criterion) {
+    let n = 512;
+    let rounds = 30;
+    let schedule = sample_schedule(n, rounds, 3, 42);
+    let baseline_graphs = to_baseline_graphs(n, &schedule);
+    let graphs = to_graphs(n, &schedule);
+    let mut group = c.benchmark_group("dynamic_advance_connectivity_n512");
+    group.bench_function("baseline_btreeset_clone", |b| {
+        b.iter(|| run_baseline_schedule(n, &baseline_graphs));
+    });
+    group.bench_function("delta_applied", |b| {
+        b.iter_batched(
+            || prepare_updates(&graphs),
+            |updates| run_delta_schedule(n, updates),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
 fn bench_bfs(c: &mut Criterion) {
     c.bench_function("graph/bfs_distances_n256_gnp", |b| {
         let mut rng = StdRng::seed_from_u64(8);
@@ -120,6 +149,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_generators, bench_union_find, bench_token_set,
-              bench_free_edges, bench_stability_enforcer, bench_bfs
+              bench_free_edges, bench_stability_enforcer, bench_bfs,
+              bench_dynamic_advance
 }
 criterion_main!(benches);

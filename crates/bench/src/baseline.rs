@@ -1,0 +1,162 @@
+//! Frozen pre-overhaul data plane, kept **only** as a benchmark baseline.
+//!
+//! This is a faithful miniature of the seed implementation that the
+//! delta-applied data plane replaced: a `BTreeSet`-backed edge set, a graph
+//! whose per-round history is stored as full cloned snapshots, tree-walk
+//! set differences for the round delta, and a freshly allocated union–find
+//! per connectivity check. The `substrates` bench and the `bench_core`
+//! binary drive this and the live [`dynspread_graph`] path over identical
+//! schedules to quantify the speedup (recorded in `BENCH_core.json`).
+//!
+//! Do not use this module for anything except benchmarking.
+
+use dynspread_graph::{Edge, NodeId, UnionFind};
+use std::collections::BTreeSet;
+
+/// The seed's `BTreeSet`-backed graph snapshot with `Vec<Vec<NodeId>>`
+/// adjacency.
+#[derive(Clone)]
+pub struct BaselineGraph {
+    n: usize,
+    edges: BTreeSet<Edge>,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl BaselineGraph {
+    /// The empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        BaselineGraph {
+            n,
+            edges: BTreeSet::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds from an edge list (the seed's `Graph::from_edges`).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut g = BaselineGraph::empty(n);
+        for e in edges {
+            g.insert_edge(e);
+        }
+        g
+    }
+
+    /// Seed-style insert: `BTreeSet` insert plus sorted adjacency insert.
+    pub fn insert_edge(&mut self, e: Edge) -> bool {
+        if !self.edges.insert(e) {
+            return false;
+        }
+        let (u, v) = e.endpoints();
+        let au = &mut self.adj[u.index()];
+        if let Err(pos) = au.binary_search(&v) {
+            au.insert(pos, v);
+        }
+        let av = &mut self.adj[v.index()];
+        if let Err(pos) = av.binary_search(&u) {
+            av.insert(pos, u);
+        }
+        true
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Seed-style connectivity: a freshly allocated union–find per call.
+    pub fn is_connected(&self) -> bool {
+        let mut uf = UnionFind::new(self.n);
+        for e in &self.edges {
+            uf.union(e.lo().index(), e.hi().index());
+        }
+        uf.component_count() == 1 || self.n <= 1
+    }
+}
+
+/// The seed's dynamic graph: tree-walk diffs and clone-per-round history.
+pub struct BaselineDynamicGraph {
+    current: BaselineGraph,
+    insertions: u64,
+    deletions: u64,
+    history: Option<Vec<BaselineGraph>>,
+}
+
+impl BaselineDynamicGraph {
+    /// Round 0: the empty graph.
+    pub fn new(n: usize) -> Self {
+        BaselineDynamicGraph {
+            current: BaselineGraph::empty(n),
+            insertions: 0,
+            deletions: 0,
+            history: None,
+        }
+    }
+
+    /// History mode: clones every snapshot, as the seed did.
+    pub fn with_history(n: usize) -> Self {
+        let mut dg = BaselineDynamicGraph::new(n);
+        dg.history = Some(vec![dg.current.clone()]);
+        dg
+    }
+
+    /// Seed-style advance: `BTreeSet::difference` both ways, then install.
+    pub fn advance(&mut self, next: BaselineGraph) -> (usize, usize) {
+        let inserted: Vec<Edge> = next
+            .edges
+            .difference(&self.current.edges)
+            .copied()
+            .collect();
+        let removed: Vec<Edge> = self
+            .current
+            .edges
+            .difference(&next.edges)
+            .copied()
+            .collect();
+        self.insertions += inserted.len() as u64;
+        self.deletions += removed.len() as u64;
+        self.current = next;
+        if let Some(h) = &mut self.history {
+            h.push(self.current.clone());
+        }
+        (inserted.len(), removed.len())
+    }
+
+    /// The current snapshot.
+    pub fn current(&self) -> &BaselineGraph {
+        &self.current
+    }
+
+    /// Total insertions (the paper's `TC(E)`).
+    pub fn topological_changes(&self) -> u64 {
+        self.insertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynspread_graph::{DynamicGraph, Graph};
+
+    fn e(u: u32, v: u32) -> Edge {
+        Edge::new(NodeId::new(u), NodeId::new(v))
+    }
+
+    #[test]
+    fn baseline_agrees_with_live_data_plane() {
+        // Same schedule through both paths → same TC and connectivity.
+        let schedules: Vec<Vec<Edge>> = vec![
+            (1..8u32).map(|i| e(i - 1, i)).collect(),
+            (1..8u32).map(|i| e(0, i)).collect(),
+            (1..8u32).map(|i| e(i - 1, i)).chain([e(0, 7)]).collect(),
+        ];
+        let mut base = BaselineDynamicGraph::with_history(8);
+        let mut live = DynamicGraph::with_history(8);
+        for edges in &schedules {
+            base.advance(BaselineGraph::from_edges(8, edges.iter().copied()));
+            live.advance(Graph::from_edges(8, edges.iter().copied()));
+            assert_eq!(base.current().is_connected(), live.current().is_connected());
+            assert_eq!(base.current().edge_count(), live.current().edge_count());
+        }
+        assert_eq!(base.topological_changes(), live.topological_changes());
+    }
+}

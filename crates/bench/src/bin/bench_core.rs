@@ -1,0 +1,108 @@
+//! `bench_core` — regenerates `BENCH_core.json`, the perf trajectory file.
+//!
+//! Records median wall-clock numbers for the hot paths future PRs must not
+//! regress:
+//!
+//! * `advance_connectivity_*`: one round of `DynamicGraph` update +
+//!   connectivity at `n = 512` under the default 3-stable rewiring
+//!   workload, for the frozen seed baseline (`BTreeSet` + clone + fresh
+//!   union–find) and the live delta-applied data plane, plus the speedup.
+//! * `flooding_ns_per_round` / `single_source_ns_per_round`: end-to-end
+//!   simulator cost per round at fixed `(n, k)`.
+//!
+//! Usage: `cargo run --release -p dynspread-bench --bin bench_core`
+//! (writes `BENCH_core.json` in the current directory; pass a path to
+//! override).
+
+use dynspread_bench::perf::{
+    prepare_updates, run_baseline_schedule, run_delta_schedule, sample_schedule,
+    to_baseline_graphs, to_graphs,
+};
+use dynspread_bench::{default_adversary, run_phased_flooding, run_single_source};
+use dynspread_sim::token::TokenAssignment;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Median of `samples` runs of `f`, in nanoseconds.
+fn median_ns(samples: usize, mut f: impl FnMut() -> u64) -> f64 {
+    median_ns_with_setup(samples, || (), |()| f())
+}
+
+/// Median of `samples` runs of `f(setup())`, timing only `f`.
+fn median_ns_with_setup<T>(
+    samples: usize,
+    mut setup: impl FnMut() -> T,
+    mut f: impl FnMut(T) -> u64,
+) -> f64 {
+    black_box(f(setup())); // warm-up
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_core.json".into());
+    let n = 512;
+    let rounds = 30;
+    let schedule = sample_schedule(n, rounds, 3, 42);
+    let baseline_graphs = to_baseline_graphs(n, &schedule);
+    let graphs = to_graphs(n, &schedule);
+
+    let baseline_total = median_ns(15, || run_baseline_schedule(n, &baseline_graphs));
+    let delta_total = median_ns_with_setup(
+        15,
+        || prepare_updates(&graphs),
+        |updates| run_delta_schedule(n, updates),
+    );
+    let baseline_per_round = baseline_total / rounds as f64;
+    let delta_per_round = delta_total / rounds as f64;
+    let speedup = baseline_per_round / delta_per_round;
+
+    // End-to-end simulator cost per round at fixed sizes (completion
+    // asserted so the measured work is the real dissemination). The runs
+    // are seeded, so every sample takes the same number of rounds — the
+    // cell captures it from the timed closures instead of re-running.
+    let (fn_, fk) = (32, 16);
+    let flood_rounds = std::cell::Cell::new(0u64);
+    let flood = median_ns(9, || {
+        let a = TokenAssignment::round_robin_sources(fn_, fk, fk);
+        let r = run_phased_flooding(&a, default_adversary(7), 100_000);
+        assert!(r.completed);
+        flood_rounds.set(r.rounds);
+        r.rounds
+    });
+    let flood_rounds = flood_rounds.get();
+    let (sn, sk) = (32, 32);
+    let single_rounds = std::cell::Cell::new(0u64);
+    let single = median_ns(9, || {
+        let r = run_single_source(sn, sk, default_adversary(11), 1_000_000);
+        assert!(r.completed);
+        single_rounds.set(r.rounds);
+        r.rounds
+    });
+    let single_rounds = single_rounds.get();
+
+    let json = format!(
+        "{{\n  \"advance_connectivity_n\": {n},\n  \"advance_connectivity_baseline_ns_per_round\": {baseline_per_round:.0},\n  \"advance_connectivity_delta_ns_per_round\": {delta_per_round:.0},\n  \"advance_connectivity_speedup\": {speedup:.2},\n  \"flooding\": {{\"n\": {fn_}, \"k\": {fk}, \"ns_per_round\": {:.0}, \"rounds\": {flood_rounds}}},\n  \"single_source\": {{\"n\": {sn}, \"k\": {sk}, \"ns_per_round\": {:.0}, \"rounds\": {single_rounds}}}\n}}\n",
+        flood / flood_rounds as f64,
+        single / single_rounds as f64,
+    );
+    print!("{json}");
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_core.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_core.json");
+    eprintln!("wrote {out_path}");
+    assert!(
+        speedup >= 1.0,
+        "delta data plane slower than the baseline it replaced"
+    );
+}

@@ -33,21 +33,38 @@ fn main() {
         "messages",
         "stall fraction",
     ]);
-    for (i, &n) in [16usize, 24, 32].iter().enumerate() {
-        let k = n / 2;
-        let cap = 30 * (n * k) as u64;
-        // Strong arm.
-        let mut rng = StdRng::seed_from_u64(seed + i as u64);
-        let assignment = bernoulli_assignment(n, k, 0.25, &mut rng);
-        let mut sim = BroadcastSim::new(
-            "round-robin",
-            RoundRobinBroadcast::nodes(&assignment),
-            PotentialAdversary::new(&assignment, 0.25, seed + 100 + i as u64),
-            &assignment,
-            SimConfig::with_max_rounds(cap),
-        );
-        let strong = sim.run_to_completion();
-        let strong_stalls = stall_fraction(sim.tracker().learnings_per_round());
+    // Both arms per n are independent seeded runs: fan across cores.
+    let runs = dynspread_bench::par_map(
+        [16usize, 24, 32].into_iter().enumerate().collect(),
+        |(i, n)| {
+            let k = n / 2;
+            let cap = 30 * (n * k) as u64;
+            // Strong arm.
+            let mut rng = StdRng::seed_from_u64(seed + i as u64);
+            let assignment = bernoulli_assignment(n, k, 0.25, &mut rng);
+            let mut sim = BroadcastSim::new(
+                "round-robin",
+                RoundRobinBroadcast::nodes(&assignment),
+                PotentialAdversary::new(&assignment, 0.25, seed + 100 + i as u64),
+                &assignment,
+                SimConfig::with_max_rounds(cap),
+            );
+            let strong = sim.run_to_completion();
+            let strong_stalls = stall_fraction(sim.tracker().learnings_per_round());
+            // Weak arm (same K' seed, same initial assignment).
+            let mut sim = BroadcastSim::new(
+                "round-robin",
+                RoundRobinBroadcast::nodes(&assignment),
+                LaggedPotentialAdversary::new(&assignment, 0.25, seed + 100 + i as u64),
+                &assignment,
+                SimConfig::with_max_rounds(cap),
+            );
+            let weak = sim.run_to_completion();
+            let weak_stalls = stall_fraction(sim.tracker().learnings_per_round());
+            (n, strong, strong_stalls, weak, weak_stalls)
+        },
+    );
+    for (n, strong, strong_stalls, weak, weak_stalls) in runs {
         table.row_owned(vec![
             n.to_string(),
             "strongly adaptive".into(),
@@ -56,16 +73,6 @@ fn main() {
             strong.total_messages.to_string(),
             fmt_f64(strong_stalls),
         ]);
-        // Weak arm (same K' seed, same initial assignment).
-        let mut sim = BroadcastSim::new(
-            "round-robin",
-            RoundRobinBroadcast::nodes(&assignment),
-            LaggedPotentialAdversary::new(&assignment, 0.25, seed + 100 + i as u64),
-            &assignment,
-            SimConfig::with_max_rounds(cap),
-        );
-        let weak = sim.run_to_completion();
-        let weak_stalls = stall_fraction(sim.tracker().learnings_per_round());
         table.row_owned(vec![
             n.to_string(),
             "weakly adaptive".into(),

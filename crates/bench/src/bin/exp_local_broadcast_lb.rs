@@ -41,7 +41,9 @@ fn main() {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     let mut last_curve: Vec<f64> = Vec::new();
-    for (i, &n) in ns.iter().enumerate() {
+    // Every n is an independent seeded run: fan across cores; the closure
+    // extracts everything the report rows need before the sim is dropped.
+    let runs = dynspread_bench::par_map(ns.into_iter().enumerate().collect(), |(i, n)| {
         let k = n / 2;
         let mut rng = StdRng::seed_from_u64(seed + i as u64);
         let assignment = bernoulli_assignment(n, k, 0.25, &mut rng);
@@ -54,13 +56,20 @@ fn main() {
             SimConfig::with_max_rounds(2 * (n * k) as Round),
         );
         let report = sim.run_to_completion();
-        assert!(report.completed, "phased flooding must complete: {report}");
         let max_phi = sim
             .adversary()
             .potential_increases()
             .into_iter()
             .max()
             .unwrap_or(0);
+        let curve: Vec<f64> = cumulative(sim.tracker().learnings_per_round())
+            .into_iter()
+            .map(|v| v as f64)
+            .collect();
+        (n, k, report, max_phi, curve)
+    });
+    for (n, k, report, max_phi, curve) in runs {
+        assert!(report.completed, "phased flooding must complete: {report}");
         let ln = (n as f64).ln();
         table.row_owned(vec![
             n.to_string(),
@@ -74,10 +83,7 @@ fn main() {
         ]);
         xs.push(n as f64);
         ys.push(report.amortized());
-        last_curve = cumulative(sim.tracker().learnings_per_round())
-            .into_iter()
-            .map(|v| v as f64)
-            .collect();
+        last_curve = curve;
     }
     println!("{}", table.render());
     println!(

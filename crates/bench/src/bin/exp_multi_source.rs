@@ -8,7 +8,7 @@
 use dynspread_analysis::competitive::{competitive_records, multi_source_bound, worst_ratio};
 use dynspread_analysis::fit::linear_fit;
 use dynspread_analysis::table::{fmt_f64, Table};
-use dynspread_bench::{default_adversary, run_multi_source};
+use dynspread_bench::{default_adversary, par_map, run_multi_source};
 use dynspread_sim::message::MessageClass;
 use dynspread_sim::token::TokenAssignment;
 
@@ -32,9 +32,15 @@ fn main() {
     let ss = [1usize, 2, 4, 8, 16, 24];
     let mut announce = Vec::new();
     let mut svals = Vec::new();
-    for (i, &s) in ss.iter().enumerate() {
+    // Independent seeded runs per source count: fan across cores.
+    let runs = par_map(ss.iter().copied().enumerate().collect(), |(i, s)| {
         let assignment = TokenAssignment::round_robin_sources(n, k, s);
-        let report = run_multi_source(&assignment, default_adversary(seed + i as u64), 4_000_000);
+        (
+            s,
+            run_multi_source(&assignment, default_adversary(seed + i as u64), 4_000_000),
+        )
+    });
+    for (s, report) in runs {
         assert!(report.completed, "s={s}: {report}");
         let residual = report.competitive_residual(1.0);
         let bound = (n * n * s + n * k) as f64;

@@ -12,6 +12,7 @@
 
 use dynspread_analysis::fit::power_law_fit;
 use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::par_map;
 use dynspread_core::flooding::PhasedFlooding;
 use dynspread_core::network_coding::RlncNode;
 use dynspread_graph::generators::Topology;
@@ -35,7 +36,8 @@ fn main() {
     let mut xs = Vec::new();
     let mut flood_rounds = Vec::new();
     let mut rlnc_rounds = Vec::new();
-    for (i, &n) in ns.iter().enumerate() {
+    // Both arms per n are independent seeded runs: fan across cores.
+    let runs = par_map(ns.into_iter().enumerate().collect(), |(i, n)| {
         let assignment = TokenAssignment::n_gossip(n);
         let mut flood_sim = BroadcastSim::new(
             "phased-flooding",
@@ -45,7 +47,6 @@ fn main() {
             SimConfig::with_max_rounds((n * n) as u64),
         );
         let flood = flood_sim.run_to_completion();
-        assert!(flood.completed, "flooding n={n}");
 
         let mut rlnc_sim = BroadcastSim::new(
             "rlnc-gossip",
@@ -54,7 +55,10 @@ fn main() {
             &assignment,
             SimConfig::with_max_rounds((n * n) as u64),
         );
-        let rlnc = rlnc_sim.run_to_completion();
+        (n, flood, rlnc_sim.run_to_completion())
+    });
+    for (n, flood, rlnc) in runs {
+        assert!(flood.completed, "flooding n={n}");
         assert!(rlnc.completed, "rlnc n={n}");
 
         table.row_owned(vec![

@@ -10,7 +10,7 @@
 
 use dynspread_analysis::fit::power_law_fit;
 use dynspread_analysis::table::{fmt_f64, Table};
-use dynspread_bench::run_multi_source;
+use dynspread_bench::{par_map, run_multi_source};
 use dynspread_core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
 use dynspread_graph::generators::Topology;
 use dynspread_graph::oblivious::PeriodicRewiring;
@@ -37,7 +37,9 @@ fn main() {
     ]);
     let mut kv = Vec::new();
     let mut av = Vec::new();
-    for (i, &k) in ks.iter().enumerate() {
+    // Both arms of every k cell are independent seeded runs: fan across
+    // cores (results return in input order, so tables are unchanged).
+    let runs = par_map(ks.into_iter().enumerate().collect(), |(i, k)| {
         let s = k.min(n);
         let assignment = TokenAssignment::round_robin_sources(n, k, s);
         let f = (nf.sqrt() * (k as f64).powf(0.25)).min(nf / 2.0);
@@ -55,12 +57,15 @@ fn main() {
             PeriodicRewiring::new(Topology::RandomTree, 3, seed + 200 + i as u64),
             &cfg,
         );
-        assert!(out.completed(), "k={k}: oblivious run failed");
         let ms = run_multi_source(
             &assignment,
             PeriodicRewiring::new(Topology::RandomTree, 3, seed + 300 + i as u64),
             4_000_000,
         );
+        (k, s, out, ms)
+    });
+    for (k, s, out, ms) in runs {
+        assert!(out.completed(), "k={k}: oblivious run failed");
         assert!(ms.completed, "k={k}: multi-source run failed");
         let walk_msgs = out
             .phase1
@@ -88,10 +93,7 @@ fn main() {
     // Every algorithm pays an additive Θ(n) floor per token (each node
     // must receive it); subtracting it isolates the f·n² + walk term whose
     // exponent the paper's k^{-3/4} describes.
-    let floored: Vec<f64> = av
-        .iter()
-        .map(|a| (a - (n as f64 - 1.0)).max(1.0))
-        .collect();
+    let floored: Vec<f64> = av.iter().map(|a| (a - (n as f64 - 1.0)).max(1.0)).collect();
     let ffit = power_law_fit(&kv, &floored);
     println!(
         "floor-corrected (amortized − (n−1)) ~ k^{:.3} (R² = {:.3})",

@@ -83,7 +83,9 @@ fn main() {
     // request is an actual choice.
     let (n, k) = (24usize, 4usize);
     let trials = 10u64;
-    println!("Request-priority ablation: Single-Source-Unicast, n = {n}, k = {k}, {trials} seeds/cell\n");
+    println!(
+        "Request-priority ablation: Single-Source-Unicast, n = {n}, k = {k}, {trials} seeds/cell\n"
+    );
 
     let mut table = Table::new(&[
         "adversary",
@@ -93,107 +95,77 @@ fn main() {
         "messages (mean)",
         "wasted requests (mean)",
     ]);
-    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
-        let mut rounds = Vec::new();
-        let mut msgs = Vec::new();
-        let mut wasted = Vec::new();
-        let mut done = 0usize;
-        for t in 0..trials {
-            let adv = PeriodicRewiring::new(Topology::RandomTree, 3, 1000 + t);
-            let r = run_single_source_with_policy(n, k, adv, 2_000_000, policy);
-            if r.completed {
-                done += 1;
-            }
-            rounds.push(r.rounds as f64);
-            msgs.push(r.total_messages as f64);
-            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
-        }
-        table.row_owned(vec![
-            "rewire(tree,ρ=3)".into(),
-            format!("{policy:?}"),
-            format!("{done}/{trials}"),
-            fmt_f64(Summary::from_samples(&rounds).mean),
-            fmt_f64(Summary::from_samples(&msgs).mean),
-            fmt_f64(Summary::from_samples(&wasted).mean),
-        ]);
-    }
-    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
-        let mut rounds = Vec::new();
-        let mut msgs = Vec::new();
-        let mut wasted = Vec::new();
-        let mut done = 0usize;
-        for t in 0..trials {
+    // The full (family × policy × trial) grid is embarrassingly parallel:
+    // fan it across cores, then aggregate per-cell trial means in order.
+    let families = [
+        "rewire(tree,\u{3c1}=3)",
+        "aging(lifetime=3)",
+        "stable-cutter(\u{3c3}=3)",
+        "request-cutting(b=1)",
+    ];
+    let policies = [RequestPolicy::Prioritized, RequestPolicy::Unprioritized];
+    let jobs: Vec<(usize, usize, u64)> = (0..families.len())
+        .flat_map(|f| (0..policies.len()).flat_map(move |p| (0..trials).map(move |t| (f, p, t))))
+        .collect();
+    let runs = dynspread_bench::par_map(jobs, |(f, p, t)| {
+        let policy = policies[p];
+        match f {
+            // Oblivious rewiring: the benign control arm.
+            0 => run_single_source_with_policy(
+                n,
+                k,
+                PeriodicRewiring::new(Topology::RandomTree, 3, 1000 + t),
+                2_000_000,
+                policy,
+            ),
             // Exact 3-round edge lifetimes with staggered births: only new
             // edges survive long enough to answer a request.
-            let adv = AgingAdversary::new(3, 5 * n, 3000 + t);
-            let r = run_single_source_with_policy(n, k, adv, 2_000_000, policy);
-            if r.completed {
-                done += 1;
-            }
-            rounds.push(r.rounds as f64);
-            msgs.push(r.total_messages as f64);
-            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
-        }
-        table.row_owned(vec![
-            "aging(lifetime=3)".into(),
-            format!("{policy:?}"),
-            format!("{done}/{trials}"),
-            fmt_f64(Summary::from_samples(&rounds).mean),
-            fmt_f64(Summary::from_samples(&msgs).mean),
-            fmt_f64(Summary::from_samples(&wasted).mean),
-        ]);
-    }
-    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
-        let mut rounds = Vec::new();
-        let mut msgs = Vec::new();
-        let mut wasted = Vec::new();
-        let mut done = 0usize;
-        for t in 0..trials {
-            // σ-stable adaptive cutting (Lemma 3.2's regime): only requests
+            1 => run_single_source_with_policy(
+                n,
+                k,
+                AgingAdversary::new(3, 5 * n, 3000 + t),
+                2_000_000,
+                policy,
+            ),
+            // \u{3c3}-stable adaptive cutting (Lemma 3.2's regime): only requests
             // on *new* edges are guaranteed to be answered.
-            let adv = dynspread_core::adaptive::StableRequestCutter::new(3, 3 * n, 4000 + t);
-            let r = run_single_source_with_policy(n, k, adv, 20_000, policy);
-            if r.completed {
-                done += 1;
-            }
-            rounds.push(r.rounds as f64);
-            msgs.push(r.total_messages as f64);
-            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
-        }
-        table.row_owned(vec![
-            "stable-cutter(σ=3)".into(),
-            format!("{policy:?}"),
-            format!("{done}/{trials}"),
-            fmt_f64(Summary::from_samples(&rounds).mean),
-            fmt_f64(Summary::from_samples(&msgs).mean),
-            fmt_f64(Summary::from_samples(&wasted).mean),
-        ]);
-    }
-    for policy in [RequestPolicy::Prioritized, RequestPolicy::Unprioritized] {
-        let mut rounds = Vec::new();
-        let mut msgs = Vec::new();
-        let mut wasted = Vec::new();
-        let mut done = 0usize;
-        for t in 0..trials {
+            2 => run_single_source_with_policy(
+                n,
+                k,
+                dynspread_core::adaptive::StableRequestCutter::new(3, 3 * n, 4000 + t),
+                20_000,
+                policy,
+            ),
             // Budget-1 cutting: one request edge killed per round.
-            let adv =
-                RequestCuttingAdversary::new(Topology::SparseConnected(2.5), 1, 1, 2000 + t);
-            let r = run_single_source_with_policy(n, k, adv, 2_000_000, policy);
-            if r.completed {
-                done += 1;
-            }
-            rounds.push(r.rounds as f64);
-            msgs.push(r.total_messages as f64);
-            wasted.push((r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64);
+            _ => run_single_source_with_policy(
+                n,
+                k,
+                RequestCuttingAdversary::new(Topology::SparseConnected(2.5), 1, 1, 2000 + t),
+                2_000_000,
+                policy,
+            ),
         }
-        table.row_owned(vec![
-            "request-cutting(b=1)".into(),
-            format!("{policy:?}"),
-            format!("{done}/{trials}"),
-            fmt_f64(Summary::from_samples(&rounds).mean),
-            fmt_f64(Summary::from_samples(&msgs).mean),
-            fmt_f64(Summary::from_samples(&wasted).mean),
-        ]);
+    });
+    let trials_us = trials as usize;
+    for (f, family) in families.iter().enumerate() {
+        for (p, policy) in policies.iter().enumerate() {
+            let cell = &runs[(f * policies.len() + p) * trials_us..][..trials_us];
+            let done = cell.iter().filter(|r| r.completed).count();
+            let rounds: Vec<f64> = cell.iter().map(|r| r.rounds as f64).collect();
+            let msgs: Vec<f64> = cell.iter().map(|r| r.total_messages as f64).collect();
+            let wasted: Vec<f64> = cell
+                .iter()
+                .map(|r| (r.class(MessageClass::Request) - r.class(MessageClass::Token)) as f64)
+                .collect();
+            table.row_owned(vec![
+                (*family).into(),
+                format!("{policy:?}"),
+                format!("{done}/{trials}"),
+                fmt_f64(Summary::from_samples(&rounds).mean),
+                fmt_f64(Summary::from_samples(&msgs).mean),
+                fmt_f64(Summary::from_samples(&wasted).mean),
+            ]);
+        }
     }
     println!("{}", table.render());
     println!(

@@ -11,6 +11,7 @@
 
 use dynspread_analysis::stats::Summary;
 use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::par_map;
 use dynspread_core::random_walk::{distinct_visit_bound, lazy_walk, visit_count_bound};
 use dynspread_graph::generators::Topology;
 use dynspread_graph::oblivious::PeriodicRewiring;
@@ -31,25 +32,31 @@ fn main() {
         "max visits (mean)",
         "d·√(t+1)·ln n (UB shape)",
     ]);
-    for &d in &[3usize, 4, 6] {
-        for &rounds in &[5_000u64, 20_000, 80_000] {
-            let mut distinct = Vec::new();
-            let mut maxv = Vec::new();
-            let mut actual = Vec::new();
-            for t in 0..trials {
-                let mut adv =
-                    PeriodicRewiring::new(Topology::NearRegular(d), 5, seed + t as u64);
-                let stats = lazy_walk(
-                    &mut adv,
-                    n,
-                    NodeId::new(0),
-                    rounds,
-                    seed + 100 + t as u64,
-                );
-                distinct.push(stats.distinct_visits as f64);
-                maxv.push(stats.max_visits() as f64);
-                actual.push(stats.actual_steps as f64);
-            }
+    // Every (d, rounds, trial) walk is independent: fan the whole grid
+    // across cores, then aggregate trial means per cell.
+    let cells: Vec<(usize, u64)> = [3usize, 4, 6]
+        .into_iter()
+        .flat_map(|d| [5_000u64, 20_000, 80_000].into_iter().map(move |r| (d, r)))
+        .collect();
+    let jobs: Vec<(usize, u64, usize)> = cells
+        .iter()
+        .flat_map(|&(d, r)| (0..trials).map(move |t| (d, r, t)))
+        .collect();
+    let walks = par_map(jobs, |(d, rounds, t)| {
+        let mut adv = PeriodicRewiring::new(Topology::NearRegular(d), 5, seed + t as u64);
+        let stats = lazy_walk(&mut adv, n, NodeId::new(0), rounds, seed + 100 + t as u64);
+        (
+            stats.distinct_visits as f64,
+            stats.max_visits() as f64,
+            stats.actual_steps as f64,
+        )
+    });
+    for (ci, &(d, rounds)) in cells.iter().enumerate() {
+        {
+            let cell = &walks[ci * trials..(ci + 1) * trials];
+            let distinct: Vec<f64> = cell.iter().map(|w| w.0).collect();
+            let maxv: Vec<f64> = cell.iter().map(|w| w.1).collect();
+            let actual: Vec<f64> = cell.iter().map(|w| w.2).collect();
             let mean_actual = Summary::from_samples(&actual).mean;
             table.row_owned(vec![
                 d.to_string(),

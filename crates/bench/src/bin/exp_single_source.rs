@@ -8,7 +8,7 @@
 
 use dynspread_analysis::competitive::{competitive_records, single_source_bound, worst_ratio};
 use dynspread_analysis::table::{fmt_f64, Table};
-use dynspread_bench::run_single_source;
+use dynspread_bench::{par_map, run_single_source};
 use dynspread_core::adaptive::RequestCuttingAdversary;
 use dynspread_graph::generators::Topology;
 use dynspread_graph::oblivious::{ChurnAdversary, PeriodicRewiring, StaticAdversary};
@@ -30,34 +30,48 @@ fn main() {
         "ratio",
         "rounds/nk",
     ]);
+    let cases: Vec<(usize, usize)> =
+        vec![(16, 8), (16, 32), (24, 24), (32, 16), (32, 64), (48, 48)];
+    // Every (case, adversary) cell is an independent seeded simulation:
+    // fan the grid across cores (results come back in input order).
+    let jobs: Vec<(usize, usize, usize, u8)> = cases
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(n, k))| (0u8..3).map(move |arm| (i, n, k, arm)))
+        .collect();
+    let runs = par_map(jobs, |(i, n, k, arm)| match arm {
+        0 => (
+            "static-clique".to_string(),
+            n,
+            k,
+            run_single_source(n, k, StaticAdversary::new(Graph::complete(n)), 4_000_000),
+        ),
+        1 => (
+            "rewire(tree,ρ=3)".to_string(),
+            n,
+            k,
+            run_single_source(
+                n,
+                k,
+                PeriodicRewiring::new(Topology::RandomTree, 3, seed + i as u64),
+                4_000_000,
+            ),
+        ),
+        _ => (
+            "churn(c=2,σ=3)".to_string(),
+            n,
+            k,
+            run_single_source(
+                n,
+                k,
+                ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, seed + 40 + i as u64),
+                4_000_000,
+            ),
+        ),
+    });
     let mut reports = Vec::new();
-    let cases: Vec<(usize, usize)> = vec![(16, 8), (16, 32), (24, 24), (32, 16), (32, 64), (48, 48)];
-    for (i, &(n, k)) in cases.iter().enumerate() {
-        let arms: Vec<(String, dynspread_sim::RunReport)> = vec![
-            (
-                "static-clique".into(),
-                run_single_source(n, k, StaticAdversary::new(Graph::complete(n)), 4_000_000),
-            ),
-            (
-                "rewire(tree,ρ=3)".into(),
-                run_single_source(
-                    n,
-                    k,
-                    PeriodicRewiring::new(Topology::RandomTree, 3, seed + i as u64),
-                    4_000_000,
-                ),
-            ),
-            (
-                "churn(c=2,σ=3)".into(),
-                run_single_source(
-                    n,
-                    k,
-                    ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, seed + 40 + i as u64),
-                    4_000_000,
-                ),
-            ),
-        ];
-        for (name, report) in arms {
+    {
+        for (name, n, k, report) in runs {
             assert!(report.completed, "{name} n={n} k={k}: {report}");
             let residual = report.competitive_residual(1.0);
             let bound = single_source_bound(&report);
@@ -85,12 +99,20 @@ fn main() {
     // Adaptive arm: unbounded request cutting may prevent termination but
     // cannot break the competitive bound (run capped).
     println!("strongly adaptive arm: request-cutting adversary (capped at 3000 rounds)");
-    let mut adv_table = Table::new(&["n", "k", "completed?", "messages", "TC(E)", "residual", "ratio"]);
-    for &(n, k) in &[(16usize, 8usize), (24, 12)] {
-        let assignment_rounds = 3_000;
-        let adv =
-            RequestCuttingAdversary::new(Topology::SparseConnected(2.0), usize::MAX, 2, seed);
-        let report = run_single_source(n, k, adv, assignment_rounds);
+    let mut adv_table = Table::new(&[
+        "n",
+        "k",
+        "completed?",
+        "messages",
+        "TC(E)",
+        "residual",
+        "ratio",
+    ]);
+    let adaptive_runs = par_map(vec![(16usize, 8usize), (24, 12)], |(n, k)| {
+        let adv = RequestCuttingAdversary::new(Topology::SparseConnected(2.0), usize::MAX, 2, seed);
+        (n, k, run_single_source(n, k, adv, 3_000))
+    });
+    for (n, k, report) in adaptive_runs {
         let residual = report.competitive_residual(1.0);
         let bound = single_source_bound(&report);
         adv_table.row_owned(vec![

@@ -8,7 +8,7 @@
 //! (requests whose edge died before the token arrived).
 
 use dynspread_analysis::table::{fmt_f64, Table};
-use dynspread_bench::run_single_source;
+use dynspread_bench::{par_map, run_single_source};
 use dynspread_graph::generators::Topology;
 use dynspread_graph::oblivious::PeriodicRewiring;
 use dynspread_sim::message::MessageClass;
@@ -28,9 +28,15 @@ fn main() {
         "wasted requests",
         "TC(E)",
     ]);
-    for (i, &sigma) in [1u64, 2, 3, 5, 8].iter().enumerate() {
-        let adv = PeriodicRewiring::new(Topology::RandomTree, sigma, seed + i as u64);
-        let report = run_single_source(n, k, adv, 8_000_000);
+    // One independent run per σ: fan across cores.
+    let runs = par_map(
+        [1u64, 2, 3, 5, 8].into_iter().enumerate().collect(),
+        |(i, sigma)| {
+            let adv = PeriodicRewiring::new(Topology::RandomTree, sigma, seed + i as u64);
+            (sigma, run_single_source(n, k, adv, 8_000_000))
+        },
+    );
+    for (sigma, report) in runs {
         assert!(report.completed, "σ={sigma}: {report}");
         let requests = report.class(MessageClass::Request);
         let tokens = report.class(MessageClass::Token);

@@ -10,6 +10,7 @@
 //! messages net of the adversary's budget.
 
 use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::par_map;
 use dynspread_core::baselines::UnicastFlooding;
 use dynspread_core::single_source::SingleSourceNode;
 use dynspread_graph::generators::Topology;
@@ -30,34 +31,44 @@ fn main() {
         "residual M−TC",
         "amortized msgs/token",
     ]);
-    for (i, &n) in [12usize, 16, 24, 32].iter().enumerate() {
+    // Both arms of every n are independent seeded runs: fan across cores.
+    let jobs: Vec<(usize, usize, bool)> = [12usize, 16, 24, 32]
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, n)| [(i, n, true), (i, n, false)])
+        .collect();
+    let runs = par_map(jobs, |(i, n, flood_arm)| {
         let k = 2 * n;
         let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
-
-        let mut flood_sim = UnicastSim::new(
-            "unicast-flooding",
-            UnicastFlooding::nodes(&assignment),
-            PeriodicRewiring::new(Topology::Gnp(0.3), 3, seed + i as u64),
-            &assignment,
-            SimConfig::with_max_rounds(1_000_000),
-        );
-        let flood = flood_sim.run_to_completion();
-        assert!(flood.completed);
-
-        let mut ss_sim = UnicastSim::new(
-            "single-source-unicast",
-            SingleSourceNode::nodes(&assignment),
-            PeriodicRewiring::new(Topology::Gnp(0.3), 3, seed + i as u64),
-            &assignment,
-            SimConfig::with_max_rounds(1_000_000),
-        );
-        let ss = ss_sim.run_to_completion();
-        assert!(ss.completed);
-
-        for r in [&flood, &ss] {
+        let adversary = PeriodicRewiring::new(Topology::Gnp(0.3), 3, seed + i as u64);
+        let cfg = SimConfig::with_max_rounds(1_000_000);
+        let report = if flood_arm {
+            UnicastSim::new(
+                "unicast-flooding",
+                UnicastFlooding::nodes(&assignment),
+                adversary,
+                &assignment,
+                cfg,
+            )
+            .run_to_completion()
+        } else {
+            UnicastSim::new(
+                "single-source-unicast",
+                SingleSourceNode::nodes(&assignment),
+                adversary,
+                &assignment,
+                cfg,
+            )
+            .run_to_completion()
+        };
+        (n, report)
+    });
+    for (n, r) in &runs {
+        assert!(r.completed, "n={n}: {r}");
+        {
             table.row_owned(vec![
                 n.to_string(),
-                r.algorithm.clone(),
+                r.algorithm.to_string(),
                 r.rounds.to_string(),
                 r.total_messages.to_string(),
                 fmt_f64(r.competitive_residual(1.0)),

@@ -56,7 +56,9 @@ fn adversarial_choices(
             let cov = (0..n)
                 .filter(|&v| {
                     know[v].contains(t)
-                        || kprime.get(dynspread_graph::NodeId::new(v as u32)).contains(t)
+                        || kprime
+                            .get(dynspread_graph::NodeId::new(v as u32))
+                            .contains(t)
                 })
                 .count();
             (cov, t)
@@ -125,10 +127,15 @@ fn main() {
     let k = n / 2;
     let trials = 40;
     let seed = 7u64;
-    println!("Figure 1 / Lemma 2.2 reproduction: n = {n}, k = {k}, K' density 1/4, {trials} trials/arm");
-    println!("n/ln(n) = {:.1}, ln(n) = {:.1}\n", n as f64 / (n as f64).ln(), (n as f64).ln());
+    println!(
+        "Figure 1 / Lemma 2.2 reproduction: n = {n}, k = {k}, K' density 1/4, {trials} trials/arm"
+    );
+    println!(
+        "n/ln(n) = {:.1}, ln(n) = {:.1}\n",
+        n as f64 / (n as f64).ln(),
+        (n as f64).ln()
+    );
 
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut table = Table::new(&[
         "β",
         "P(conn) random",
@@ -145,9 +152,20 @@ fn main() {
     }
     betas.push(n);
 
-    for &beta in &betas {
-        let (p_rand, c_rand, _) = run_arm(n, k, beta, trials, false, 0.25, &mut rng);
-        let (p_adv, c_adv, _) = run_arm(n, k, beta, trials, true, 0.25, &mut rng);
+    // Each (β, arm) cell is an independent seeded batch of trials: fan
+    // across cores with a per-cell derived RNG stream.
+    let jobs: Vec<(usize, bool)> = betas
+        .iter()
+        .flat_map(|&beta| [(beta, false), (beta, true)])
+        .collect();
+    let cells = dynspread_bench::par_map(jobs, |(beta, adversarial)| {
+        let stream = dynspread_bench::derive_seed(seed, (beta as u64) << 1 | adversarial as u64);
+        let mut rng = StdRng::seed_from_u64(stream);
+        run_arm(n, k, beta, trials, adversarial, 0.25, &mut rng)
+    });
+    for (bi, &beta) in betas.iter().enumerate() {
+        let (p_rand, c_rand, _) = cells[2 * bi];
+        let (p_adv, c_adv, _) = cells[2 * bi + 1];
         table.row_owned(vec![
             beta.to_string(),
             fmt_f64(p_rand),
@@ -177,9 +195,21 @@ fn main() {
         "components (max)",
         "ln n",
     ]);
-    for &density in &[0.25, 0.05, 0.02] {
-        for &beta in &[4usize, n / 2, (9 * n) / 10] {
-            let (p, c, _) = run_arm(n, k, beta, trials, true, density, &mut rng);
+    // Density × β sweep: independent cells, fanned across cores.
+    let djobs: Vec<(f64, usize)> = [0.25, 0.05, 0.02]
+        .iter()
+        .flat_map(|&density| [4usize, n / 2, (9 * n) / 10].map(move |beta| (density, beta)))
+        .collect();
+    let dcells = dynspread_bench::par_map(djobs.clone(), |(density, beta)| {
+        let stream = dynspread_bench::derive_seed(
+            seed ^ 0xD5,
+            (beta as u64) << 8 | (density * 100.0) as u64,
+        );
+        let mut rng = StdRng::seed_from_u64(stream);
+        run_arm(n, k, beta, trials, true, density, &mut rng)
+    });
+    for ((density, beta), (p, c, _)) in djobs.into_iter().zip(dcells) {
+        {
             dtable.row_owned(vec![
                 fmt_f64(density),
                 beta.to_string(),

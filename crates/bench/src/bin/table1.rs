@@ -20,7 +20,7 @@
 
 use dynspread_analysis::fit::power_law_fit;
 use dynspread_analysis::table::{fmt_f64, Table};
-use dynspread_bench::run_multi_source;
+use dynspread_bench::{par_map, run_multi_source};
 use dynspread_core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
 use dynspread_graph::generators::Topology;
 use dynspread_graph::oblivious::PeriodicRewiring;
@@ -54,8 +54,10 @@ fn main() {
     ]);
     let mut ks = Vec::new();
     let mut amortized = Vec::new();
-    for (i, (label, k)) in rows.iter().enumerate() {
-        let k = (*k).max(2);
+    // Each table row is an independent pair of seeded runs: fan across
+    // cores; par_map returns rows in input order.
+    let runs = par_map(rows.into_iter().enumerate().collect(), |(i, (label, k))| {
+        let k = k.max(2);
         let s = k.min(n);
         let assignment = TokenAssignment::round_robin_sources(n, k, s);
         let f = (nf.sqrt() * (k as f64).powf(0.25)).min(nf / 2.0);
@@ -73,12 +75,15 @@ fn main() {
             PeriodicRewiring::new(Topology::RandomTree, 3, seed + 200 + i as u64),
             &cfg,
         );
-        assert!(out.completed(), "oblivious run for k={k} did not complete");
         let ms = run_multi_source(
             &assignment,
             PeriodicRewiring::new(Topology::RandomTree, 3, seed + 300 + i as u64),
             2_000_000,
         );
+        (label, k, s, out, ms)
+    });
+    for (label, k, s, out, ms) in runs {
+        assert!(out.completed(), "oblivious run for k={k} did not complete");
         assert!(ms.completed, "multi-source run for k={k} did not complete");
         let predicted = nf.powf(2.5) / (k as f64).powf(0.75);
         table.row_owned(vec![

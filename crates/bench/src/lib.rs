@@ -20,6 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod parallel;
+pub mod perf;
+
+pub use parallel::{derive_seed, par_map, par_runs, worker_count};
+
 use dynspread_core::flooding::PhasedFlooding;
 use dynspread_core::multi_source::MultiSourceNode;
 use dynspread_core::single_source::{RequestPolicy, SingleSourceNode, SsMsg};

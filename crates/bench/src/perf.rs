@@ -1,0 +1,138 @@
+//! Shared measurement kernels for the substrate benches and the
+//! `bench_core` summary binary, so criterion and the JSON emitter time the
+//! exact same code.
+//!
+//! The workload mirrors what the engines do each round under the default
+//! experiment adversary (periodic rewiring): commit the round's topology,
+//! account the delta against the dynamic graph, and verify connectivity.
+//! [`run_baseline_schedule`] drives the frozen seed data plane
+//! ([`crate::baseline`]): per-round snapshot clone, `BTreeSet` tree-walk
+//! diff, freshly allocated union–find. [`run_delta_schedule`] drives the
+//! live data plane: `Unchanged` fast path between rewirings, sorted-merge
+//! diff at boundaries, reused union–find buffer.
+
+use crate::baseline::{BaselineDynamicGraph, BaselineGraph};
+use dynspread_graph::dynamic::GraphUpdate;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::{DynamicGraph, Edge, Graph, UnionFind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Samples a `period`-stable schedule of `rounds` connected topologies on
+/// `n` nodes (a fresh sparse sample every `period` rounds, held in
+/// between), as per-round edge lists.
+pub fn sample_schedule(n: usize, rounds: usize, period: usize, seed: u64) -> Vec<Vec<Edge>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(rounds);
+    let mut current: Vec<Edge> = Vec::new();
+    for r in 0..rounds {
+        if r % period == 0 || current.is_empty() {
+            let g = Topology::SparseConnected(2.0).sample(n, &mut rng);
+            current = g.edges().iter().collect();
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+/// Pre-builds the live-data-plane snapshots an adversary would hold
+/// committed (construction happens outside the timed region, exactly as
+/// `PeriodicRewiring` samples outside the engine's accounting path).
+pub fn to_graphs(n: usize, schedule: &[Vec<Edge>]) -> Vec<Graph> {
+    schedule
+        .iter()
+        .map(|e| Graph::from_edges(n, e.iter().copied()))
+        .collect()
+}
+
+/// Pre-builds the seed-data-plane snapshots for the same schedule.
+pub fn to_baseline_graphs(n: usize, schedule: &[Vec<Edge>]) -> Vec<BaselineGraph> {
+    schedule
+        .iter()
+        .map(|e| BaselineGraph::from_edges(n, e.iter().copied()))
+        .collect()
+}
+
+/// One full pass of the schedule through the **seed** data plane: the
+/// adversary clones its committed snapshot every round (as the seed's
+/// `PeriodicRewiring::graph_for_round` did), `advance` tree-walks both
+/// `BTreeSet` differences, and connectivity allocates a fresh union–find.
+/// Returns a checksum (total TC + connected rounds) so the work cannot be
+/// optimized away.
+pub fn run_baseline_schedule(n: usize, committed: &[BaselineGraph]) -> u64 {
+    let mut dg = BaselineDynamicGraph::new(n);
+    let mut connected_rounds = 0u64;
+    for g in committed {
+        dg.advance(g.clone());
+        connected_rounds += dg.current().is_connected() as u64;
+    }
+    dg.topological_changes() + connected_rounds
+}
+
+/// Pre-builds the per-round [`GraphUpdate`]s an evolve-style adversary
+/// hands the engine: owned `Full` snapshots at rewiring rounds (the
+/// adversary samples and hands over by value — no clone in the engine),
+/// `Unchanged` in between. Construction sits outside the timed region, as
+/// topology sampling does in the engine.
+pub fn prepare_updates(committed: &[Graph]) -> Vec<GraphUpdate> {
+    committed
+        .iter()
+        .enumerate()
+        .map(|(r, g)| {
+            if r > 0 && committed[r - 1] == *g {
+                GraphUpdate::Unchanged
+            } else {
+                GraphUpdate::Full(g.clone())
+            }
+        })
+        .collect()
+}
+
+/// One full pass of the schedule through the **live** delta-applied data
+/// plane: unchanged rounds are free, rewiring rounds take ownership of the
+/// committed snapshot and sorted-merge diff it, and the connectivity
+/// verdict is incremental (pure-insertion rounds on a connected graph skip
+/// the union–find pass, which reuses its buffer when it does run). Returns
+/// the same checksum shape as [`run_baseline_schedule`].
+pub fn run_delta_schedule(n: usize, updates: Vec<GraphUpdate>) -> u64 {
+    let mut dg = DynamicGraph::new(n);
+    let mut uf = UnionFind::new(n);
+    let mut connected_rounds = 0u64;
+    let mut was_connected = false;
+    for update in updates {
+        dg.apply(update);
+        if !(was_connected && dg.last_delta().removed.is_empty()) {
+            was_connected = dg.current().is_connected_with(&mut uf);
+        }
+        connected_rounds += was_connected as u64;
+    }
+    dg.topological_changes() + connected_rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_data_planes_compute_identical_checksums() {
+        let n = 64;
+        let schedule = sample_schedule(n, 24, 3, 99);
+        assert_eq!(
+            run_baseline_schedule(n, &to_baseline_graphs(n, &schedule)),
+            run_delta_schedule(n, prepare_updates(&to_graphs(n, &schedule)))
+        );
+    }
+
+    #[test]
+    fn schedule_is_period_stable_and_connected() {
+        let n = 32;
+        let schedule = sample_schedule(n, 9, 3, 5);
+        assert_eq!(schedule.len(), 9);
+        for chunk in schedule.chunks(3) {
+            assert!(chunk.iter().all(|e| e == &chunk[0]));
+        }
+        for edges in &schedule {
+            assert!(Graph::from_edges(n, edges.iter().copied()).is_connected());
+        }
+    }
+}

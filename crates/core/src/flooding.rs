@@ -302,9 +302,8 @@ mod tests {
             SimConfig::with_max_rounds(100_000),
         );
         // Run until quiescence (all budgets exhausted), not just completion.
-        let report = sim.run_until(|s| {
-            (0..n).all(|i| s.node(NodeId::new(i as u32)).is_quiescent())
-        });
+        let report =
+            sim.run_until(|s| (0..n).all(|i| s.node(NodeId::new(i as u32)).is_quiescent()));
         assert!(report.completed);
         // Every (node, token) pair broadcasts at most n times.
         assert!(report.total_messages <= (n * n * k) as u64);

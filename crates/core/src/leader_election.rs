@@ -187,7 +187,9 @@ where
 mod tests {
     use super::*;
     use dynspread_graph::generators::Topology;
-    use dynspread_graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary};
+    use dynspread_graph::oblivious::{
+        ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary,
+    };
     use dynspread_graph::Graph;
 
     #[test]
@@ -200,8 +202,12 @@ mod tests {
     #[test]
     fn eager_converges_on_static_path_in_n_rounds() {
         let n = 12;
-        let (report, converged) =
-            run_election(n, ElectionMode::Eager, StaticAdversary::new(Graph::path(n)), 1000);
+        let (report, converged) = run_election(
+            n,
+            ElectionMode::Eager,
+            StaticAdversary::new(Graph::path(n)),
+            1000,
+        );
         assert!(converged);
         // Max ID sits at one end of the path: exactly n−1 rounds.
         assert_eq!(report.rounds, (n - 1) as Round);
@@ -215,8 +221,12 @@ mod tests {
         // on-change mode still strictly undercuts eager, and the gap grows
         // on low-diameter topologies.
         let n = 16;
-        let (eager, c1) =
-            run_election(n, ElectionMode::Eager, StaticAdversary::new(Graph::path(n)), 1000);
+        let (eager, c1) = run_election(
+            n,
+            ElectionMode::Eager,
+            StaticAdversary::new(Graph::path(n)),
+            1000,
+        );
         let (lazy, c2) = run_election(
             n,
             ElectionMode::OnChange,
@@ -232,8 +242,12 @@ mod tests {
         );
         // Star: eager pays n per round; on-change pays ~2 announcements per
         // node total.
-        let (eager_star, c3) =
-            run_election(n, ElectionMode::Eager, StaticAdversary::new(Graph::star(n)), 1000);
+        let (eager_star, c3) = run_election(
+            n,
+            ElectionMode::Eager,
+            StaticAdversary::new(Graph::star(n)),
+            1000,
+        );
         let (lazy_star, c4) = run_election(
             n,
             ElectionMode::OnChange,

@@ -47,11 +47,11 @@ pub mod single_source;
 
 pub use adaptive::{RequestCuttingAdversary, StableRequestCutter};
 pub use baselines::{TreeBroadcastStatic, UnicastFlooding};
-pub use leader_election::{ElectionMode, ElectionNode};
-pub use network_coding::RlncNode;
 pub use edge_history::EdgeCategory;
 pub use flooding::{BcastMsg, FloodingBroadcast, PhasedFlooding, RoundRobinBroadcast};
+pub use leader_election::{ElectionMode, ElectionNode};
 pub use lower_bound::{LaggedPotentialAdversary, PotentialAdversary};
 pub use multi_source::{MsMsg, MultiSourceNode, SourceMap};
+pub use network_coding::RlncNode;
 pub use oblivious::{run_oblivious_multi_source, ObliviousConfig, ObliviousOutcome, WalkNode};
 pub use single_source::{RequestPolicy, SingleSourceNode, SsMsg};

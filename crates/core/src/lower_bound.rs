@@ -261,7 +261,10 @@ impl PotentialAdversary {
         // F(r) contains *all* free edges).
         let reps = uf.representatives();
         for w in reps.windows(2) {
-            g.insert_edge(Edge::new(NodeId::new(w[0] as u32), NodeId::new(w[1] as u32)));
+            g.insert_edge(Edge::new(
+                NodeId::new(w[0] as u32),
+                NodeId::new(w[1] as u32),
+            ));
         }
         g
     }
@@ -360,12 +363,7 @@ impl<M: BroadcastTokenView> BroadcastAdversary<M> for LaggedPotentialAdversary {
 /// Samples a random initial assignment in which every token is given to
 /// every node independently with probability `prob` (the Section 2 setup),
 /// forcing at least one holder per token so the assignment is valid.
-pub fn bernoulli_assignment(
-    n: usize,
-    k: usize,
-    prob: f64,
-    rng: &mut StdRng,
-) -> TokenAssignment {
+pub fn bernoulli_assignment(n: usize, k: usize, prob: f64, rng: &mut StdRng) -> TokenAssignment {
     let mut a = TokenAssignment::empty(n, k);
     for t in TokenId::all(k) {
         let mut any = false;
@@ -637,11 +635,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let a = bernoulli_assignment(20, 30, 0.25, &mut rng);
         assert!(a.is_valid());
-        let total: usize = (0..30)
-            .map(|t| a.holders(tid(t as u32)).count())
-            .sum();
+        let total: usize = (0..30).map(|t| a.holders(tid(t as u32)).count()).sum();
         let density = total as f64 / 600.0;
         assert!((0.15..0.4).contains(&density), "density {density}");
     }
-
 }

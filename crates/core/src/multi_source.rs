@@ -293,9 +293,9 @@ impl MultiSourceNode {
     /// source with a known-complete node.
     fn send_requests(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
         // "Pick the minimum x such that x ∉ I_v and S_v(x) ≠ ∅."
-        let Some(active) = (0..self.map.source_count()).find(|&idx| {
-            !self.complete_wrt(idx) && self.known_complete[idx].iter().any(|&b| b)
-        }) else {
+        let Some(active) = (0..self.map.source_count())
+            .find(|&idx| !self.complete_wrt(idx) && self.known_complete[idx].iter().any(|&b| b))
+        else {
             return;
         };
         let mut missing: VecDeque<TokenId> = self
@@ -313,7 +313,11 @@ impl MultiSourceNode {
             .copied()
             .filter(|u| self.known_complete[active][u.index()])
             .collect();
-        for category in [EdgeCategory::New, EdgeCategory::Idle, EdgeCategory::Contributive] {
+        for category in [
+            EdgeCategory::New,
+            EdgeCategory::Idle,
+            EdgeCategory::Contributive,
+        ] {
             for &u in &eligible {
                 if missing.is_empty() {
                     return;
@@ -437,7 +441,10 @@ mod tests {
             MsMsg::Completeness(NodeId::new(1)).class(),
             MessageClass::Completeness
         );
-        assert_eq!(MsMsg::Request(TokenId::new(0)).class(), MessageClass::Request);
+        assert_eq!(
+            MsMsg::Request(TokenId::new(0)).class(),
+            MessageClass::Request
+        );
         assert_eq!(MsMsg::Token(TokenId::new(0)).class(), MessageClass::Token);
         assert_eq!(MsMsg::Token(TokenId::new(0)).token_count(), 1);
         assert_eq!(MsMsg::Completeness(NodeId::new(0)).token_count(), 0);
@@ -560,9 +567,7 @@ mod tests {
         while !sim.tracker().all_complete() {
             let round = sim.step();
             for (idx, slot) in completion_round.iter_mut().enumerate() {
-                if slot.is_none()
-                    && sim.nodes().iter().all(|node| node.complete_wrt(idx))
-                {
+                if slot.is_none() && sim.nodes().iter().all(|node| node.complete_wrt(idx)) {
                     *slot = Some(round);
                 }
             }

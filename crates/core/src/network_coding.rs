@@ -142,7 +142,11 @@ mod tests {
     use dynspread_graph::Graph;
     use dynspread_sim::sim::{BroadcastSim, SimConfig};
 
-    fn run_rlnc<A>(assignment: &TokenAssignment, adversary: A, max_rounds: Round) -> dynspread_sim::RunReport
+    fn run_rlnc<A>(
+        assignment: &TokenAssignment,
+        adversary: A,
+        max_rounds: Round,
+    ) -> dynspread_sim::RunReport
     where
         A: dynspread_sim::adversary::BroadcastAdversary<CodedMsg>,
     {

@@ -133,7 +133,9 @@ impl WalkNode {
             owned,
             known_centers: vec![false; assignment.node_count()],
             prev_neighbors: Vec::new(),
-            rng: StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v.value() as u64 + 1))),
+            rng: StdRng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v.value() as u64 + 1)),
+            ),
         }
     }
 
@@ -284,8 +286,7 @@ pub struct ObliviousOutcome {
 impl ObliviousOutcome {
     /// Total messages across both phases.
     pub fn total_messages(&self) -> u64 {
-        self.phase2.total_messages
-            + self.phase1.as_ref().map_or(0, |r| r.total_messages)
+        self.phase2.total_messages + self.phase1.as_ref().map_or(0, |r| r.total_messages)
     }
 
     /// Total rounds across both phases.
@@ -402,9 +403,7 @@ where
         assignment,
         SimConfig::with_max_rounds(cfg.phase1_max_rounds),
     );
-    let phase1 = sim1.run_until(|s| {
-        s.nodes().iter().all(|node| node.tokens_in_transit() == 0)
-    });
+    let phase1 = sim1.run_until(|s| s.nodes().iter().all(|node| node.tokens_in_transit() == 0));
 
     // ---- Hand-off: ownership + knowledge snapshot. ----
     let mut ownership = TokenAssignment::empty(n, k);
@@ -423,9 +422,7 @@ where
     }
     debug_assert!(ownership.is_valid(), "every token must have an owner");
     let map = Arc::new(SourceMap::from_assignment(&ownership));
-    let centers: Vec<NodeId> = NodeId::all(n)
-        .filter(|v| is_center[v.index()])
-        .collect();
+    let centers: Vec<NodeId> = NodeId::all(n).filter(|v| is_center[v.index()]).collect();
 
     // ---- Phase 2: Multi-Source-Unicast from the centers. ----
     let nodes2: Vec<MultiSourceNode> = sim1
@@ -606,7 +603,10 @@ mod tests {
         for r in 1..=200 {
             let mut out = Outbox::new();
             node.send(r, &neighbors, &mut out);
-            assert!(out.len() <= 1, "round {r}: more than one walk step on one edge");
+            assert!(
+                out.len() <= 1,
+                "round {r}: more than one walk step on one edge"
+            );
             total_moved += out.len();
         }
         assert!(total_moved > 0, "lazy walk should eventually move tokens");
@@ -668,7 +668,11 @@ mod tests {
                 PeriodicRewiring::new(Topology::RandomTree, 3, 101),
                 &cfg,
             );
-            (out.total_messages(), out.total_rounds(), out.centers.clone())
+            (
+                out.total_messages(),
+                out.total_rounds(),
+                out.centers.clone(),
+            )
         };
         assert_eq!(run(42), run(42));
     }

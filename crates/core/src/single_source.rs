@@ -238,9 +238,11 @@ impl SingleSourceNode {
         };
         match self.policy {
             RequestPolicy::Prioritized => {
-                for category in
-                    [EdgeCategory::New, EdgeCategory::Idle, EdgeCategory::Contributive]
-                {
+                for category in [
+                    EdgeCategory::New,
+                    EdgeCategory::Idle,
+                    EdgeCategory::Contributive,
+                ] {
                     for &u in &eligible {
                         if missing.is_empty() {
                             return;
@@ -343,7 +345,10 @@ mod tests {
         assert_eq!(SsMsg::Request(TokenId::new(0)).token_count(), 0);
         assert_eq!(SsMsg::Token(TokenId::new(0)).token_count(), 1);
         assert_eq!(SsMsg::Completeness.class(), MessageClass::Completeness);
-        assert_eq!(SsMsg::Request(TokenId::new(0)).class(), MessageClass::Request);
+        assert_eq!(
+            SsMsg::Request(TokenId::new(0)).class(),
+            MessageClass::Request
+        );
         assert_eq!(SsMsg::Token(TokenId::new(0)).class(), MessageClass::Token);
     }
 

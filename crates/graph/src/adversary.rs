@@ -11,6 +11,7 @@
 //! [`Adversary`] into the adaptive interfaces. This keeps this crate
 //! message-agnostic while letting the simulator drive both kinds uniformly.
 
+use crate::dynamic::GraphUpdate;
 use crate::graph::Graph;
 use crate::node::Round;
 
@@ -28,6 +29,19 @@ pub trait Adversary {
     /// Produces `G_r` given the round number `r ≥ 1` and `G_{r-1}`.
     fn graph_for_round(&mut self, round: Round, prev: &Graph) -> Graph;
 
+    /// Produces the round-`r` topology as a [`GraphUpdate`] — the engines'
+    /// fast path. The default wraps [`Adversary::graph_for_round`] in
+    /// `GraphUpdate::Full`; incremental adversaries override this to return
+    /// `Delta`/`Unchanged` so the engine can skip snapshot construction and
+    /// diffing entirely.
+    ///
+    /// An execution must be driven through **either** `evolve` **or**
+    /// `graph_for_round`, never a mix: stateful adversaries advance their
+    /// RNG and round bookkeeping in both.
+    fn evolve(&mut self, round: Round, prev: &Graph) -> GraphUpdate {
+        GraphUpdate::Full(self.graph_for_round(round, prev))
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &str {
         "adversary"
@@ -37,6 +51,10 @@ pub trait Adversary {
 impl<A: Adversary + ?Sized> Adversary for Box<A> {
     fn graph_for_round(&mut self, round: Round, prev: &Graph) -> Graph {
         (**self).graph_for_round(round, prev)
+    }
+
+    fn evolve(&mut self, round: Round, prev: &Graph) -> GraphUpdate {
+        (**self).evolve(round, prev)
     }
 
     fn name(&self) -> &str {
@@ -84,7 +102,9 @@ impl<F: FnMut(Round, &Graph) -> Graph> Adversary for FnAdversary<F> {
 
 impl<F> std::fmt::Debug for FnAdversary<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnAdversary").field("name", &self.name).finish()
+        f.debug_struct("FnAdversary")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

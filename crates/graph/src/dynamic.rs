@@ -7,8 +7,9 @@
 //! by insertions, so only insertions are charged (footnote 5).
 //!
 //! [`DynamicGraph`] tracks the current snapshot, the per-round deltas, and
-//! the running [`TopologyMeter`]. It optionally retains the full history for
-//! offline analysis.
+//! the running [`TopologyMeter`]. It optionally retains the history **as
+//! deltas** for offline analysis; snapshots are reconstructed on demand by
+//! replay, so history mode no longer clones a full `Graph` per round.
 
 use crate::edge::{Edge, EdgeSet};
 use crate::graph::Graph;
@@ -47,12 +48,37 @@ impl TopologyMeter {
 }
 
 /// The per-round delta `(E_r^+, E_r^-)`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundDelta {
     /// Edges inserted at the beginning of this round (`E_r \ E_{r-1}`).
     pub inserted: Vec<Edge>,
     /// Edges removed at the beginning of this round (`E_{r-1} \ E_r`).
     pub removed: Vec<Edge>,
+}
+
+impl RoundDelta {
+    /// Whether the round changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// How an adversary describes the next round's graph to the engine.
+///
+/// Adversaries that rewire wholesale return [`GraphUpdate::Full`];
+/// incremental adversaries (e.g. bounded churn) return
+/// [`GraphUpdate::Delta`], which the [`DynamicGraph`] applies **in place**
+/// against the live adjacency, skipping the full-snapshot diff; adversaries
+/// that keep the topology return [`GraphUpdate::Unchanged`], which costs
+/// nothing at all.
+#[derive(Clone, Debug)]
+pub enum GraphUpdate {
+    /// A complete snapshot of the next round's graph.
+    Full(Graph),
+    /// Exact edge changes relative to the current snapshot.
+    Delta(RoundDelta),
+    /// The topology does not change this round.
+    Unchanged,
 }
 
 /// A dynamic graph: the evolving snapshot plus change accounting.
@@ -66,7 +92,8 @@ pub struct DynamicGraph {
     round: Round,
     meter: TopologyMeter,
     last_delta: RoundDelta,
-    history: Option<Vec<Graph>>,
+    /// Per-round deltas (index 0 = round 1), retained only in history mode.
+    history: Option<Vec<RoundDelta>>,
 }
 
 impl DynamicGraph {
@@ -81,11 +108,13 @@ impl DynamicGraph {
         }
     }
 
-    /// Like [`DynamicGraph::new`], but retains every snapshot (including
-    /// `G_0`) for offline analysis. Memory grows linearly with rounds.
+    /// Like [`DynamicGraph::new`], but retains the full history **as
+    /// per-round deltas** for offline analysis; memory grows with the total
+    /// number of topological changes rather than `rounds × |E|`. Snapshots
+    /// are reconstructed on demand via [`DynamicGraph::snapshot_at`].
     pub fn with_history(n: usize) -> Self {
         let mut dg = DynamicGraph::new(n);
-        dg.history = Some(vec![dg.current.clone()]);
+        dg.history = Some(Vec::new());
         dg
     }
 
@@ -123,12 +152,32 @@ impl DynamicGraph {
         &self.last_delta
     }
 
-    /// Recorded history (only if constructed via [`DynamicGraph::with_history`]).
-    pub fn history(&self) -> Option<&[Graph]> {
+    /// Recorded per-round deltas (index 0 = round 1), if constructed via
+    /// [`DynamicGraph::with_history`].
+    pub fn history(&self) -> Option<&[RoundDelta]> {
         self.history.as_deref()
     }
 
+    /// Reconstructs the snapshot `G_r` by replaying recorded deltas.
+    ///
+    /// Returns `None` unless constructed via [`DynamicGraph::with_history`]
+    /// and `r` is at most the current round. `r = 0` yields the empty `G_0`.
+    pub fn snapshot_at(&self, r: Round) -> Option<Graph> {
+        let history = self.history.as_deref()?;
+        if r > self.round {
+            return None;
+        }
+        let mut g = Graph::empty(self.current.node_count());
+        for delta in &history[..r as usize] {
+            g.apply_delta(&delta.inserted, &delta.removed);
+        }
+        Some(g)
+    }
+
     /// Installs the snapshot of round `r+1` and updates the meter.
+    ///
+    /// The delta is computed with a linear merge over the two sorted edge
+    /// slices (not a tree walk), then `next` is moved in wholesale.
     ///
     /// Returns the delta `(E_{r+1}^+, E_{r+1}^-)`.
     ///
@@ -141,15 +190,74 @@ impl DynamicGraph {
             self.current.node_count(),
             "the vertex set is fixed; node counts must match"
         );
-        let inserted: Vec<Edge> = next.edges().difference(self.current.edges()).collect();
-        let removed: Vec<Edge> = self.current.edges().difference(next.edges()).collect();
-        self.meter.insertions += inserted.len() as u64;
-        self.meter.deletions += removed.len() as u64;
-        self.last_delta = RoundDelta { inserted, removed };
+        // Sorted-merge diff; reuses the delta buffers across rounds.
+        let mut delta = std::mem::take(&mut self.last_delta);
+        delta.inserted.clear();
+        delta.removed.clear();
+        let (old, new) = (self.current.edges().as_slice(), next.edges().as_slice());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < new.len() {
+            match old[i].cmp(&new[j]) {
+                std::cmp::Ordering::Less => {
+                    delta.removed.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    delta.inserted.push(new[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        delta.removed.extend_from_slice(&old[i..]);
+        delta.inserted.extend_from_slice(&new[j..]);
         self.current = next;
+        self.finish_round(delta)
+    }
+
+    /// Applies an adversary's [`GraphUpdate`] for the next round.
+    ///
+    /// * `Full` behaves exactly like [`DynamicGraph::advance`].
+    /// * `Delta` mutates the live snapshot in place — no full-graph
+    ///   construction or diff at all.
+    /// * `Unchanged` only bumps the round counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a full snapshot has the wrong node count, or if a delta is
+    /// inconsistent with the current snapshot (inserts a present edge or
+    /// removes an absent one).
+    pub fn apply(&mut self, update: GraphUpdate) -> &RoundDelta {
+        match update {
+            GraphUpdate::Full(next) => self.advance(next),
+            GraphUpdate::Unchanged => {
+                let mut delta = std::mem::take(&mut self.last_delta);
+                delta.inserted.clear();
+                delta.removed.clear();
+                self.finish_round(delta)
+            }
+            GraphUpdate::Delta(delta) => {
+                let (ins, rm) = self.current.apply_delta(&delta.inserted, &delta.removed);
+                assert_eq!(
+                    (ins, rm),
+                    (delta.inserted.len(), delta.removed.len()),
+                    "delta inconsistent with the current snapshot"
+                );
+                self.finish_round(delta)
+            }
+        }
+    }
+
+    fn finish_round(&mut self, delta: RoundDelta) -> &RoundDelta {
+        self.meter.insertions += delta.inserted.len() as u64;
+        self.meter.deletions += delta.removed.len() as u64;
+        self.last_delta = delta;
         self.round += 1;
         if let Some(h) = &mut self.history {
-            h.push(self.current.clone());
+            h.push(self.last_delta.clone());
         }
         &self.last_delta
     }
@@ -251,14 +359,51 @@ mod tests {
     }
 
     #[test]
-    fn history_records_all_snapshots() {
+    fn history_replays_all_snapshots() {
         let mut dg = DynamicGraph::with_history(3);
         dg.advance(Graph::path(3));
         dg.advance(Graph::star(3));
-        let h = dg.history().unwrap();
-        assert_eq!(h.len(), 3); // G_0, G_1, G_2
-        assert_eq!(h[0].edge_count(), 0);
-        assert_eq!(h[2].edge_count(), 2);
+        assert_eq!(dg.history().unwrap().len(), 2); // deltas of rounds 1, 2
+        assert_eq!(dg.snapshot_at(0).unwrap().edge_count(), 0);
+        assert_eq!(dg.snapshot_at(1).unwrap(), Graph::path(3));
+        assert_eq!(dg.snapshot_at(2).unwrap(), Graph::star(3));
+        assert!(dg.snapshot_at(3).is_none());
+        assert!(DynamicGraph::new(3).snapshot_at(0).is_none());
+    }
+
+    #[test]
+    fn apply_delta_and_unchanged_match_full_advance() {
+        let mut a = DynamicGraph::with_history(4);
+        let mut b = DynamicGraph::with_history(4);
+        // Round 1: same full snapshot.
+        a.advance(Graph::path(4));
+        b.apply(GraphUpdate::Full(Graph::path(4)));
+        // Round 2: no change.
+        a.advance(Graph::path(4));
+        b.apply(GraphUpdate::Unchanged);
+        // Round 3: rewire path → star via an explicit delta.
+        let star = Graph::star(4);
+        a.advance(star.clone());
+        let inserted: Vec<Edge> = star.edges().difference(Graph::path(4).edges()).collect();
+        let removed: Vec<Edge> = Graph::path(4).edges().difference(star.edges()).collect();
+        b.apply(GraphUpdate::Delta(RoundDelta { inserted, removed }));
+        assert_eq!(a.current(), b.current());
+        assert_eq!(a.meter(), b.meter());
+        assert_eq!(a.round(), b.round());
+        assert_eq!(a.last_delta(), b.last_delta());
+        assert_eq!(a.snapshot_at(3), b.snapshot_at(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn inconsistent_delta_panics() {
+        let mut dg = DynamicGraph::new(3);
+        dg.advance(Graph::path(3));
+        // {0,1} is already present; inserting it again is a corrupted delta.
+        dg.apply(GraphUpdate::Delta(RoundDelta {
+            inserted: vec![Edge::new(NodeId::new(0), NodeId::new(1))],
+            removed: vec![],
+        }));
     }
 
     #[test]

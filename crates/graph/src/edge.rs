@@ -5,7 +5,6 @@
 //! edges compare equal regardless of construction order.
 
 use crate::node::NodeId;
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// An undirected edge `{u, v}` between two distinct nodes.
@@ -101,9 +100,19 @@ impl fmt::Display for Edge {
 
 /// An ordered set of undirected edges.
 ///
-/// Backed by a `BTreeSet` so iteration order is deterministic — important
-/// because adversaries and algorithms iterate edge sets while holding seeded
-/// RNGs, and runs must be reproducible.
+/// Hybrid representation tuned for the simulator's hot loop:
+///
+/// * a `Vec<Edge>` kept sorted in normalized lexicographic order, so
+///   iteration is deterministic (adversaries and algorithms iterate edge
+///   sets while holding seeded RNGs, and runs must be reproducible) and
+///   set difference is a linear scan;
+/// * a word-packed adjacency bitmap (`rows[lo]` has bit `hi` set), grown on
+///   demand, making membership tests O(1).
+///
+/// Single-edge insert/remove keeps the vector sorted via binary search
+/// (an `memmove` of `Copy` pairs — cheap at simulator scales), with an O(1)
+/// append fast path for edges arriving in sorted order; bulk construction
+/// (`FromIterator` / `Extend`) sorts once.
 ///
 /// # Examples
 ///
@@ -115,9 +124,18 @@ impl fmt::Display for Edge {
 /// es.insert(Edge::new(NodeId::new(1), NodeId::new(0)));
 /// assert_eq!(es.len(), 1);
 /// ```
-#[derive(Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Default)]
 pub struct EdgeSet {
-    set: BTreeSet<Edge>,
+    /// Sorted in (lo, hi) order.
+    edges: Vec<Edge>,
+    /// Flat word-packed bitmap: bit `hi` of row `lo` lives at
+    /// `bits[lo * stride + hi/64]`. One allocation, so cloning an edge set
+    /// is a single memcpy. Grown geometrically on first touch.
+    bits: Vec<u64>,
+    /// Number of allocated rows (max `lo` touched + 1).
+    rows: usize,
+    /// Words per row (covers max `hi` touched, power of two).
+    stride: usize,
 }
 
 impl EdgeSet {
@@ -126,71 +144,195 @@ impl EdgeSet {
         EdgeSet::default()
     }
 
+    #[inline]
+    fn bit_is_set(&self, e: Edge) -> bool {
+        let (row, bit) = (e.lo().index(), e.hi().index());
+        row < self.rows
+            && bit / 64 < self.stride
+            && self.bits[row * self.stride + bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Grows the bitmap so `(row, colw)` is addressable.
+    #[cold]
+    fn grow(&mut self, row: usize, colw: usize) {
+        if colw >= self.stride {
+            let new_stride = (colw + 1).next_power_of_two();
+            let mut nb = vec![0u64; self.rows.max(row + 1) * new_stride];
+            for r in 0..self.rows {
+                nb[r * new_stride..r * new_stride + self.stride]
+                    .copy_from_slice(&self.bits[r * self.stride..(r + 1) * self.stride]);
+            }
+            self.bits = nb;
+            self.stride = new_stride;
+            self.rows = self.rows.max(row + 1);
+        } else if row >= self.rows {
+            // Geometric row growth keeps repeated appends amortized O(1).
+            self.rows = (row + 1).max(self.rows * 2);
+            self.bits.resize(self.rows * self.stride, 0);
+        }
+    }
+
+    #[inline]
+    fn set_bit(&mut self, e: Edge) {
+        let (row, bit) = (e.lo().index(), e.hi().index());
+        if row >= self.rows || bit / 64 >= self.stride {
+            self.grow(row, bit / 64);
+        }
+        self.bits[row * self.stride + bit / 64] |= 1 << (bit % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, e: Edge) {
+        let (row, bit) = (e.lo().index(), e.hi().index());
+        if row < self.rows && bit / 64 < self.stride {
+            self.bits[row * self.stride + bit / 64] &= !(1 << (bit % 64));
+        }
+    }
+
+    fn rebuild_bits(&mut self) {
+        self.bits.fill(0);
+        let edges = std::mem::take(&mut self.edges);
+        for &e in &edges {
+            self.set_bit(e);
+        }
+        self.edges = edges;
+    }
+
+    /// Builds from an already sorted, deduplicated edge vector — the bulk
+    /// path behind `FromIterator` and `Graph::from_edges` (one sort, one
+    /// bitmap allocation, no per-edge shifting).
+    pub(crate) fn from_sorted_vec(edges: Vec<Edge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        let mut set = EdgeSet {
+            edges,
+            bits: Vec::new(),
+            rows: 0,
+            stride: 0,
+        };
+        if let Some(max_hi) = set.edges.iter().map(|e| e.hi().index()).max() {
+            let max_lo = set.edges.last().expect("nonempty").lo().index();
+            set.stride = (max_hi / 64 + 1).next_power_of_two();
+            set.rows = max_lo + 1;
+            set.bits = vec![0; set.rows * set.stride];
+            let edges = std::mem::take(&mut set.edges);
+            for &e in &edges {
+                set.bits[e.lo().index() * set.stride + e.hi().index() / 64] |=
+                    1 << (e.hi().index() % 64);
+            }
+            set.edges = edges;
+        }
+        set
+    }
+
     /// Inserts an edge; returns `true` if it was not already present.
     pub fn insert(&mut self, e: Edge) -> bool {
-        self.set.insert(e)
+        if self.bit_is_set(e) {
+            return false;
+        }
+        self.set_bit(e);
+        match self.edges.last() {
+            Some(&last) if last >= e => {
+                let pos = self.edges.partition_point(|&x| x < e);
+                self.edges.insert(pos, e);
+            }
+            _ => self.edges.push(e),
+        }
+        true
     }
 
     /// Removes an edge; returns `true` if it was present.
     pub fn remove(&mut self, e: Edge) -> bool {
-        self.set.remove(&e)
+        if !self.bit_is_set(e) {
+            return false;
+        }
+        self.clear_bit(e);
+        let pos = self.edges.partition_point(|&x| x < e);
+        debug_assert!(self.edges[pos] == e);
+        self.edges.remove(pos);
+        true
     }
 
-    /// Whether the edge is present.
+    /// Whether the edge is present — O(1) via the adjacency bitmap.
+    #[inline]
     pub fn contains(&self, e: Edge) -> bool {
-        self.set.contains(&e)
+        self.bit_is_set(e)
     }
 
     /// Number of edges.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.edges.len()
     }
 
     /// Whether the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.edges.is_empty()
     }
 
     /// Iterates edges in normalized (lexicographic) order.
-    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.set.iter().copied()
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Edge> + ExactSizeIterator + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The edges as a sorted slice (normalized lexicographic order).
+    #[inline]
+    pub fn as_slice(&self) -> &[Edge] {
+        &self.edges
     }
 
     /// Edges in `self` that are not in `other` (set difference).
     ///
     /// This is the primitive behind the paper's `E_r^+ = E_r \ E_{r-1}`
     /// (inserted edges) and `E_r^- = E_{r-1} \ E_r` (removed edges).
+    /// Runs in O(|self|) thanks to `other`'s O(1) membership bitmap.
     pub fn difference<'a>(&'a self, other: &'a EdgeSet) -> impl Iterator<Item = Edge> + 'a {
-        self.set.difference(&other.set).copied()
+        self.edges
+            .iter()
+            .copied()
+            .filter(move |&e| !other.contains(e))
     }
 }
 
+impl PartialEq for EdgeSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The bitmaps are derived state; the sorted vectors are canonical.
+        self.edges == other.edges
+    }
+}
+
+impl Eq for EdgeSet {}
+
 impl FromIterator<Edge> for EdgeSet {
     fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
-        EdgeSet {
-            set: iter.into_iter().collect(),
-        }
+        let mut edges: Vec<Edge> = iter.into_iter().collect();
+        edges.sort_unstable();
+        edges.dedup();
+        EdgeSet::from_sorted_vec(edges)
     }
 }
 
 impl Extend<Edge> for EdgeSet {
     fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
-        self.set.extend(iter);
+        self.edges.extend(iter);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self.rebuild_bits();
     }
 }
 
 impl fmt::Debug for EdgeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.set.iter()).finish()
+        f.debug_set().entries(self.edges.iter()).finish()
     }
 }
 
 impl<'a> IntoIterator for &'a EdgeSet {
     type Item = Edge;
-    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Edge>>;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Edge>>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.set.iter().copied()
+        self.edges.iter().copied()
     }
 }
 
@@ -261,5 +403,54 @@ mod tests {
         let es: EdgeSet = [e(2, 3), e(0, 5), e(0, 1)].into_iter().collect();
         let order: Vec<_> = es.iter().collect();
         assert_eq!(order, vec![e(0, 1), e(0, 5), e(2, 3)]);
+    }
+
+    #[test]
+    fn bulk_build_dedupes_and_sorts() {
+        let es: EdgeSet = [e(4, 5), e(1, 0), e(0, 1), e(5, 4), e(2, 7)]
+            .into_iter()
+            .collect();
+        assert_eq!(es.len(), 3);
+        assert_eq!(es.as_slice(), &[e(0, 1), e(2, 7), e(4, 5)]);
+        assert!(es.contains(e(7, 2)));
+        assert!(!es.contains(e(0, 7)));
+    }
+
+    #[test]
+    fn extend_merges_into_sorted_order() {
+        let mut es: EdgeSet = [e(0, 1)].into_iter().collect();
+        es.extend([e(5, 6), e(0, 1), e(2, 3)]);
+        assert_eq!(es.as_slice(), &[e(0, 1), e(2, 3), e(5, 6)]);
+        assert!(es.contains(e(5, 6)));
+    }
+
+    #[test]
+    fn insert_remove_interleaved_keeps_bitmap_consistent() {
+        let mut es = EdgeSet::new();
+        for i in 0..20u32 {
+            assert!(es.insert(e(i, i + 1)));
+        }
+        for i in (0..20u32).step_by(2) {
+            assert!(es.remove(e(i, i + 1)));
+            assert!(!es.contains(e(i, i + 1)));
+        }
+        assert_eq!(es.len(), 10);
+        // Reinsert in reverse order (exercises the non-append path).
+        for i in (0..20u32).step_by(2).rev() {
+            assert!(es.insert(e(i, i + 1)));
+        }
+        let expect: Vec<Edge> = (0..20u32).map(|i| e(i, i + 1)).collect();
+        assert_eq!(es.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn equality_ignores_bitmap_capacity() {
+        // Same final contents, built along different mutation paths.
+        let mut a = EdgeSet::new();
+        a.insert(e(30, 31)); // grows rows/words
+        a.remove(e(30, 31));
+        a.insert(e(0, 1));
+        let b: EdgeSet = [e(0, 1)].into_iter().collect();
+        assert_eq!(a, b);
     }
 }

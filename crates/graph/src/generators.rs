@@ -198,7 +198,11 @@ mod tests {
     fn gnp_dense_has_many_edges() {
         let g = gnp_connected(20, 0.5, &mut rng(6));
         assert!(g.is_connected());
-        assert!(g.edge_count() > 50, "expected ~95 edges, got {}", g.edge_count());
+        assert!(
+            g.edge_count() > 50,
+            "expected ~95 edges, got {}",
+            g.edge_count()
+        );
     }
 
     #[test]
@@ -231,8 +235,7 @@ mod tests {
             assert!(g.degree(v) >= 2);
             assert!(g.degree(v) <= d + 1, "degree {} too high", g.degree(v));
         }
-        let avg: f64 =
-            g.nodes().map(|v| g.degree(v) as f64).sum::<f64>() / g.node_count() as f64;
+        let avg: f64 = g.nodes().map(|v| g.degree(v) as f64).sum::<f64>() / g.node_count() as f64;
         assert!(avg > (d - 1) as f64, "average degree {avg} too low");
     }
 

@@ -44,17 +44,35 @@ impl Graph {
 
     /// Builds a graph on `n` nodes from an edge iterator.
     ///
-    /// Duplicate edges are deduplicated.
+    /// Duplicate edges are deduplicated. This is the bulk path: one sort
+    /// over the edge list, exact-capacity adjacency rows, and a single
+    /// bitmap allocation — no per-edge shifting.
     ///
     /// # Panics
     ///
     /// Panics if an edge endpoint is `>= n`.
     pub fn from_edges<I: IntoIterator<Item = Edge>>(n: usize, edges: I) -> Self {
-        let mut g = Graph::empty(n);
-        for e in edges {
-            g.insert_edge(e);
+        let mut list: Vec<Edge> = edges.into_iter().collect();
+        list.sort_unstable();
+        list.dedup();
+        let mut deg = vec![0usize; n];
+        for e in &list {
+            assert!(e.hi().index() < n, "edge {e} out of range for n = {n}");
+            deg[e.lo().index()] += 1;
+            deg[e.hi().index()] += 1;
         }
-        g
+        let mut adj: Vec<Vec<NodeId>> = deg.iter().map(|&d| Vec::with_capacity(d)).collect();
+        // `list` is sorted by (lo, hi), so for each endpoint the opposite
+        // ends arrive in increasing order: every row comes out sorted.
+        for e in &list {
+            adj[e.lo().index()].push(e.hi());
+            adj[e.hi().index()].push(e.lo());
+        }
+        Graph {
+            n,
+            edges: EdgeSet::from_sorted_vec(list),
+            adj,
+        }
     }
 
     /// The path `v0 – v1 – … – v(n-1)`.
@@ -190,13 +208,51 @@ impl Graph {
         self.component_structure().component_count() == 1 || self.n <= 1
     }
 
+    /// Like [`Graph::is_connected`], but reuses the caller's union–find
+    /// buffer instead of allocating — the per-round fast path.
+    pub fn is_connected_with(&self, uf: &mut UnionFind) -> bool {
+        self.component_structure_into(uf);
+        uf.component_count() == 1 || self.n <= 1
+    }
+
     /// Union–find over the graph's edges; exposes components.
     pub fn component_structure(&self) -> UnionFind {
         let mut uf = UnionFind::new(self.n);
-        for e in self.edges.iter() {
+        self.component_structure_into(&mut uf);
+        uf
+    }
+
+    /// Rebuilds `uf` (resetting it) as the union–find over this graph's
+    /// edges, reusing its buffers.
+    pub fn component_structure_into(&self, uf: &mut UnionFind) {
+        uf.reset(self.n);
+        for &e in self.edges.as_slice() {
             uf.union(e.lo().index(), e.hi().index());
         }
-        uf
+    }
+
+    /// Applies a round delta in place: removes `removed`, then inserts
+    /// `inserted`. Returns `(actually_inserted, actually_removed)` counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the delta is inconsistent with the
+    /// current edge set — an inserted edge already present or a removed
+    /// edge absent — since that indicates a corrupted delta.
+    pub fn apply_delta(&mut self, inserted: &[Edge], removed: &[Edge]) -> (usize, usize) {
+        let mut rm = 0;
+        for &e in removed {
+            let did = self.remove_edge(e);
+            debug_assert!(did, "delta inconsistent: removes absent edge {e}");
+            rm += did as usize;
+        }
+        let mut ins = 0;
+        for &e in inserted {
+            let did = self.insert_edge(e);
+            debug_assert!(did, "delta inconsistent: inserts duplicate edge {e}");
+            ins += did as usize;
+        }
+        (ins, rm)
     }
 
     /// Number of connected components.

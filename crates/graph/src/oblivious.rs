@@ -20,6 +20,7 @@
 
 use crate::adversary::Adversary;
 use crate::connectivity::{bridges, connect_components};
+use crate::dynamic::{GraphUpdate, RoundDelta};
 use crate::edge::Edge;
 use crate::generators::Topology;
 use crate::graph::Graph;
@@ -59,6 +60,14 @@ impl StaticAdversary {
 impl Adversary for StaticAdversary {
     fn graph_for_round(&mut self, _round: Round, _prev: &Graph) -> Graph {
         self.graph.clone()
+    }
+
+    fn evolve(&mut self, round: Round, _prev: &Graph) -> GraphUpdate {
+        if round == 1 {
+            GraphUpdate::Full(self.graph.clone())
+        } else {
+            GraphUpdate::Unchanged
+        }
     }
 
     fn name(&self) -> &str {
@@ -106,6 +115,18 @@ impl Adversary for PeriodicRewiring {
             self.current = Some(self.topology.sample(prev.node_count(), &mut self.rng));
         }
         self.current.clone().expect("just set")
+    }
+
+    fn evolve(&mut self, round: Round, prev: &Graph) -> GraphUpdate {
+        // Rounds start at 1, so the first call is always a rewire round and
+        // the sampled graph can be handed over by value — the engine's
+        // `DynamicGraph` takes ownership and no clone ever happens.
+        if (round - 1).is_multiple_of(self.period) {
+            GraphUpdate::Full(self.topology.sample(prev.node_count(), &mut self.rng))
+        } else {
+            // Mid-period rounds keep the committed topology: free.
+            GraphUpdate::Unchanged
+        }
     }
 
     fn name(&self) -> &str {
@@ -208,22 +229,28 @@ impl ChurnAdversary {
 }
 
 impl Adversary for ChurnAdversary {
-    fn graph_for_round(&mut self, _round: Round, prev: &Graph) -> Graph {
+    fn graph_for_round(&mut self, round: Round, prev: &Graph) -> Graph {
+        // Single source of truth: drive the delta path, return a snapshot.
+        let _ = self.evolve(round, prev);
+        self.current.clone().expect("evolve installed a graph")
+    }
+
+    fn evolve(&mut self, _round: Round, prev: &Graph) -> GraphUpdate {
         let n = prev.node_count();
-        let mut g = match self.current.take() {
-            Some(g) => g,
-            None => {
-                let initial = self.topology.sample(n, &mut self.rng);
-                let clamped = self.enforcer.clamp(initial);
-                self.current = Some(clamped.clone());
-                return clamped;
-            }
+        let Some(g) = self.current.as_mut() else {
+            // First round: sample and clamp a full topology (one-time cost).
+            let initial = self.topology.sample(n, &mut self.rng);
+            let clamped = self.enforcer.clamp(initial);
+            self.current = Some(clamped.clone());
+            return GraphUpdate::Full(clamped);
         };
-        // Delete up to `churn` non-bridge edges that are mature enough.
+        // Delete up to `churn` non-bridge edges that are mature enough,
+        // recomputing bridges after each deletion (removals create bridges).
         let pinned: std::collections::BTreeSet<Edge> =
             self.enforcer.pinned_edges().into_iter().collect();
+        let mut removed = Vec::new();
         for _ in 0..self.churn {
-            let bridge_set: std::collections::BTreeSet<Edge> = bridges(&g).into_iter().collect();
+            let bridge_set: std::collections::BTreeSet<Edge> = bridges(g).into_iter().collect();
             let candidates: Vec<Edge> = g
                 .edges()
                 .iter()
@@ -231,24 +258,40 @@ impl Adversary for ChurnAdversary {
                 .collect();
             if let Some(&e) = candidates.as_slice().choose(&mut self.rng) {
                 g.remove_edge(e);
+                removed.push(e);
             } else {
                 break;
             }
         }
         // Insert up to `churn` random absent edges.
-        let mut inserted = 0usize;
+        let mut inserted = Vec::new();
         let mut attempts = 0usize;
-        while inserted < self.churn && attempts < 50 * self.churn + 50 {
+        while inserted.len() < self.churn && attempts < 50 * self.churn + 50 {
             attempts += 1;
             let u = self.rng.gen_range(0..n as u32);
             let v = self.rng.gen_range(0..n as u32);
-            if u != v && g.insert_edge(Edge::new(NodeId::new(u), NodeId::new(v))) {
-                inserted += 1;
+            if u != v {
+                let e = Edge::new(NodeId::new(u), NodeId::new(v));
+                if g.insert_edge(e) {
+                    inserted.push(e);
+                }
             }
         }
-        let clamped = self.enforcer.clamp(g);
-        self.current = Some(clamped.clone());
-        clamped
+        // Cancel edges churned out and straight back in this round: the
+        // snapshot is unchanged for them, so — matching the snapshot-diff
+        // semantics — they must not reach the topology meter or have their
+        // σ-age reset.
+        if removed.iter().any(|e| inserted.contains(e)) {
+            let both: Vec<Edge> = removed
+                .iter()
+                .filter(|e| inserted.contains(e))
+                .copied()
+                .collect();
+            removed.retain(|e| !both.contains(e));
+            inserted.retain(|e| !both.contains(e));
+        }
+        self.enforcer.commit_delta(&inserted, &removed);
+        GraphUpdate::Delta(RoundDelta { inserted, removed })
     }
 
     fn name(&self) -> &str {
@@ -294,6 +337,17 @@ impl Adversary for ScriptedAdversary {
         self.schedule[idx].clone()
     }
 
+    fn evolve(&mut self, round: Round, prev: &Graph) -> GraphUpdate {
+        let last = self.schedule.len() - 1;
+        let idx = ((round - 1) as usize).min(last);
+        if round > 1 && idx == last && ((round - 2) as usize).min(last) == last {
+            // Past the end of the script the topology is clamped: free.
+            GraphUpdate::Unchanged
+        } else {
+            GraphUpdate::Full(self.graph_for_round(round, prev))
+        }
+    }
+
     fn name(&self) -> &str {
         "scripted"
     }
@@ -334,7 +388,10 @@ mod tests {
         assert_eq!(graphs[0], graphs[1]);
         assert_eq!(graphs[1], graphs[2]);
         assert_eq!(graphs[3], graphs[4]);
-        assert_ne!(graphs[2], graphs[3], "seeded trees on 12 nodes should differ");
+        assert_ne!(
+            graphs[2], graphs[3],
+            "seeded trees on 12 nodes should differ"
+        );
     }
 
     #[test]
@@ -437,6 +494,30 @@ mod tests {
             // With p_on = 0, only repair edges exist: exactly a tree.
             assert_eq!(g.edge_count(), 7);
             prev = g;
+        }
+    }
+
+    #[test]
+    fn churn_delta_never_lists_an_edge_on_both_sides() {
+        // Small n + high churn makes remove-then-reinsert collisions likely;
+        // such edges must cancel out of the delta (they'd inflate TC(E) and
+        // reset σ-ages relative to the snapshot-diff semantics).
+        let mut adv = ChurnAdversary::new(Topology::SparseConnected(1.2), 4, 1, 11);
+        let mut dg = crate::dynamic::DynamicGraph::new(8);
+        for r in 1..=300 {
+            let update = adv.evolve(r, dg.current());
+            if let GraphUpdate::Delta(d) = &update {
+                assert!(
+                    d.inserted.iter().all(|e| !d.removed.contains(e)),
+                    "round {r}: edge on both sides of the delta"
+                );
+            }
+            dg.apply(update);
+            // Meter stays consistent with the live snapshot.
+            assert_eq!(
+                dg.current().edge_count() as u64,
+                dg.meter().insertions - dg.meter().deletions
+            );
         }
     }
 

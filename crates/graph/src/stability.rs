@@ -190,11 +190,40 @@ impl StabilityEnforcer {
         }
         self.round += 1;
         let r = self.round;
-        self.inserted_at.retain(|e, _| proposal.edges().contains(*e));
+        self.inserted_at
+            .retain(|e, _| proposal.edges().contains(*e));
         for e in proposal.edges().iter() {
             self.inserted_at.entry(e).or_insert(r);
         }
         proposal
+    }
+
+    /// Records an already-σ-legal delta as the next round's change — the
+    /// incremental counterpart of [`StabilityEnforcer::clamp`], costing
+    /// O(|delta| log m) instead of a full edge-set sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removed edge is still pinned (callers must filter their
+    /// deletions through [`StabilityEnforcer::pinned_edges`] first).
+    pub fn commit_delta(&mut self, inserted: &[Edge], removed: &[Edge]) {
+        self.round += 1;
+        let r = self.round;
+        for e in removed {
+            let ins = self
+                .inserted_at
+                .remove(e)
+                .expect("removed edge was never recorded");
+            assert!(
+                r - ins >= self.sigma,
+                "delta deletes pinned edge {e} (present {} < σ = {} rounds)",
+                r - ins,
+                self.sigma
+            );
+        }
+        for e in inserted {
+            self.inserted_at.entry(*e).or_insert(r);
+        }
     }
 }
 
@@ -304,7 +333,9 @@ mod tests {
                 }
             }
             let clamped = enf.clamp(g);
-            checker.observe(&clamped).expect("enforcer must be σ-stable");
+            checker
+                .observe(&clamped)
+                .expect("enforcer must be σ-stable");
         }
     }
 

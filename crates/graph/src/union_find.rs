@@ -35,6 +35,18 @@ impl UnionFind {
         }
     }
 
+    /// Resets to `n` singleton sets, reusing the existing buffers.
+    ///
+    /// The per-round connectivity check runs this instead of allocating a
+    /// fresh structure every round.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.components = n;
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.parent.len()

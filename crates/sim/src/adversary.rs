@@ -19,6 +19,7 @@
 //! simulators are always driven through the adaptive interface.
 
 use dynspread_graph::adversary::Adversary;
+use dynspread_graph::dynamic::GraphUpdate;
 use dynspread_graph::{Graph, NodeId, Round};
 
 /// A record of one unicast message sent in a round: `from → to`.
@@ -40,6 +41,14 @@ pub trait BroadcastAdversary<M> {
     /// same node set.
     fn graph_for_round(&mut self, round: Round, prev: &Graph, choices: &[Option<M>]) -> Graph;
 
+    /// Produces the round-`r` topology as a [`GraphUpdate`] — the engine's
+    /// fast path. Defaults to wrapping
+    /// [`BroadcastAdversary::graph_for_round`]; drive an execution through
+    /// either this or `graph_for_round`, never a mix.
+    fn evolve(&mut self, round: Round, prev: &Graph, choices: &[Option<M>]) -> GraphUpdate {
+        GraphUpdate::Full(self.graph_for_round(round, prev, choices))
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &str {
         "broadcast-adversary"
@@ -52,12 +61,16 @@ pub trait BroadcastAdversary<M> {
 pub trait UnicastAdversary<M> {
     /// Produces `G_r` given the previous graph and everything sent in the
     /// previous round. Must return a connected graph on the same node set.
-    fn graph_for_round(
-        &mut self,
-        round: Round,
-        prev: &Graph,
-        prev_sent: &[SentRecord<M>],
-    ) -> Graph;
+    fn graph_for_round(&mut self, round: Round, prev: &Graph, prev_sent: &[SentRecord<M>])
+        -> Graph;
+
+    /// Produces the round-`r` topology as a [`GraphUpdate`] — the engine's
+    /// fast path. Defaults to wrapping
+    /// [`UnicastAdversary::graph_for_round`]; drive an execution through
+    /// either this or `graph_for_round`, never a mix.
+    fn evolve(&mut self, round: Round, prev: &Graph, prev_sent: &[SentRecord<M>]) -> GraphUpdate {
+        GraphUpdate::Full(self.graph_for_round(round, prev, prev_sent))
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &str {
@@ -68,6 +81,10 @@ pub trait UnicastAdversary<M> {
 impl<M, A: Adversary> BroadcastAdversary<M> for A {
     fn graph_for_round(&mut self, round: Round, prev: &Graph, _choices: &[Option<M>]) -> Graph {
         Adversary::graph_for_round(self, round, prev)
+    }
+
+    fn evolve(&mut self, round: Round, prev: &Graph, _choices: &[Option<M>]) -> GraphUpdate {
+        Adversary::evolve(self, round, prev)
     }
 
     fn name(&self) -> &str {
@@ -83,6 +100,10 @@ impl<M, A: Adversary> UnicastAdversary<M> for A {
         _prev_sent: &[SentRecord<M>],
     ) -> Graph {
         Adversary::graph_for_round(self, round, prev)
+    }
+
+    fn evolve(&mut self, round: Round, prev: &Graph, _prev_sent: &[SentRecord<M>]) -> GraphUpdate {
+        Adversary::evolve(self, round, prev)
     }
 
     fn name(&self) -> &str {

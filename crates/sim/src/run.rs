@@ -9,14 +9,20 @@
 use crate::message::MessageClass;
 use crate::meter::MessageMeter;
 use dynspread_graph::{Round, TopologyMeter};
+use std::sync::Arc;
 
 /// Summary of one simulated execution.
+///
+/// Names are shared `Arc<str>`s: thousands of reports from a parameter
+/// sweep share one allocation per distinct algorithm/adversary, and cloning
+/// a report never copies string data (which also makes reports cheap to
+/// move across threads in the parallel experiment driver).
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// Algorithm name.
-    pub algorithm: String,
+    pub algorithm: Arc<str>,
     /// Adversary name.
-    pub adversary: String,
+    pub adversary: Arc<str>,
     /// Number of nodes `n`.
     pub n: usize,
     /// Number of tokens `k`.
@@ -43,8 +49,8 @@ impl RunReport {
     /// Builds a report from the simulator's meters.
     #[allow(clippy::too_many_arguments)] // one-stop internal constructor
     pub fn from_meters(
-        algorithm: impl Into<String>,
-        adversary: impl Into<String>,
+        algorithm: impl Into<Arc<str>>,
+        adversary: impl Into<Arc<str>>,
         n: usize,
         k: usize,
         rounds: Round,
@@ -105,7 +111,11 @@ impl std::fmt::Display for RunReport {
             self.adversary,
             self.n,
             self.k,
-            if self.completed { "completed" } else { "DID NOT COMPLETE" },
+            if self.completed {
+                "completed"
+            } else {
+                "DID NOT COMPLETE"
+            },
             self.rounds
         )?;
         write!(

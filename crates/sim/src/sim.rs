@@ -22,8 +22,10 @@ use crate::protocol::{BroadcastProtocol, Outbox, UnicastProtocol};
 use crate::run::RunReport;
 use crate::token::TokenAssignment;
 use crate::tracker::TokenTracker;
+use dynspread_graph::dynamic::GraphUpdate;
 use dynspread_graph::stability::StabilityChecker;
-use dynspread_graph::{DynamicGraph, Graph, NodeId, Round};
+use dynspread_graph::{DynamicGraph, NodeId, Round, UnionFind};
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -64,17 +66,61 @@ impl SimConfig {
     }
 }
 
-fn validate_graph(g: &Graph, n: usize, round: Round, check_connectivity: bool) {
-    assert_eq!(
-        g.node_count(),
-        n,
-        "adversary changed the node count in round {round}"
-    );
-    if check_connectivity {
-        assert!(
-            g.is_connected(),
-            "adversary produced a disconnected graph in round {round}"
-        );
+/// Reusable per-round scratch shared by both engines: the union–find buffer
+/// for the connectivity check and the receiver set for incremental tracker
+/// syncing — allocated once per engine, not once per round.
+struct RoundScratch {
+    uf: UnionFind,
+    touched: Vec<bool>,
+    receivers: Vec<u32>,
+    /// Whether last round's graph was verified connected — lets rounds whose
+    /// delta removed no edges skip the union–find pass entirely (a connected
+    /// graph stays connected under pure insertions).
+    was_connected: bool,
+}
+
+impl RoundScratch {
+    fn new(n: usize) -> Self {
+        RoundScratch {
+            uf: UnionFind::new(n),
+            touched: vec![false; n],
+            receivers: Vec::new(),
+            was_connected: false,
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, v: NodeId) {
+        let i = v.index();
+        if !self.touched[i] {
+            self.touched[i] = true;
+            self.receivers.push(v.value());
+        }
+    }
+
+    /// Incremental per-round connectivity verdict for `g`, given that this
+    /// round's delta removed `removed_edges` edges.
+    fn check_connected(&mut self, g: &dynspread_graph::Graph, removed_edges: usize) -> bool {
+        if !(self.was_connected && removed_edges == 0) {
+            self.was_connected = g.is_connected_with(&mut self.uf);
+        }
+        self.was_connected
+    }
+
+    /// Visits this round's marked receivers in ascending ID order (matching
+    /// the historical whole-network sweep, so learning logs are unchanged),
+    /// clearing the marks for the next round. Both engines' tracker syncs
+    /// go through here.
+    fn drain_receivers(&mut self, mut f: impl FnMut(NodeId)) {
+        self.receivers.sort_unstable();
+        let mut i = 0;
+        while i < self.receivers.len() {
+            let id = self.receivers[i];
+            self.touched[id as usize] = false;
+            f(NodeId::new(id));
+            i += 1;
+        }
+        self.receivers.clear();
     }
 }
 
@@ -88,7 +134,9 @@ pub struct UnicastSim<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> {
     cfg: SimConfig,
     stability: Option<StabilityChecker>,
     last_sent: Vec<SentRecord<P::Msg>>,
-    algorithm_name: String,
+    scratch: RoundScratch,
+    algorithm_name: Arc<str>,
+    adversary_name: Arc<str>,
 }
 
 impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
@@ -121,8 +169,10 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
             );
         }
         let stability = cfg.check_stability.map(StabilityChecker::new);
+        let adversary_name: Arc<str> = Arc::from(<A as UnicastAdversary<P::Msg>>::name(&adversary));
         UnicastSim {
             dg: DynamicGraph::new(nodes.len()),
+            scratch: RoundScratch::new(nodes.len()),
             nodes,
             adversary,
             meter: MessageMeter::new(),
@@ -130,7 +180,8 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
             cfg,
             stability,
             last_sent: Vec::new(),
-            algorithm_name: algorithm_name.into(),
+            algorithm_name: Arc::from(algorithm_name.into()),
+            adversary_name,
         }
     }
 
@@ -168,15 +219,30 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
     /// Executes one round. Returns the round number just executed.
     pub fn step(&mut self) -> Round {
         let round = self.dg.round() + 1;
-        // 1. Adversary commits G_r (sees last round's traffic if adaptive).
-        let g = self
+        // 1. Adversary commits G_r (sees last round's traffic if adaptive);
+        //    deltas and unchanged rounds are applied to the live snapshot.
+        let update = self
             .adversary
-            .graph_for_round(round, self.dg.current(), &self.last_sent);
-        validate_graph(&g, self.nodes.len(), round, self.cfg.check_connectivity);
-        if let Some(chk) = &mut self.stability {
-            chk.observe(&g).expect("adversary violated σ-edge stability");
+            .evolve(round, self.dg.current(), &self.last_sent);
+        if let GraphUpdate::Full(g) = &update {
+            assert_eq!(
+                g.node_count(),
+                self.nodes.len(),
+                "adversary changed the node count in round {round}"
+            );
         }
-        self.dg.advance(g);
+        self.dg.apply(update);
+        if self.cfg.check_connectivity {
+            let removed = self.dg.last_delta().removed.len();
+            assert!(
+                self.scratch.check_connected(self.dg.current(), removed),
+                "adversary produced a disconnected graph in round {round}"
+            );
+        }
+        if let Some(chk) = self.stability.as_mut() {
+            chk.observe(self.dg.current())
+                .expect("adversary violated σ-edge stability");
+        }
         self.meter.begin_round(round);
         if self.cfg.charge_neighbor_discovery {
             // KT0: both endpoints of every freshly inserted edge exchange
@@ -209,15 +275,19 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
         // 3. Delivery (synchronous: all sends happen before any receive).
         for rec in &sent {
             self.nodes[rec.to.index()].receive(round, rec.from, &rec.msg);
+            self.scratch.mark(rec.to);
         }
         for node in self.nodes.iter_mut() {
             node.end_round(round);
         }
-        // 4. Global observation.
-        for (i, node) in self.nodes.iter().enumerate() {
-            self.tracker
-                .sync_node(NodeId::new(i as u32), node.known_tokens(), round);
-        }
+        // 4. Global observation — incremental: only nodes that received a
+        //    message this round can have learned tokens, so only they are
+        //    diffed (in ascending ID order, preserving the learning-log
+        //    order of a whole-network sweep).
+        let (tracker, nodes) = (&mut self.tracker, &self.nodes);
+        self.scratch.drain_receivers(|v| {
+            tracker.sync_node(v, nodes[v.index()].known_tokens(), round);
+        });
         self.last_sent = sent;
         round
     }
@@ -240,10 +310,13 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
     }
 
     /// Builds the report for the execution so far.
+    ///
+    /// Names are shared `Arc<str>`s captured at construction, so building a
+    /// report allocates no strings.
     pub fn report(&self) -> RunReport {
         RunReport::from_meters(
             self.algorithm_name.clone(),
-            self.adversary.name().to_string(),
+            self.adversary_name.clone(),
             self.nodes.len(),
             self.tracker.token_count(),
             self.dg.round(),
@@ -264,7 +337,9 @@ pub struct BroadcastSim<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> {
     tracker: TokenTracker,
     cfg: SimConfig,
     stability: Option<StabilityChecker>,
-    algorithm_name: String,
+    scratch: RoundScratch,
+    algorithm_name: Arc<str>,
+    adversary_name: Arc<str>,
 }
 
 impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
@@ -295,15 +370,19 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
             );
         }
         let stability = cfg.check_stability.map(StabilityChecker::new);
+        let adversary_name: Arc<str> =
+            Arc::from(<A as BroadcastAdversary<P::Msg>>::name(&adversary));
         BroadcastSim {
             dg: DynamicGraph::new(nodes.len()),
+            scratch: RoundScratch::new(nodes.len()),
             nodes,
             adversary,
             meter: MessageMeter::new(),
             tracker,
             cfg,
             stability,
-            algorithm_name: algorithm_name.into(),
+            algorithm_name: Arc::from(algorithm_name.into()),
+            adversary_name,
         }
     }
 
@@ -356,15 +435,28 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
                 choice
             })
             .collect();
-        // 2. …then the (strongly adaptive) adversary picks the topology.
-        let g = self
-            .adversary
-            .graph_for_round(round, self.dg.current(), &choices);
-        validate_graph(&g, self.nodes.len(), round, self.cfg.check_connectivity);
-        if let Some(chk) = &mut self.stability {
-            chk.observe(&g).expect("adversary violated σ-edge stability");
+        // 2. …then the (strongly adaptive) adversary picks the topology;
+        //    deltas and unchanged rounds are applied to the live snapshot.
+        let update = self.adversary.evolve(round, self.dg.current(), &choices);
+        if let GraphUpdate::Full(g) = &update {
+            assert_eq!(
+                g.node_count(),
+                self.nodes.len(),
+                "adversary changed the node count in round {round}"
+            );
         }
-        self.dg.advance(g);
+        self.dg.apply(update);
+        if self.cfg.check_connectivity {
+            let removed = self.dg.last_delta().removed.len();
+            assert!(
+                self.scratch.check_connected(self.dg.current(), removed),
+                "adversary produced a disconnected graph in round {round}"
+            );
+        }
+        if let Some(chk) = self.stability.as_mut() {
+            chk.observe(self.dg.current())
+                .expect("adversary violated σ-edge stability");
+        }
         self.meter.begin_round(round);
         // 3. Metering + delivery: one message per broadcasting node.
         for (i, choice) in choices.iter().enumerate() {
@@ -374,17 +466,19 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
                 // Deliver to all round-r neighbors.
                 for &w in self.dg.current().neighbors(v) {
                     self.nodes[w.index()].receive(round, v, msg);
+                    self.scratch.mark(w);
                 }
             }
         }
         for node in self.nodes.iter_mut() {
             node.end_round(round);
         }
-        // 4. Global observation.
-        for (i, node) in self.nodes.iter().enumerate() {
-            self.tracker
-                .sync_node(NodeId::new(i as u32), node.known_tokens(), round);
-        }
+        // 4. Global observation — incremental over this round's receivers
+        //    (ascending ID order; see `UnicastSim::step`).
+        let (tracker, nodes) = (&mut self.tracker, &self.nodes);
+        self.scratch.drain_receivers(|v| {
+            tracker.sync_node(v, nodes[v.index()].known_tokens(), round);
+        });
         round
     }
 
@@ -406,10 +500,13 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
     }
 
     /// Builds the report for the execution so far.
+    ///
+    /// Names are shared `Arc<str>`s captured at construction, so building a
+    /// report allocates no strings.
     pub fn report(&self) -> RunReport {
         RunReport::from_meters(
             self.algorithm_name.clone(),
-            self.adversary.name().to_string(),
+            self.adversary_name.clone(),
             self.nodes.len(),
             self.tracker.token_count(),
             self.dg.round(),
@@ -427,6 +524,7 @@ mod tests {
     use crate::message::MessageClass;
     use crate::token::{TokenId, TokenSet};
     use dynspread_graph::adversary::FnAdversary;
+    use dynspread_graph::Graph;
 
     /// A toy token message for engine tests.
     #[derive(Clone, Debug, PartialEq)]
@@ -657,8 +755,7 @@ mod tests {
         let n = 4;
         let a = one_token_assignment(n);
         let adv = FnAdversary::new("bad", |_, prev: &Graph| Graph::empty(prev.node_count()));
-        let mut sim =
-            UnicastSim::new("naive-uni", uni_nodes(n, &a), adv, &a, SimConfig::default());
+        let mut sim = UnicastSim::new("naive-uni", uni_nodes(n, &a), adv, &a, SimConfig::default());
         sim.step();
     }
 
@@ -720,8 +817,8 @@ mod tests {
             SimConfig::default(),
         );
         let report = sim.run_to_completion();
-        assert_eq!(report.algorithm, "naive-uni");
-        assert_eq!(report.adversary, "path");
+        assert_eq!(&*report.algorithm, "naive-uni");
+        assert_eq!(&*report.adversary, "path");
         assert_eq!(report.n, 3);
         assert_eq!(report.k, 1);
     }

@@ -198,6 +198,14 @@ impl TokenSet {
         self.count - before
     }
 
+    /// The backing bit words (little-endian token order, 64 tokens per
+    /// word). Exposed so observers like the simulator's tracker can diff
+    /// knowledge sets with word-level XOR instead of per-token scans.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Size of the union `|self ∪ other|` without modifying either set —
     /// the per-node term of the Section 2 potential `Φ(t) = Σ_v |K_v(t) ∪ K'_v|`.
     pub fn union_count(&self, other: &TokenSet) -> usize {
@@ -304,7 +312,9 @@ impl TokenAssignment {
 
     /// The initial holders of token `t`.
     pub fn holders(&self, t: TokenId) -> impl Iterator<Item = crate::NodeId> + '_ {
-        self.holders[t.index()].iter().map(|&i| crate::NodeId::new(i))
+        self.holders[t.index()]
+            .iter()
+            .map(|&i| crate::NodeId::new(i))
     }
 
     /// The initial knowledge set `K_v(0)` of node `v`.
@@ -321,11 +331,12 @@ impl TokenAssignment {
     /// The distinct source nodes (nodes holding at least one token),
     /// in increasing ID order.
     pub fn sources(&self) -> Vec<crate::NodeId> {
-        let mut set = std::collections::BTreeSet::new();
-        for h in &self.holders {
-            set.extend(h.iter().copied());
-        }
-        set.into_iter().map(crate::NodeId::new).collect()
+        // The per-token holder lists are already sorted; merge them with a
+        // flatten + sort + dedup instead of a tree-set round-trip.
+        let mut all: Vec<u32> = self.holders.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all.into_iter().map(crate::NodeId::new).collect()
     }
 
     /// Whether every token has at least one initial holder.
@@ -347,7 +358,10 @@ mod tests {
         let f = TokenSet::full(10);
         assert!(f.is_full());
         assert_eq!(f.count(), 10);
-        assert!(TokenSet::new(0).is_full(), "empty universe is trivially full");
+        assert!(
+            TokenSet::new(0).is_full(),
+            "empty universe is trivially full"
+        );
     }
 
     #[test]

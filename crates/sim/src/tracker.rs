@@ -119,38 +119,57 @@ impl TokenTracker {
     /// Syncs node `v`'s knowledge after round `round`, recording every newly
     /// learned token. Returns the number of new learnings.
     ///
+    /// The diff is a word-level XOR over the two bitsets: rounds in which
+    /// `v` learned nothing cost O(k/64) with no allocation, and learned
+    /// tokens are extracted bit by bit only from the words that changed.
+    ///
     /// # Panics
     ///
     /// Panics if a token disappears from `v`'s knowledge (token-forwarding
-    /// algorithms never forget) or if the universe size changed.
+    /// algorithms never forget; checked in debug builds) or if the universe
+    /// size changed.
     pub fn sync_node(&mut self, v: NodeId, current: &TokenSet, round: Round) -> usize {
         assert_eq!(current.universe(), self.k, "token universe changed");
         let prev = &self.knowledge[v.index()];
-        debug_assert!(
-            prev.iter().all(|t| current.contains(t)),
-            "{v} forgot a token — token-forwarding algorithms never forget"
-        );
-        let learned: Vec<TokenId> = prev.missing_from(current).collect();
-        if learned.is_empty() {
+        let mut learned = 0usize;
+        let was_complete = prev.is_full();
+        for (wi, (&cw, &pw)) in current
+            .as_words()
+            .iter()
+            .zip(prev.as_words().iter())
+            .enumerate()
+        {
+            if cw == pw {
+                continue;
+            }
+            debug_assert!(
+                pw & !cw == 0,
+                "{v} forgot a token — token-forwarding algorithms never forget"
+            );
+            let mut new_bits = cw & !pw;
+            while new_bits != 0 {
+                let t = TokenId::new((wi * 64) as u32 + new_bits.trailing_zeros());
+                new_bits &= new_bits - 1;
+                self.log.push(Learning {
+                    node: v,
+                    token: t,
+                    round,
+                });
+                learned += 1;
+            }
+        }
+        if learned == 0 {
             return 0;
         }
-        let was_complete = prev.is_full();
         while self.learnings_per_round.len() < round as usize {
             self.learnings_per_round.push(0);
         }
-        self.learnings_per_round[round as usize - 1] += learned.len() as u64;
-        for t in &learned {
-            self.log.push(Learning {
-                node: v,
-                token: *t,
-                round,
-            });
-            self.knowledge[v.index()].insert(*t);
-        }
+        self.learnings_per_round[round as usize - 1] += learned as u64;
+        self.knowledge[v.index()].union_with(current);
         if !was_complete && self.knowledge[v.index()].is_full() {
             self.complete_nodes += 1;
         }
-        learned.len()
+        learned
     }
 
     /// The round by which `v` first became complete, if it has.
@@ -210,8 +229,16 @@ mod tests {
         assert_eq!(
             tr.log(),
             &[
-                Learning { node: nid(1), token: tid(0), round: 3 },
-                Learning { node: nid(1), token: tid(1), round: 5 },
+                Learning {
+                    node: nid(1),
+                    token: tid(0),
+                    round: 3
+                },
+                Learning {
+                    node: nid(1),
+                    token: tid(1),
+                    round: 5
+                },
             ]
         );
     }

@@ -86,7 +86,11 @@ fn main() {
     println!(
         "the adversary {} termination, but the 1-competitive residual {:.0} stays \
          within O(n² + nk) = {} — every stall it buys costs it a topological change",
-        if report.completed { "failed to stop" } else { "stalled" },
+        if report.completed {
+            "failed to stop"
+        } else {
+            "stalled"
+        },
         report.competitive_residual(1.0),
         n * n + n * k
     );

@@ -27,12 +27,8 @@ fn main() {
     let sigma = 3;
 
     let assignment = TokenAssignment::round_robin_sources(n, k, miners);
-    let adversary = ChurnAdversary::new(
-        Topology::SparseConnected(2.0),
-        churn_per_round,
-        sigma,
-        2024,
-    );
+    let adversary =
+        ChurnAdversary::new(Topology::SparseConnected(2.0), churn_per_round, sigma, 2024);
     let (nodes, _map) = MultiSourceNode::nodes(&assignment);
     let mut sim = UnicastSim::new(
         "p2p-block-sync(multi-source-unicast)",

@@ -33,7 +33,9 @@ use dynspread::core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
 use dynspread::core::single_source::SingleSourceNode;
 use dynspread::graph::adversary::Adversary;
 use dynspread::graph::generators::Topology;
-use dynspread::graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary};
+use dynspread::graph::oblivious::{
+    ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary,
+};
 use dynspread::graph::NodeId;
 use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
 
@@ -80,7 +82,11 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             "--n" => cfg.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
             "--k" => cfg.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--s" => cfg.s = value("--s")?.parse().map_err(|e| format!("--s: {e}"))?,
-            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--max-rounds" => {
                 cfg.max_rounds = value("--max-rounds")?
                     .parse()
@@ -326,7 +332,10 @@ mod tests {
             parse_topology("sparse:2.5").unwrap(),
             Topology::SparseConnected(2.5)
         );
-        assert_eq!(parse_topology("regular:4").unwrap(), Topology::NearRegular(4));
+        assert_eq!(
+            parse_topology("regular:4").unwrap(),
+            Topology::NearRegular(4)
+        );
         assert!(parse_topology("hex").is_err());
         assert!(parse_topology("gnp:x").is_err());
     }

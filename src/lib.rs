@@ -45,6 +45,38 @@
 //! // Theorem 3.1: messages − TC(E) = O(n² + nk).
 //! assert!(report.competitive_residual(1.0) <= 4.0 * ((n * n + n * k) as f64));
 //! ```
+//!
+//! # Running the experiments and benches
+//!
+//! The experiment binaries live in the `dynspread-bench` crate; each
+//! regenerates one of the paper's quantitative artifacts:
+//!
+//! ```text
+//! cargo run --release -p dynspread-bench --bin table1          # Table 1
+//! cargo run --release -p dynspread-bench --bin fig1_free_edges # Figure 1 / Lemma 2.2
+//! cargo run --release -p dynspread-bench --bin exp_single_source
+//! cargo run --release -p dynspread-bench --bin exp_multi_source
+//! # … see crates/bench/src/bin/ for the full exp_* index.
+//! ```
+//!
+//! Every binary fans its independent `n × k × adversary × seed` grid
+//! across all CPU cores via `dynspread_bench::par_map` with deterministic
+//! per-job seeds — output is byte-identical regardless of core count. Set
+//! `DYNSPREAD_THREADS=1` to force serial execution.
+//!
+//! Criterion-style micro benches and the perf-trajectory summary:
+//!
+//! ```text
+//! cargo bench -p dynspread-bench                                # all benches
+//! cargo run --release -p dynspread-bench --bin bench_core       # BENCH_core.json
+//! ```
+//!
+//! `bench_core` rewrites `BENCH_core.json` with the median
+//! `DynamicGraph` update + connectivity cost per round at `n = 512` for
+//! the frozen seed baseline vs. the delta-applied data plane (plus
+//! end-to-end ns/round for flooding and single-source), so future PRs can
+//! track regressions. The interactive CLI is `cargo run --release --bin
+//! spread -- --help`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

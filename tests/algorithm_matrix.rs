@@ -59,7 +59,11 @@ fn single_source_against_all_adversaries() {
         let report = sim.run_to_completion();
         check_report(&report, n, k, k);
         // Tokens are sent only in response to requests and learned once.
-        assert_eq!(report.class(MessageClass::Token), report.learnings, "arm {i}");
+        assert_eq!(
+            report.class(MessageClass::Token),
+            report.learnings,
+            "arm {i}"
+        );
         assert!(report.class(MessageClass::Completeness) <= (n * (n - 1)) as u64);
     }
 }
@@ -147,7 +151,12 @@ fn unicast_flooding_against_all_adversaries() {
 fn tree_broadcast_on_static_topologies() {
     let (n, k) = (12, 18);
     let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
-    for g in [Graph::path(n), Graph::cycle(n), Graph::star(n), Graph::complete(n)] {
+    for g in [
+        Graph::path(n),
+        Graph::cycle(n),
+        Graph::star(n),
+        Graph::complete(n),
+    ] {
         let m = g.edge_count();
         let mut sim = UnicastSim::new(
             "tree-broadcast",

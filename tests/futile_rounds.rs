@@ -94,9 +94,8 @@ fn lemma_3_3_futile_rounds_bounded_under_churn() {
 fn no_futile_rounds_on_static_graphs() {
     // On a static clique nothing is ever removed, so every non-learning
     // gap is covered by contributive requests or completion.
-    let adv = dynspread::graph::oblivious::StaticAdversary::new(
-        dynspread::graph::Graph::complete(10),
-    );
+    let adv =
+        dynspread::graph::oblivious::StaticAdversary::new(dynspread::graph::Graph::complete(10));
     let (futile, _) = count_futile_rounds(10, 6, adv);
     assert_eq!(futile, 0);
 }

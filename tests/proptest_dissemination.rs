@@ -27,11 +27,9 @@ fn adversary_strategy() -> impl Strategy<Value = AdversaryKind> {
 
 fn make_adversary(kind: AdversaryKind, seed: u64) -> Box<dyn Adversary> {
     match kind {
-        AdversaryKind::Rewire(period) => Box::new(PeriodicRewiring::new(
-            Topology::RandomTree,
-            period,
-            seed,
-        )),
+        AdversaryKind::Rewire(period) => {
+            Box::new(PeriodicRewiring::new(Topology::RandomTree, period, seed))
+        }
         AdversaryKind::Churn => Box::new(ChurnAdversary::new(
             Topology::SparseConnected(2.0),
             2,

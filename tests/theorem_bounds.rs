@@ -18,7 +18,12 @@ use rand::SeedableRng;
 #[test]
 fn theorem_3_1_holds_across_a_grid() {
     let mut reports = Vec::new();
-    for (n, k, seed) in [(10usize, 5usize, 1u64), (14, 14, 2), (20, 10, 3), (16, 40, 4)] {
+    for (n, k, seed) in [
+        (10usize, 5usize, 1u64),
+        (14, 14, 2),
+        (20, 10, 3),
+        (16, 40, 4),
+    ] {
         let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
         let mut sim = UnicastSim::new(
             "ss",

@@ -1,0 +1,219 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the API subset the dynspread benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model (simpler than upstream, adequate for trend tracking):
+//! each benchmark runs one warm-up batch, then `sample_size` timed samples;
+//! the **median** per-iteration time is reported. Set the environment
+//! variable `DYNSPREAD_BENCH_JSON=<path>` to also append every result as a
+//! JSON object (one per line) to that file — the workspace's
+//! `BENCH_core.json` generator consumes this.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// How `iter_batched` sizes its batches (API-compatible subset).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup value per timed invocation.
+    PerIteration,
+    /// Small batches (treated as `PerIteration` in this shim).
+    SmallInput,
+    /// Large batches (treated as `PerIteration` in this shim).
+    LargeInput,
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    result_ns: &'a mut Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the median per-iteration nanoseconds.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: aim for samples of ≥ ~1ms or 1 iter.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        let iters_per_sample = (1_000_000 / once).clamp(1, 10_000) as usize;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        *self.result_ns = Some(samples[samples.len() / 2]);
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        *self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(label: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut result = None;
+    let mut b = Bencher {
+        sample_size,
+        result_ns: &mut result,
+    };
+    f(&mut b);
+    let ns = result.unwrap_or(f64::NAN);
+    println!("bench: {label:<50} median {:>12.0} ns/iter", ns);
+    if let Ok(path) = std::env::var("DYNSPREAD_BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(file, "{{\"bench\":\"{label}\",\"median_ns\":{ns:.1}}}");
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) {
+        run_one(name.to_string(), self.sample_size, &mut f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(label, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+            $( $group(); )+
+        }
+    };
+}

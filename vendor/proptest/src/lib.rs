@@ -1,0 +1,414 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of proptest the dynspread test suites use: the [`proptest!`] macro,
+//! `prop_assert*` macros, [`strategy::Strategy`] with `prop_map`,
+//! [`prop_oneof!`], [`strategy::Just`], numeric-range strategies, and the
+//! `prop::{bool, option, collection}` modules.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and the fixed
+//!   per-test seed; re-running the test deterministically reproduces it.
+//! * **Deterministic.** Each generated case is derived from a seed hashed
+//!   from the test function's name, so failures are stable across runs.
+
+#![forbid(unsafe_code)]
+
+pub use rand::rngs::StdRng;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking; a
+    /// strategy is simply a sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred` (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                pred,
+                whence,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter: predicate too restrictive ({})", self.whence);
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies — the engine of [`prop_oneof!`].
+    pub struct OneOf<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Builds a [`OneOf`] from boxed arms (used by [`prop_oneof!`]).
+    pub fn one_of<T>(arms: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (used by [`prop_oneof!`]).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+/// Runner configuration (`cases` only).
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; we keep CI latency modest.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The `prop::*` strategy namespace.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A uniformly random `bool`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The canonical `bool` strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// See [`of`].
+        pub struct OptionStrategy<S>(S);
+
+        /// `None` with probability 1/4, otherwise `Some` of the inner value.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen_bool(0.25) {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A `Vec` of `element` values with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// See [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A `BTreeSet` built from up to `size` sampled elements
+        /// (duplicates collapse, so the set may be smaller).
+        pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a proptest-based test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic per-test seed derived from the test's name (FNV-1a).
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic RNG for a named test (avoids requiring `rand` in callers).
+#[doc(hidden)]
+pub fn rng_for(name: &str) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed_for(name))
+}
+
+/// Like `assert!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Like `assert_eq!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Like `assert_ne!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property-based tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` running
+/// `cases` deterministic random cases. On failure the panic message is
+/// prefixed (via stderr) with the failing case index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng: $crate::StdRng = $crate::rng_for(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let run = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || $body,
+                    ));
+                    if let Err(payload) = run {
+                        eprintln!(
+                            "proptest case {case}/{} of `{}` failed (deterministic seed; rerun reproduces)",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}

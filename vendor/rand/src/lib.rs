@@ -1,0 +1,310 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements — from scratch, dependency-free — exactly the API subset the
+//! dynspread workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range` (half-open and inclusive integer
+//!   and float ranges) and `gen_bool`,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`] — a deterministic xoshiro256** generator seeded via
+//!   SplitMix64,
+//! * [`seq::SliceRandom`] with `choose` and `shuffle`.
+//!
+//! Determinism contract: for a fixed seed the generated stream is stable
+//! across runs and platforms (the workspace's reproducibility tests rely on
+//! this). The streams differ from upstream `rand`'s `StdRng` (ChaCha12);
+//! only self-consistency is promised, which is all the simulator needs.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: distributions::uniform::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        // 53 uniform mantissa bits, exactly representable in f64.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface; only the `u64` convenience seeder is provided.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform-range sampling machinery (mirrors `rand::distributions::uniform`).
+pub mod distributions {
+    /// Range types that [`crate::Rng::gen_range`] accepts.
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce uniform samples of `T`.
+        pub trait SampleRange<T> {
+            /// Samples one value; panics on an empty range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Multiply-shift bounded uniform integer in `[0, span)`.
+        #[inline]
+        fn bounded(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+            debug_assert!(span > 0);
+            (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as u64).wrapping_sub(self.start as u64);
+                        self.start + bounded(rng, span) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                        if span == 0 {
+                            // Full u64 domain.
+                            return rng.next_u64() as $t;
+                        }
+                        lo + bounded(rng, span) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_signed_range {
+            ($($t:ty => $u:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                        self.start.wrapping_add(bounded(rng, span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = ((hi as $u).wrapping_sub(lo as $u) as u64).wrapping_add(1);
+                        if span == 0 {
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(bounded(rng, span) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_signed_range!(i32 => u32, i64 => u64, isize => usize);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<f32> for Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** seeded via SplitMix64.
+    ///
+    /// Small, fast, and deterministic; not cryptographically secure (neither
+    /// is the upstream `StdRng` contract relied upon anywhere here).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related random operations (mirrors `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.gen_range(0..u64::MAX)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0..=5usize);
+            assert!(y <= 5);
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let v = [1u8, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -16,6 +16,15 @@
 //! | `exp_random_walk` | Lemma 3.7 |
 //! | `exp_stability_ablation` | σ-stability ablation (design choice of §3.1) |
 //! | `exp_priority_ablation` | request-priority ablation (Algorithm 1) |
+//!
+//! Two binaries step *outside* the paper's lossless synchronous model via
+//! the `dynspread-runtime` synchronizer (the round-based protocols run
+//! unchanged; every send is routed through a seeded link model):
+//!
+//! | binary | scenario |
+//! |---|---|
+//! | `exp_lossy_links` | message-drop sweep: handshake degradation vs drop probability |
+//! | `exp_latency_sweep` | delivery-delay sweep: round stretch vs fixed latency + jitter |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

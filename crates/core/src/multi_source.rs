@@ -29,7 +29,6 @@ use dynspread_graph::{NodeId, Round};
 use dynspread_sim::message::{MessageClass, MessagePayload};
 use dynspread_sim::protocol::{Outbox, UnicastProtocol};
 use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// The global token → source labelling, shared (as common knowledge) by all
@@ -184,6 +183,9 @@ pub struct MultiSourceNode {
     edges: EdgeTracker,
     /// Tokens with an outstanding (live) request on some edge.
     in_flight: TokenSet,
+    /// Reusable per-round buffer of requestable missing tokens (see the
+    /// identical field on `SingleSourceNode`).
+    missing_scratch: Vec<TokenId>,
 }
 
 impl MultiSourceNode {
@@ -208,6 +210,7 @@ impl MultiSourceNode {
             requests_to_answer: Vec::new(),
             edges: EdgeTracker::new(n),
             in_flight: TokenSet::new(assignment.token_count()),
+            missing_scratch: Vec::new(),
             map,
         }
     }
@@ -235,6 +238,7 @@ impl MultiSourceNode {
             requests_arriving: Vec::new(),
             requests_to_answer: Vec::new(),
             edges: EdgeTracker::new(n),
+            missing_scratch: Vec::new(),
             map,
         }
     }
@@ -281,12 +285,12 @@ impl MultiSourceNode {
     /// Task 2: answer last round's requests (if still connected and we hold
     /// the token).
     fn send_answers(&mut self, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
-        let to_answer = std::mem::take(&mut self.requests_to_answer);
-        for (u, t) in to_answer {
+        for &(u, t) in &self.requests_to_answer {
             if neighbors.binary_search(&u).is_ok() && self.know.contains(t) {
                 out.send(u, MsMsg::Token(t));
             }
         }
+        self.requests_to_answer.clear();
     }
 
     /// Task 3: single-source request logic for the minimum incomplete
@@ -298,38 +302,39 @@ impl MultiSourceNode {
         else {
             return;
         };
-        let mut missing: VecDeque<TokenId> = self
-            .map
-            .tokens_of(active)
-            .iter()
-            .copied()
-            .filter(|&t| !self.know.contains(t) && !self.in_flight.contains(t))
-            .collect();
-        if missing.is_empty() {
-            return;
-        }
-        let eligible: Vec<NodeId> = neighbors
-            .iter()
-            .copied()
-            .filter(|u| self.known_complete[active][u.index()])
-            .collect();
-        for category in [
-            EdgeCategory::New,
-            EdgeCategory::Idle,
-            EdgeCategory::Contributive,
-        ] {
-            for &u in &eligible {
-                if missing.is_empty() {
-                    return;
-                }
-                if self.edges.classify(u, round) == category {
-                    let t = missing.pop_front().expect("checked nonempty");
-                    out.send(u, MsMsg::Request(t));
-                    self.edges.push_pending(u, t);
-                    self.in_flight.insert(t);
+        let mut missing = std::mem::take(&mut self.missing_scratch);
+        missing.clear();
+        missing.extend(
+            self.map
+                .tokens_of(active)
+                .iter()
+                .copied()
+                .filter(|&t| !self.know.contains(t) && !self.in_flight.contains(t)),
+        );
+        let mut next = 0usize;
+        if !missing.is_empty() {
+            'outer: for category in [
+                EdgeCategory::New,
+                EdgeCategory::Idle,
+                EdgeCategory::Contributive,
+            ] {
+                for &u in neighbors {
+                    if next == missing.len() {
+                        break 'outer;
+                    }
+                    if self.known_complete[active][u.index()]
+                        && self.edges.classify(u, round) == category
+                    {
+                        let t = missing[next];
+                        next += 1;
+                        out.send(u, MsMsg::Request(t));
+                        self.edges.push_pending(u, t);
+                        self.in_flight.insert(t);
+                    }
                 }
             }
         }
+        self.missing_scratch = missing;
     }
 }
 
@@ -374,7 +379,9 @@ impl UnicastProtocol for MultiSourceNode {
     }
 
     fn end_round(&mut self, _round: Round) {
-        self.requests_to_answer = std::mem::take(&mut self.requests_arriving);
+        // Swap (not take) so both buffers' capacity survives the round.
+        std::mem::swap(&mut self.requests_to_answer, &mut self.requests_arriving);
+        self.requests_arriving.clear();
         if self.is_complete() {
             self.edges.clear_all_pending(&mut self.in_flight);
         }

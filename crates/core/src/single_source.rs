@@ -24,7 +24,6 @@ use dynspread_graph::{NodeId, Round};
 use dynspread_sim::message::{MessageClass, MessagePayload};
 use dynspread_sim::protocol::{Outbox, UnicastProtocol};
 use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
-use std::collections::VecDeque;
 
 /// Messages of the Single-Source-Unicast algorithm.
 ///
@@ -109,6 +108,10 @@ pub struct SingleSourceNode {
     edges: EdgeTracker,
     /// Tokens with an outstanding (live) request on some edge.
     in_flight: TokenSet,
+    /// Reusable per-round buffer of requestable missing tokens — filled and
+    /// drained inside [`UnicastProtocol::send`], kept to avoid a per-round
+    /// allocation (the ROADMAP's allocation-audit item).
+    missing_scratch: Vec<TokenId>,
     /// Cumulative requests sent per edge category (indexed new/idle/
     /// contributive) — instrumentation for the futile-round analysis
     /// (Definition 3.3, Lemmas 3.2/3.3).
@@ -154,6 +157,7 @@ impl SingleSourceNode {
             requests_to_answer: Vec::new(),
             edges: EdgeTracker::new(n),
             in_flight: TokenSet::new(k),
+            missing_scratch: Vec::new(),
             requests_by_category: [0; 3],
         }
     }
@@ -201,67 +205,65 @@ impl SingleSourceNode {
     /// round's requests (one message per neighbor per round, announcement
     /// first — Algorithm 1 lines 1–6).
     fn send_complete(&mut self, neighbors: &[NodeId], out: &mut Outbox<SsMsg>) {
-        let to_answer = std::mem::take(&mut self.requests_to_answer);
+        // Disjoint field borrows: `requests_to_answer` is only read while
+        // `informed` is written, so no buffer needs to be taken (and thus
+        // dropped) per round.
         for &u in neighbors {
             if !self.informed[u.index()] {
                 out.send(u, SsMsg::Completeness);
                 self.informed[u.index()] = true;
-            } else if let Some(&(_, t)) = to_answer.iter().find(|(w, _)| *w == u) {
+            } else if let Some(&(_, t)) = self.requests_to_answer.iter().find(|(w, _)| *w == u) {
                 out.send(u, SsMsg::Token(t));
             }
         }
+        // Requests from neighbors the adversary disconnected die here, as
+        // before: any unanswered leftovers are discarded.
+        self.requests_to_answer.clear();
     }
 
     /// Incomplete-node behavior: assign distinct missing-token requests to
     /// eligible edges, new first, then idle, then contributive
     /// (Algorithm 1 lines 7–20).
     fn send_incomplete(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<SsMsg>) {
-        let mut missing: VecDeque<TokenId> = self
-            .know
-            .missing()
-            .filter(|&t| !self.in_flight.contains(t))
-            .collect();
-        if missing.is_empty() {
-            return;
-        }
-        let eligible: Vec<NodeId> = neighbors
-            .iter()
-            .copied()
-            .filter(|u| self.known_complete[u.index()])
-            .collect();
-        let mut assign = |this: &mut Self, u: NodeId, missing: &mut VecDeque<TokenId>| {
-            let t = missing.pop_front().expect("caller checked nonempty");
-            out.send(u, SsMsg::Request(t));
-            this.edges.push_pending(u, t);
-            this.in_flight.insert(t);
-            this.requests_by_category[category_index(this.edges.classify(u, round))] += 1;
-        };
-        match self.policy {
-            RequestPolicy::Prioritized => {
-                for category in [
-                    EdgeCategory::New,
-                    EdgeCategory::Idle,
-                    EdgeCategory::Contributive,
-                ] {
-                    for &u in &eligible {
-                        if missing.is_empty() {
-                            return;
-                        }
-                        if self.edges.classify(u, round) == category {
-                            assign(self, u, &mut missing);
+        let mut missing = std::mem::take(&mut self.missing_scratch);
+        missing.clear();
+        missing.extend(self.know.missing().filter(|&t| !self.in_flight.contains(t)));
+        // Next unassigned missing token (tokens are consumed front to back).
+        let mut next = 0usize;
+        if !missing.is_empty() {
+            // One pass per category (a single pass in ID order for the
+            // unprioritized ablation — modeled as every category matching).
+            let passes: &[Option<EdgeCategory>] = match self.policy {
+                RequestPolicy::Prioritized => &[
+                    Some(EdgeCategory::New),
+                    Some(EdgeCategory::Idle),
+                    Some(EdgeCategory::Contributive),
+                ],
+                RequestPolicy::Unprioritized => &[None],
+            };
+            'outer: for &category in passes {
+                for &u in neighbors {
+                    if next == missing.len() {
+                        break 'outer;
+                    }
+                    if !self.known_complete[u.index()] {
+                        continue;
+                    }
+                    if let Some(c) = category {
+                        if self.edges.classify(u, round) != c {
+                            continue;
                         }
                     }
-                }
-            }
-            RequestPolicy::Unprioritized => {
-                for &u in &eligible {
-                    if missing.is_empty() {
-                        return;
-                    }
-                    assign(self, u, &mut missing);
+                    let t = missing[next];
+                    next += 1;
+                    out.send(u, SsMsg::Request(t));
+                    self.edges.push_pending(u, t);
+                    self.in_flight.insert(t);
+                    self.requests_by_category[category_index(self.edges.classify(u, round))] += 1;
                 }
             }
         }
+        self.missing_scratch = missing;
     }
 }
 
@@ -296,7 +298,9 @@ impl UnicastProtocol for SingleSourceNode {
     }
 
     fn end_round(&mut self, _round: Round) {
-        self.requests_to_answer = std::mem::take(&mut self.requests_arriving);
+        // Swap (not take) so both buffers' capacity survives the round.
+        std::mem::swap(&mut self.requests_to_answer, &mut self.requests_arriving);
+        self.requests_arriving.clear();
         if self.is_complete() {
             // A node that just completed stops requesting; clear the
             // bookkeeping of its incomplete phase.

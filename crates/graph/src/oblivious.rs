@@ -26,6 +26,7 @@ use crate::generators::Topology;
 use crate::graph::Graph;
 use crate::node::{NodeId, Round};
 use crate::stability::StabilityEnforcer;
+use rand::distributions::{Distribution, Geometric};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -140,12 +141,20 @@ impl Adversary for PeriodicRewiring {
 ///
 /// This is the classic smoothly-dynamic model (e.g. Clementi et al.); the
 /// repair edges are charged to `TC(E)` like any other insertion.
+///
+/// Instead of flipping a coin per potential edge (`O(n²)` per round), the
+/// per-edge Bernoulli processes are **skip-sampled**: one [`Geometric`]
+/// draw jumps directly to the next event, so a round costs
+/// `O(n + m + events)` — births walk the absent-pair index space, deaths
+/// walk the sorted present-edge list. The adversary maintains its own
+/// snapshot and hands the engine true [`GraphUpdate::Delta`]s.
 #[derive(Debug)]
 pub struct EdgeMarkovian {
     p_on: f64,
     p_off: f64,
     enforcer: StabilityEnforcer,
     rng: StdRng,
+    current: Option<Graph>,
     name: String,
 }
 
@@ -163,31 +172,135 @@ impl EdgeMarkovian {
             p_off,
             enforcer: StabilityEnforcer::new(sigma),
             rng: StdRng::seed_from_u64(seed),
+            current: None,
             name: format!("edge-markovian(p↑={p_on}, p↓={p_off}, σ={sigma})"),
+        }
+    }
+
+    /// Skip-samples the Bernoulli(`p_on`) birth process over the pairs
+    /// absent from `g`, in (lo, hi) lexicographic order.
+    ///
+    /// Works in the linear index space of all `n(n−1)/2` pairs: the a-th
+    /// absent pair has linear index `a + c` where `c` is the number of
+    /// present edges at or below it — resolved by a monotone merge walk
+    /// against the sorted present list, so the whole sweep is
+    /// `O(m + births)`, never `O(n²)`.
+    fn sample_births(&mut self, g: &Graph, births: &mut Vec<Edge>) {
+        if self.p_on <= 0.0 {
+            return;
+        }
+        let n = g.node_count() as u64;
+        let total_pairs = n * (n - 1) / 2;
+        let present = g.edges().as_slice();
+        if total_pairs == 0 || present.len() as u64 == total_pairs {
+            return;
+        }
+        let linear = |e: Edge| -> u64 {
+            let (u, v) = (e.lo().value() as u64, e.hi().value() as u64);
+            u * n - u * (u + 1) / 2 + (v - u - 1)
+        };
+        let geom = Geometric::new(self.p_on);
+        let absent_total = total_pairs - present.len() as u64;
+        // `a` enumerates absent-pair ranks; `pi` present edges passed so far.
+        let mut a = geom.sample(&mut self.rng);
+        let mut pi = 0usize;
+        // Row pointer for linear-index → (u, v) conversion; `row_start` is
+        // the linear index of pair (row, row+1).
+        let (mut row, mut row_start, mut row_len) = (0u64, 0u64, n - 1);
+        while a < absent_total {
+            // Fixed point: idx = a + #present ≤ idx (both only increase).
+            let mut idx = a + pi as u64;
+            while pi < present.len() && linear(present[pi]) <= idx {
+                pi += 1;
+                idx = a + pi as u64;
+            }
+            while row_start + row_len <= idx {
+                row_start += row_len;
+                row += 1;
+                row_len -= 1;
+            }
+            let v = row + 1 + (idx - row_start);
+            births.push(Edge::new(NodeId::new(row as u32), NodeId::new(v as u32)));
+            a += 1 + geom.sample(&mut self.rng);
+        }
+    }
+
+    /// Skip-samples the Bernoulli(`p_off`) death process over the sorted
+    /// present-edge list of `g`, leaving σ-pinned edges alone.
+    fn sample_deaths(&mut self, g: &Graph, deaths: &mut Vec<Edge>) {
+        if self.p_off <= 0.0 || g.edge_count() == 0 {
+            return;
+        }
+        let pinned: std::collections::BTreeSet<Edge> =
+            self.enforcer.pinned_edges().into_iter().collect();
+        let present = g.edges().as_slice();
+        let geom = Geometric::new(self.p_off);
+        let mut i = geom.sample(&mut self.rng);
+        while (i as usize) < present.len() {
+            let e = present[i as usize];
+            if !pinned.contains(&e) {
+                deaths.push(e);
+            }
+            i += 1 + geom.sample(&mut self.rng);
         }
     }
 }
 
 impl Adversary for EdgeMarkovian {
-    fn graph_for_round(&mut self, _round: Round, prev: &Graph) -> Graph {
+    fn graph_for_round(&mut self, round: Round, prev: &Graph) -> Graph {
+        // Single source of truth: drive the delta path, return a snapshot.
+        let _ = self.evolve(round, prev);
+        self.current.clone().expect("evolve installed a graph")
+    }
+
+    fn evolve(&mut self, _round: Round, prev: &Graph) -> GraphUpdate {
         let n = prev.node_count();
-        let mut proposal = Graph::empty(n);
-        for u in 0..n as u32 {
-            for v in (u + 1)..n as u32 {
-                let e = Edge::new(NodeId::new(u), NodeId::new(v));
-                let present = prev.edges().contains(e);
-                let keep = if present {
-                    !self.rng.gen_bool(self.p_off)
-                } else {
-                    self.rng.gen_bool(self.p_on)
-                };
-                if keep {
-                    proposal.insert_edge(e);
-                }
+        let Some(mut g) = self.current.take() else {
+            // First round: all pairs are absent in G_0, so the initial
+            // snapshot is one birth sweep plus repair, clamped wholesale.
+            let mut initial = Graph::empty(n);
+            let mut births = Vec::new();
+            self.sample_births(&initial, &mut births);
+            for e in births {
+                initial.insert_edge(e);
             }
+            connect_components(&mut initial, &mut self.rng);
+            let clamped = self.enforcer.clamp(initial);
+            self.current = Some(clamped.clone());
+            return GraphUpdate::Full(clamped);
+        };
+        let mut removed = Vec::new();
+        let mut inserted = Vec::new();
+        self.sample_deaths(&g, &mut removed);
+        self.sample_births(&g, &mut inserted);
+        for &e in &removed {
+            g.remove_edge(e);
         }
-        connect_components(&mut proposal, &mut self.rng);
-        self.enforcer.clamp(proposal)
+        for &e in &inserted {
+            g.insert_edge(e);
+        }
+        // Deaths may disconnect the graph; repair edges join the delta and
+        // are charged to TC(E) like any other insertion. Births are drawn
+        // from absent pairs, so only a repair can re-insert an edge removed
+        // this round — such an edge is unchanged in the snapshot and must
+        // cancel out of the delta (neither metered nor σ-age-reset). The
+        // intersection scan is over the handful of repairs, not the whole
+        // delta.
+        let repairs = connect_components(&mut g, &mut self.rng);
+        let both: Vec<Edge> = repairs
+            .iter()
+            .filter(|e| removed.contains(e))
+            .copied()
+            .collect();
+        if both.is_empty() {
+            inserted.extend(repairs);
+        } else {
+            removed.retain(|e| !both.contains(e));
+            inserted.extend(repairs.into_iter().filter(|e| !both.contains(e)));
+        }
+        self.enforcer.commit_delta(&inserted, &removed);
+        self.current = Some(g);
+        GraphUpdate::Delta(RoundDelta { inserted, removed })
     }
 
     fn name(&self) -> &str {
@@ -430,6 +543,54 @@ mod tests {
         prev = g1.clone();
         let g2 = adv.graph_for_round(2, &prev);
         assert_ne!(g1, g2, "dynamics should change something");
+    }
+
+    #[test]
+    fn edge_markovian_emits_consistent_deltas() {
+        let sigma = 2;
+        let mut adv = EdgeMarkovian::new(0.05, 0.25, sigma, 41);
+        let mut dg = crate::dynamic::DynamicGraph::new(12);
+        let mut checker = StabilityChecker::new(sigma);
+        let mut full_rounds = 0;
+        let mut delta_rounds = 0;
+        for r in 1..=200 {
+            let update = adv.evolve(r, dg.current());
+            match &update {
+                GraphUpdate::Full(_) => full_rounds += 1,
+                GraphUpdate::Delta(d) => {
+                    delta_rounds += 1;
+                    assert!(
+                        d.inserted.iter().all(|e| !d.removed.contains(e)),
+                        "round {r}: edge on both sides of the delta"
+                    );
+                }
+                GraphUpdate::Unchanged => {}
+            }
+            dg.apply(update);
+            assert!(dg.current().is_connected(), "round {r} disconnected");
+            checker.observe(dg.current()).expect("σ-stable by clamping");
+            // Meter stays consistent with the live snapshot.
+            assert_eq!(
+                dg.current().edge_count() as u64,
+                dg.meter().insertions - dg.meter().deletions
+            );
+        }
+        assert_eq!(full_rounds, 1, "only round 1 is a full snapshot");
+        assert!(delta_rounds > 0, "dynamics should emit deltas");
+    }
+
+    #[test]
+    fn edge_markovian_birth_sweep_covers_every_pair() {
+        // p_on = 1 must fill the graph in round 1 (exercises the linear
+        // index → (u, v) mapping over the whole pair space); with p_off = 0
+        // every later round is an empty delta.
+        let mut adv = EdgeMarkovian::new(1.0, 0.0, 1, 3);
+        let g1 = adv.graph_for_round(1, &Graph::empty(9));
+        assert_eq!(g1.edge_count(), 9 * 8 / 2);
+        match adv.evolve(2, &g1) {
+            GraphUpdate::Delta(d) => assert!(d.is_empty()),
+            other => panic!("expected an empty delta, got {other:?}"),
+        }
     }
 
     #[test]

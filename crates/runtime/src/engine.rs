@@ -1,0 +1,516 @@
+//! The asynchronous event engine: protocols driven by deliveries and
+//! timers instead of rounds.
+//!
+//! An [`EventProtocol`] node never sees a round barrier. It reacts to
+//! three stimuli — [`on_start`](EventProtocol::on_start) at time 0, one
+//! [`on_message`](EventProtocol::on_message) per consumed mailbox envelope,
+//! and [`on_timer`](EventProtocol::on_timer) for timers it armed itself —
+//! and may send messages or arm new timers from any of them through the
+//! [`EventCtx`]. The engine pops events from the seeded queue in `(time,
+//! seq)` order, routes sends through the configured
+//! [`LinkModel`](crate::link::LinkModel), and evolves the adversarial
+//! topology every `ticks_per_round` ticks, so the paper's dynamic-graph
+//! adversaries keep working unchanged underneath a fully asynchronous
+//! execution.
+//!
+//! Execution is deterministic: with the same protocols, adversary seed,
+//! link model, and engine seed, two runs produce identical event sequences
+//! and identical reports (property-tested in the crate's test suite).
+//!
+//! Two deliberate departures from the synchronous engines' policing:
+//! sending to a non-neighbor is a *drop at the source*
+//! ([`EventReport::unroutable`]), not a panic — see [`EventCtx::send`] —
+//! and the paper's bandwidth constraint is not enforced here
+//! (`EventProtocol::Msg` is an arbitrary `Clone` type; Definition 1.1
+//! metering belongs to the round-based surfaces).
+
+use crate::event::{EventQueue, VirtualTime};
+use crate::link::LinkModel;
+use crate::mailbox::Mailbox;
+use dynspread_graph::adversary::Adversary;
+use dynspread_graph::{DynamicGraph, NodeId, Round};
+use dynspread_sim::token::{TokenAssignment, TokenSet};
+use dynspread_sim::tracker::TokenTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What a node may do while handling an event.
+pub struct EventCtx<'a, M> {
+    now: VirtualTime,
+    me: NodeId,
+    neighbors: &'a [NodeId],
+    sends: &'a mut Vec<(NodeId, M)>,
+    timers: &'a mut Vec<(VirtualTime, u64)>,
+}
+
+impl<M: Clone> EventCtx<'_, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// This node's ID.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The node's neighbors in the *current* topology epoch, sorted by ID.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Queues a message to `to` (routed through the link model; it may be
+    /// dropped, delayed, or duplicated before reaching `to`'s mailbox).
+    ///
+    /// The edge is the channel: if `{me, to}` is not an edge of the
+    /// current topology epoch when the send is made, there is no medium
+    /// and the message is dropped at the source (counted in
+    /// [`EventReport::unroutable`]). Unlike the synchronous engines this
+    /// is not a panic — replying to a sender whose edge has since churned
+    /// away is a normal hazard of the asynchronous model, not a protocol
+    /// bug.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Queues one copy of `msg` to every current neighbor. Each link plans
+    /// its fate independently.
+    pub fn broadcast(&mut self, msg: &M) {
+        for &w in self.neighbors {
+            self.sends.push((w, msg.clone()));
+        }
+    }
+
+    /// Arms a timer to fire at `now + delay` with the given caller-chosen
+    /// id (delivered to [`EventProtocol::on_timer`]).
+    pub fn set_timer(&mut self, delay: VirtualTime, id: u64) {
+        self.timers.push((delay, id));
+    }
+}
+
+/// A per-node asynchronous protocol state machine.
+pub trait EventProtocol {
+    /// The message payload type.
+    type Msg: Clone;
+
+    /// Called once per node at virtual time 0, in ascending node order.
+    fn on_start(&mut self, ctx: &mut EventCtx<'_, Self::Msg>);
+
+    /// Called for each message copy consumed from this node's mailbox.
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg, ctx: &mut EventCtx<'_, Self::Msg>);
+
+    /// Called when a timer armed via [`EventCtx::set_timer`] fires.
+    fn on_timer(&mut self, id: u64, ctx: &mut EventCtx<'_, Self::Msg>) {
+        let _ = (id, ctx);
+    }
+
+    /// Exposes token knowledge for global observation, if this protocol
+    /// solves a dissemination problem. Returning `Some` enables the
+    /// engine's [`TokenTracker`] and completion-based termination.
+    fn known_tokens(&self) -> Option<&TokenSet> {
+        None
+    }
+}
+
+/// What stopped an [`EventSim`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every node became complete (requires token tracking).
+    Complete,
+    /// The event queue drained with work left undone.
+    Quiescent,
+    /// The virtual-time cap was reached.
+    TimeLimit,
+}
+
+/// Summary of one event-driven execution.
+#[derive(Clone, Debug)]
+pub struct EventReport {
+    /// Why the run stopped.
+    pub stopped: StopReason,
+    /// Virtual time of the last processed event.
+    pub final_time: VirtualTime,
+    /// Topology epochs (adversary rounds) that elapsed.
+    pub epochs: Round,
+    /// Events processed (starts + deliveries + timers).
+    pub events: u64,
+    /// Messages passed to the link layer.
+    pub transmissions: u64,
+    /// Sends dropped at the source because no edge to the target existed
+    /// in the topology epoch of the send (see [`EventCtx::send`]).
+    pub unroutable: u64,
+    /// Copies that survived the link and were scheduled.
+    pub copies_scheduled: u64,
+    /// Copies consumed from mailboxes.
+    pub copies_delivered: u64,
+    /// Token learnings observed (0 when tracking is disabled).
+    pub learnings: u64,
+}
+
+impl std::fmt::Display for EventReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} at t={} ({} epochs): {} events, {} sent ({} unroutable) → {} scheduled → {} delivered, {} learnings",
+            self.stopped,
+            self.final_time,
+            self.epochs,
+            self.events,
+            self.transmissions,
+            self.unroutable,
+            self.copies_scheduled,
+            self.copies_delivered,
+            self.learnings
+        )
+    }
+}
+
+/// The internal event alphabet.
+enum Event<M> {
+    Start(NodeId),
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, id: u64 },
+}
+
+/// The asynchronous discrete-event engine.
+///
+/// One engine instance owns the nodes, the virtual clock, the event queue,
+/// the mailboxes, the link model, and the evolving topology.
+pub struct EventSim<P: EventProtocol, A: Adversary, L: LinkModel> {
+    nodes: Vec<P>,
+    adversary: A,
+    link: L,
+    dg: DynamicGraph,
+    ticks_per_round: VirtualTime,
+    queue: EventQueue<Event<P::Msg>>,
+    mailboxes: Vec<Mailbox<P::Msg>>,
+    rng: StdRng,
+    clock: VirtualTime,
+    tracker: Option<TokenTracker>,
+    // Scratch reused across dispatches.
+    sends: Vec<(NodeId, P::Msg)>,
+    timers: Vec<(VirtualTime, u64)>,
+    fates: Vec<VirtualTime>,
+    events: u64,
+    transmissions: u64,
+    unroutable: u64,
+    copies_scheduled: u64,
+    copies_delivered: u64,
+}
+
+impl<P, A, L> EventSim<P, A, L>
+where
+    P: EventProtocol,
+    A: Adversary,
+    L: LinkModel,
+{
+    /// Creates an engine without token tracking: the run ends at
+    /// quiescence or the time cap.
+    ///
+    /// `ticks_per_round` maps the virtual clock onto adversary rounds: the
+    /// topology of round `e` governs ticks `[(e−1)·tpr, e·tpr)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks_per_round == 0` or `nodes` is empty.
+    pub fn new(
+        nodes: Vec<P>,
+        adversary: A,
+        link: L,
+        ticks_per_round: VirtualTime,
+        seed: u64,
+    ) -> Self {
+        assert!(ticks_per_round >= 1, "ticks_per_round must be ≥ 1");
+        assert!(!nodes.is_empty(), "need at least one node");
+        let n = nodes.len();
+        EventSim {
+            nodes,
+            adversary,
+            link,
+            dg: DynamicGraph::new(n),
+            ticks_per_round,
+            queue: EventQueue::new(),
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0,
+            tracker: None,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            fates: Vec::new(),
+            events: 0,
+            transmissions: 0,
+            unroutable: 0,
+            copies_scheduled: 0,
+            copies_delivered: 0,
+        }
+    }
+
+    /// Like [`EventSim::new`], but with a [`TokenTracker`] observing each
+    /// node's [`EventProtocol::known_tokens`], enabling completion-based
+    /// termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node returns `None` from `known_tokens`, or if the
+    /// initial knowledge differs from the assignment.
+    pub fn with_tracking(
+        nodes: Vec<P>,
+        adversary: A,
+        link: L,
+        ticks_per_round: VirtualTime,
+        seed: u64,
+        assignment: &TokenAssignment,
+    ) -> Self {
+        let mut sim = EventSim::new(nodes, adversary, link, ticks_per_round, seed);
+        let tracker = TokenTracker::new(assignment);
+        for (i, node) in sim.nodes.iter().enumerate() {
+            let v = NodeId::new(i as u32);
+            let know = node
+                .known_tokens()
+                .expect("tracking requires known_tokens() = Some");
+            assert!(
+                know == tracker.knowledge(v),
+                "{v}: initial knowledge differs from assignment"
+            );
+        }
+        sim.tracker = Some(tracker);
+        sim
+    }
+
+    /// The tracker, when tracking is enabled.
+    pub fn tracker(&self) -> Option<&TokenTracker> {
+        self.tracker.as_ref()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// The evolving topology.
+    pub fn dynamic_graph(&self) -> &DynamicGraph {
+        &self.dg
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v.index()]
+    }
+
+    /// Largest mailbox backlog observed on any node.
+    pub fn max_mailbox_high_water(&self) -> usize {
+        self.mailboxes
+            .iter()
+            .map(|m| m.high_water())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evolves the topology until it covers virtual time `t`.
+    fn advance_epochs_to(&mut self, t: VirtualTime) {
+        let target_round = t / self.ticks_per_round + 1;
+        while self.dg.round() < target_round {
+            let round = self.dg.round() + 1;
+            let update = self.adversary.evolve(round, self.dg.current());
+            self.dg.apply(update);
+        }
+    }
+
+    /// Dispatches one event to node `v` and flushes the context's effects
+    /// (link-planned sends, armed timers) back into the queue.
+    fn dispatch(&mut self, v: NodeId, event: Event<P::Msg>) {
+        self.sends.clear();
+        self.timers.clear();
+        {
+            let mut ctx = EventCtx {
+                now: self.clock,
+                me: v,
+                neighbors: self.dg.current().neighbors(v),
+                sends: &mut self.sends,
+                timers: &mut self.timers,
+            };
+            let node = &mut self.nodes[v.index()];
+            match event {
+                Event::Start(_) => node.on_start(&mut ctx),
+                Event::Deliver { from, msg, .. } => node.on_message(from, &msg, &mut ctx),
+                Event::Timer { id, .. } => node.on_timer(id, &mut ctx),
+            }
+        }
+        let mut sends = std::mem::take(&mut self.sends);
+        for (to, msg) in sends.drain(..) {
+            assert!(
+                to.index() < self.nodes.len(),
+                "{v} sent to out-of-range node {to}"
+            );
+            self.transmissions += 1;
+            if !self.dg.current().has_edge(v, to) {
+                // No edge, no channel: dropped at the source (see
+                // `EventCtx::send`).
+                self.unroutable += 1;
+                continue;
+            }
+            self.fates.clear();
+            self.link
+                .plan(v, to, self.clock, &mut self.rng, &mut self.fates);
+            self.copies_scheduled += self.fates.len() as u64;
+            for &delay in &self.fates {
+                self.queue.schedule(
+                    self.clock + delay,
+                    Event::Deliver {
+                        to,
+                        from: v,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+        self.sends = sends;
+        for &(delay, id) in &self.timers {
+            self.queue
+                .schedule(self.clock + delay, Event::Timer { node: v, id });
+        }
+        if let Some(tracker) = &mut self.tracker {
+            let know = self.nodes[v.index()]
+                .known_tokens()
+                .expect("tracking requires known_tokens() = Some");
+            tracker.sync_node(v, know, self.dg.round());
+        }
+    }
+
+    /// Runs the execution until completion (with tracking), quiescence, or
+    /// the virtual-time cap.
+    pub fn run(&mut self, max_time: VirtualTime) -> EventReport {
+        for v in NodeId::all(self.nodes.len()) {
+            self.queue.schedule(0, Event::Start(v));
+        }
+        let stopped = loop {
+            if self
+                .tracker
+                .as_ref()
+                .is_some_and(TokenTracker::all_complete)
+            {
+                break StopReason::Complete;
+            }
+            let Some(at) = self.queue.next_time() else {
+                break StopReason::Quiescent;
+            };
+            if at > max_time {
+                break StopReason::TimeLimit;
+            }
+            self.clock = at;
+            self.advance_epochs_to(at);
+            let (_, event) = self.queue.pop().expect("peeked");
+            self.events += 1;
+            match event {
+                Event::Start(v) => self.dispatch(v, Event::Start(v)),
+                Event::Deliver { to, from, msg } => {
+                    // Arrival goes through the mailbox, then is consumed.
+                    self.mailboxes[to.index()].deliver(self.clock, from, msg);
+                    let env = self.mailboxes[to.index()].pop().expect("just delivered");
+                    self.copies_delivered += 1;
+                    self.dispatch(
+                        to,
+                        Event::Deliver {
+                            to,
+                            from: env.from,
+                            msg: env.msg,
+                        },
+                    );
+                }
+                Event::Timer { node, id } => self.dispatch(node, Event::Timer { node, id }),
+            }
+        };
+        EventReport {
+            stopped,
+            final_time: self.clock,
+            epochs: self.dg.round(),
+            events: self.events,
+            transmissions: self.transmissions,
+            unroutable: self.unroutable,
+            copies_scheduled: self.copies_scheduled,
+            copies_delivered: self.copies_delivered,
+            learnings: self
+                .tracker
+                .as_ref()
+                .map_or(0, TokenTracker::total_learnings),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::PerfectLink;
+    use dynspread_graph::oblivious::StaticAdversary;
+    use dynspread_graph::Graph;
+
+    /// Sends to a fixed target at start, regardless of adjacency.
+    struct BlindSender {
+        target: NodeId,
+        received: u64,
+    }
+
+    impl EventProtocol for BlindSender {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut EventCtx<'_, ()>) {
+            ctx.send(self.target, ());
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: &(), _ctx: &mut EventCtx<'_, ()>) {
+            self.received += 1;
+        }
+    }
+
+    #[test]
+    fn send_without_an_edge_is_dropped_at_the_source() {
+        // Path 0-1-2-3: node 0 targets non-neighbor 3, the rest target a
+        // real neighbor.
+        let nodes = vec![
+            BlindSender {
+                target: NodeId::new(3),
+                received: 0,
+            },
+            BlindSender {
+                target: NodeId::new(0),
+                received: 0,
+            },
+            BlindSender {
+                target: NodeId::new(1),
+                received: 0,
+            },
+            BlindSender {
+                target: NodeId::new(2),
+                received: 0,
+            },
+        ];
+        let adversary = StaticAdversary::new(Graph::path(4));
+        let mut sim = EventSim::new(nodes, adversary, PerfectLink, 1, 3);
+        let report = sim.run(100);
+        assert_eq!(report.stopped, StopReason::Quiescent);
+        assert_eq!(report.transmissions, 4);
+        assert_eq!(report.unroutable, 1);
+        assert_eq!(report.copies_scheduled, 3);
+        assert_eq!(report.copies_delivered, 3);
+        assert_eq!(sim.node(NodeId::new(3)).received, 0, "no edge, no delivery");
+        assert_eq!(sim.node(NodeId::new(0)).received, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn send_to_out_of_range_node_panics_clearly() {
+        let nodes = vec![
+            BlindSender {
+                target: NodeId::new(9),
+                received: 0,
+            },
+            BlindSender {
+                target: NodeId::new(0),
+                received: 0,
+            },
+        ];
+        let adversary = StaticAdversary::new(Graph::path(2));
+        let mut sim = EventSim::new(nodes, adversary, PerfectLink, 1, 3);
+        sim.run(100);
+    }
+}

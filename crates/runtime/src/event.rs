@@ -1,0 +1,173 @@
+//! The virtual clock and the deterministic event queue.
+//!
+//! Everything in the runtime is driven by one priority queue of scheduled
+//! entries ordered by `(time, seq)`: `time` is a [`VirtualTime`] tick and
+//! `seq` is the entry's scheduling sequence number. Because `seq` is
+//! assigned from a monotone counter at scheduling time, the ordering is
+//! *total* and independent of heap internals — two runs that schedule the
+//! same entries in the same order pop them in the same order, which is the
+//! foundation of the runtime's replay-identical determinism guarantee.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A point on the runtime's virtual clock, in abstract ticks.
+///
+/// The synchronizer adapters equate one tick with one synchronous round;
+/// the event engine treats ticks as an opaque discrete time base and maps
+/// them onto adversary rounds via its epoch length.
+pub type VirtualTime = u64;
+
+/// An entry in the event queue: a payload scheduled at a virtual time.
+struct Scheduled<T> {
+    at: VirtualTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest entry
+        // (smallest time, then smallest seq) on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-queue of scheduled payloads.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_runtime::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5, "late");
+/// q.schedule(2, "early");
+/// q.schedule(2, "early-second");
+/// assert_eq!(q.pop_due(2), Some((2, "early")));
+/// assert_eq!(q.pop_due(2), Some((2, "early-second")));
+/// assert_eq!(q.pop_due(2), None); // "late" is not due yet
+/// assert_eq!(q.next_time(), Some(5));
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at virtual time `at`. Entries scheduled at the
+    /// same time pop in scheduling order (FIFO within a tick).
+    pub fn schedule(&mut self, at: VirtualTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Pops the earliest entry if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: VirtualTime) -> Option<(VirtualTime, T)> {
+        if self.heap.peek().is_some_and(|s| s.at <= now) {
+            let s = self.heap.pop().expect("peeked");
+            Some((s.at, s.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest entry unconditionally.
+    pub fn pop(&mut self) -> Option<(VirtualTime, T)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+
+    /// The virtual time of the earliest pending entry.
+    pub fn next_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3, 'c');
+        q.schedule(1, 'a');
+        q.schedule(2, 'b');
+        assert_eq!(q.pop(), Some((1, 'a')));
+        assert_eq!(q.pop(), Some((2, 'b')));
+        assert_eq!(q.pop(), Some((3, 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_tick_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop_due(7), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        assert_eq!(q.pop_due(9), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_due(10), Some((10, ())));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_scheduling_keeps_total_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2, "r2-first");
+        q.schedule(1, "r1");
+        q.schedule(2, "r2-second");
+        assert_eq!(q.pop(), Some((1, "r1")));
+        assert_eq!(q.pop(), Some((2, "r2-first")));
+        assert_eq!(q.pop(), Some((2, "r2-second")));
+    }
+}

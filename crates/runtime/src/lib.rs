@@ -1,0 +1,94 @@
+//! # dynspread-runtime — deterministic event-driven execution
+//!
+//! The paper's model is **synchronous**: execution proceeds in lockstep
+//! rounds, every message sent in round `r` arrives in round `r`, and no
+//! message is ever lost. That is exactly what `dynspread_sim`'s engines
+//! implement, and it is the right substrate for reproducing the paper's
+//! theorems — but real networks drop, delay, duplicate, and reorder
+//! messages. This crate supplies the missing execution model as a
+//! **deterministic discrete-event runtime**:
+//!
+//! * a virtual clock and a seeded [`event::EventQueue`] ordered by
+//!   `(time, seq)` — scheduling order breaks ties, so executions are
+//!   replay-identical from a seed;
+//! * per-node [`mailbox::Mailbox`]es decoupling message *arrival* from
+//!   *consumption*;
+//! * composable [`link::LinkModel`]s (fixed/seeded-random latency, drop
+//!   probability, duplication; reordering falls out of jitter), all drawing
+//!   from one seeded RNG stream.
+//!
+//! Two execution surfaces sit on top:
+//!
+//! * **Synchronizer adapters** ([`sync::UnicastSynchronizer`],
+//!   [`sync::BroadcastSynchronizer`]) run the *existing* round-based
+//!   [`UnicastProtocol`](dynspread_sim::protocol::UnicastProtocol) /
+//!   [`BroadcastProtocol`](dynspread_sim::protocol::BroadcastProtocol)
+//!   implementations unchanged, mapping one tick to one round. Under
+//!   [`link::PerfectLink`] they reproduce the synchronous engines'
+//!   [`RunReport`](dynspread_sim::RunReport)s **byte-for-byte**; under
+//!   lossy/latent links they answer questions the paper's model cannot
+//!   pose, e.g. how Algorithm 1's request/response handshake degrades when
+//!   responses can vanish.
+//! * **The event engine** ([`engine::EventSim`]) drops the round barrier
+//!   entirely: [`engine::EventProtocol`] nodes react to message deliveries
+//!   and self-armed timers on the virtual clock, while the adversarial
+//!   topology keeps evolving underneath every `ticks_per_round` ticks.
+//!   This is the asynchronous counterpart of the paper's model — rounds
+//!   become an emergent property of latency, not a primitive.
+//!
+//! # How the event model relates to the paper's rounds
+//!
+//! A synchronous round bundles three things: a topology commit, a send
+//! phase, and an atomic delivery phase. The runtime unbundles them. The
+//! topology commit becomes an *epoch* on the virtual clock (the adversary
+//! interfaces are reused unchanged); sends become events planned through a
+//! link model; delivery becomes mailbox arrival at a scheduled tick. The
+//! synchronous model is recovered exactly as the special case
+//! `latency = 0, loss = 0, duplication = 0` with all nodes activating at
+//! every tick — which is what the synchronizer adapters implement, and why
+//! their perfect-link runs are bit-identical to `UnicastSim`/
+//! `BroadcastSim`.
+//!
+//! # Example
+//!
+//! Algorithm 1 on a 30%-lossy channel with up to 2 ticks of jitter:
+//!
+//! ```
+//! use dynspread_core::single_source::SingleSourceNode;
+//! use dynspread_graph::{generators::Topology, oblivious::PeriodicRewiring, NodeId};
+//! use dynspread_runtime::link::{LinkModelExt, PerfectLink};
+//! use dynspread_runtime::sync::UnicastSynchronizer;
+//! use dynspread_sim::{SimConfig, TokenAssignment};
+//!
+//! let (n, k) = (8, 4);
+//! let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+//! let mut sim = UnicastSynchronizer::new(
+//!     "single-source-unicast",
+//!     SingleSourceNode::nodes(&assignment),
+//!     PeriodicRewiring::new(Topology::RandomTree, 3, 7),
+//!     &assignment,
+//!     SimConfig::with_max_rounds(500_000),
+//!     PerfectLink.lossy(0.3).with_jitter(2),
+//!     42,
+//! );
+//! let report = sim.run_to_completion();
+//! assert!(report.completed, "{report}");
+//! let (tx, scheduled, delivered) = sim.link_stats();
+//! assert!(scheduled < tx, "a 30%-lossy link must drop something");
+//! assert!(delivered <= scheduled);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod link;
+pub mod mailbox;
+pub mod sync;
+
+pub use engine::{EventCtx, EventProtocol, EventReport, EventSim, StopReason};
+pub use event::{EventQueue, VirtualTime};
+pub use link::{LinkModel, LinkModelExt, PerfectLink};
+pub use mailbox::{Envelope, Mailbox};
+pub use sync::{BroadcastSynchronizer, UnicastSynchronizer};

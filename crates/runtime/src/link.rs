@@ -1,0 +1,334 @@
+//! Pluggable link models: how a transmitted message actually arrives.
+//!
+//! A [`LinkModel`] turns one transmission into zero or more *delivery
+//! copies*, each with a virtual-time delay. Models compose as wrappers:
+//! [`PerfectLink`] is the base (one copy, delay 0) and each combinator
+//! transforms the copies its inner model produced — so
+//!
+//! ```
+//! use dynspread_runtime::link::{LinkModel, LinkModelExt, PerfectLink};
+//!
+//! let link = PerfectLink
+//!     .duplicating(0.05)
+//!     .lossy(0.2)
+//!     .with_latency(2)
+//!     .with_jitter(3);
+//! assert_eq!(link.describe(), "perfect+dup(0.05)+lossy(0.2)+lat(2)+jit(3)");
+//! ```
+//!
+//! is a channel that duplicates 5% of copies, then drops 20% of them, then
+//! delays survivors by 2 ticks plus 0–3 ticks of seeded jitter. Jitter is
+//! also how *reordering* arises: two messages sent over the same link in
+//! consecutive ticks can arrive in either order once their random delays
+//! overlap. All randomness is drawn from the runtime's single seeded
+//! [`StdRng`] in scheduling order, so every run is reproducible from its
+//! seed.
+
+use crate::event::VirtualTime;
+use dynspread_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Plans the delivery fate of transmissions on a point-to-point link.
+///
+/// `plan` appends one delay per copy to deliver onto `fates`; appending
+/// nothing models a drop. The caller clears `fates` between transmissions,
+/// so wrapping models may transform every entry currently in the buffer.
+pub trait LinkModel {
+    /// Plans one transmission `from → to` made at virtual time `now`.
+    fn plan(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: VirtualTime,
+        rng: &mut StdRng,
+        fates: &mut Vec<VirtualTime>,
+    );
+
+    /// Human-readable description, e.g. `perfect+lossy(0.3)`.
+    fn describe(&self) -> String;
+}
+
+/// Combinator constructors, available on every link model.
+pub trait LinkModelExt: LinkModel + Sized {
+    /// Adds a fixed `delay` ticks to every copy.
+    fn with_latency(self, delay: VirtualTime) -> FixedLatency<Self> {
+        FixedLatency { delay, inner: self }
+    }
+
+    /// Adds a seeded-uniform `0..=max_extra` extra delay per copy
+    /// (independent per copy — this is what makes links reorder).
+    fn with_jitter(self, max_extra: VirtualTime) -> JitterLatency<Self> {
+        JitterLatency {
+            max_extra,
+            inner: self,
+        }
+    }
+
+    /// Drops each copy independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn lossy(self, p: f64) -> Lossy<Self> {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} not in [0, 1]"
+        );
+        Lossy { p, inner: self }
+    }
+
+    /// Duplicates each copy independently with probability `p` (the extra
+    /// copy shares its original's delay; add jitter *after* duplication to
+    /// spread the copies out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn duplicating(self, p: f64) -> Duplicating<Self> {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability {p} not in [0, 1]"
+        );
+        Duplicating { p, inner: self }
+    }
+}
+
+impl<L: LinkModel> LinkModelExt for L {}
+
+/// The identity channel: every transmission arrives exactly once with zero
+/// delay. Under this model the synchronizer adapters reproduce the
+/// synchronous engines byte-for-byte.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfectLink;
+
+impl LinkModel for PerfectLink {
+    fn plan(
+        &self,
+        _from: NodeId,
+        _to: NodeId,
+        _now: VirtualTime,
+        _rng: &mut StdRng,
+        fates: &mut Vec<VirtualTime>,
+    ) {
+        fates.push(0);
+    }
+
+    fn describe(&self) -> String {
+        "perfect".to_string()
+    }
+}
+
+/// Adds a fixed delay to every copy of the inner model.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedLatency<L> {
+    delay: VirtualTime,
+    inner: L,
+}
+
+impl<L: LinkModel> LinkModel for FixedLatency<L> {
+    fn plan(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: VirtualTime,
+        rng: &mut StdRng,
+        fates: &mut Vec<VirtualTime>,
+    ) {
+        let start = fates.len();
+        self.inner.plan(from, to, now, rng, fates);
+        for d in &mut fates[start..] {
+            *d += self.delay;
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{}+lat({})", self.inner.describe(), self.delay)
+    }
+}
+
+/// Adds independent seeded-uniform extra delay per copy.
+#[derive(Clone, Copy, Debug)]
+pub struct JitterLatency<L> {
+    max_extra: VirtualTime,
+    inner: L,
+}
+
+impl<L: LinkModel> LinkModel for JitterLatency<L> {
+    fn plan(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: VirtualTime,
+        rng: &mut StdRng,
+        fates: &mut Vec<VirtualTime>,
+    ) {
+        let start = fates.len();
+        self.inner.plan(from, to, now, rng, fates);
+        if self.max_extra > 0 {
+            for d in &mut fates[start..] {
+                *d += rng.gen_range(0..=self.max_extra);
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{}+jit({})", self.inner.describe(), self.max_extra)
+    }
+}
+
+/// Drops each copy of the inner model independently with probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Lossy<L> {
+    p: f64,
+    inner: L,
+}
+
+impl<L: LinkModel> LinkModel for Lossy<L> {
+    fn plan(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: VirtualTime,
+        rng: &mut StdRng,
+        fates: &mut Vec<VirtualTime>,
+    ) {
+        let start = fates.len();
+        self.inner.plan(from, to, now, rng, fates);
+        if self.p > 0.0 {
+            // In-place compaction over this transmission's copies; one
+            // `gen_bool` per copy keeps the draw order deterministic.
+            let mut keep = start;
+            for i in start..fates.len() {
+                let dropped = rng.gen_bool(self.p);
+                if !dropped {
+                    fates[keep] = fates[i];
+                    keep += 1;
+                }
+            }
+            fates.truncate(keep);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{}+lossy({})", self.inner.describe(), self.p)
+    }
+}
+
+/// Duplicates each copy of the inner model independently with probability
+/// `p`; the duplicate inherits its original's delay.
+#[derive(Clone, Copy, Debug)]
+pub struct Duplicating<L> {
+    p: f64,
+    inner: L,
+}
+
+impl<L: LinkModel> LinkModel for Duplicating<L> {
+    fn plan(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: VirtualTime,
+        rng: &mut StdRng,
+        fates: &mut Vec<VirtualTime>,
+    ) {
+        let start = fates.len();
+        self.inner.plan(from, to, now, rng, fates);
+        if self.p > 0.0 {
+            let end = fates.len();
+            for i in start..end {
+                if rng.gen_bool(self.p) {
+                    let d = fates[i];
+                    fates.push(d);
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{}+dup({})", self.inner.describe(), self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan_once(link: &impl LinkModel, rng: &mut StdRng) -> Vec<VirtualTime> {
+        let mut fates = Vec::new();
+        link.plan(NodeId::new(0), NodeId::new(1), 10, rng, &mut fates);
+        fates
+    }
+
+    #[test]
+    fn perfect_link_is_one_copy_zero_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(plan_once(&PerfectLink, &mut rng), vec![0]);
+    }
+
+    #[test]
+    fn fixed_latency_shifts_every_copy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = PerfectLink.with_latency(4);
+        assert_eq!(plan_once(&link, &mut rng), vec![4]);
+    }
+
+    #[test]
+    fn jitter_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let link = PerfectLink.with_latency(1).with_jitter(3);
+        for _ in 0..200 {
+            for d in plan_once(&link, &mut rng) {
+                assert!((1..=4).contains(&d), "delay {d} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_zero_never_drops_and_one_always_drops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let never = PerfectLink.lossy(0.0);
+        let always = PerfectLink.lossy(1.0);
+        for _ in 0..100 {
+            assert_eq!(plan_once(&never, &mut rng).len(), 1);
+            assert!(plan_once(&always, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn lossy_rate_is_roughly_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let link = PerfectLink.lossy(0.3);
+        let delivered: usize = (0..10_000).map(|_| plan_once(&link, &mut rng).len()).sum();
+        assert!((6_500..7_500).contains(&delivered), "got {delivered}");
+    }
+
+    #[test]
+    fn duplication_adds_copies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let link = PerfectLink.duplicating(1.0);
+        assert_eq!(plan_once(&link, &mut rng), vec![0, 0]);
+        let none = PerfectLink.duplicating(0.0);
+        assert_eq!(plan_once(&none, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn composition_order_is_reflected_in_description() {
+        let link = PerfectLink.duplicating(0.1).lossy(0.2).with_latency(1);
+        assert_eq!(link.describe(), "perfect+dup(0.1)+lossy(0.2)+lat(1)");
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let link = PerfectLink.duplicating(0.3).lossy(0.4).with_jitter(5);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100)
+                .map(|_| plan_once(&link, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests of the runtime's delivery and determinism guarantees:
+//!
+//! * with drop probability 0 and duplication 0, every transmission is
+//!   delivered **exactly once**;
+//! * seeded lossy/jittery/duplicating runs are **replay-identical**: the
+//!   same seed reproduces the same execution byte-for-byte, in both the
+//!   synchronizer adapters and the asynchronous event engine.
+
+use dynspread_core::single_source::SingleSourceNode;
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
+use dynspread_graph::NodeId;
+use dynspread_runtime::engine::{EventCtx, EventProtocol, EventSim, StopReason};
+use dynspread_runtime::link::{LinkModelExt, PerfectLink};
+use dynspread_runtime::sync::UnicastSynchronizer;
+use dynspread_sim::sim::SimConfig;
+use dynspread_sim::token::TokenAssignment;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Event-protocol test node: announces its ID to all neighbors at start,
+/// counts the copies it receives per sender, and optionally re-broadcasts
+/// a few times on a timer (to generate nontrivial event streams).
+#[derive(Default)]
+struct Announcer {
+    seen: BTreeMap<u32, u64>,
+    retries: u32,
+    max_retries: u32,
+}
+
+impl Announcer {
+    fn with_retries(max_retries: u32) -> Self {
+        Announcer {
+            max_retries,
+            ..Announcer::default()
+        }
+    }
+}
+
+impl EventProtocol for Announcer {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut EventCtx<'_, u32>) {
+        let me = ctx.me().value();
+        ctx.broadcast(&me);
+        if self.max_retries > 0 {
+            ctx.set_timer(2, 0);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &u32, _ctx: &mut EventCtx<'_, u32>) {
+        *self.seen.entry(*msg).or_insert(0) += 1;
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, u32>) {
+        if self.retries < self.max_retries {
+            self.retries += 1;
+            let me = ctx.me().value();
+            ctx.broadcast(&me);
+            ctx.set_timer(2, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drop 0 / duplication 0 ⇒ exactly-once delivery: engine counters
+    /// agree, and every node receives each neighbor's announcement exactly
+    /// once (static topology, arbitrary fixed latency).
+    #[test]
+    fn perfect_links_deliver_exactly_once(
+        n in 2usize..24,
+        latency in 0u64..5,
+        seed in 0u64..1_000,
+    ) {
+        let nodes: Vec<Announcer> = (0..n).map(|_| Announcer::default()).collect();
+        let adversary = StaticAdversary::from_topology(Topology::RandomTree, n, seed);
+        let link = PerfectLink.lossy(0.0).duplicating(0.0).with_latency(latency);
+        let mut sim = EventSim::new(nodes, adversary, link, 4, seed ^ 0xA5A5);
+        let report = sim.run(100_000);
+        prop_assert_eq!(report.stopped, StopReason::Quiescent);
+        // A random tree has n−1 edges; each endpoint announces once.
+        prop_assert_eq!(report.transmissions, 2 * (n as u64 - 1));
+        prop_assert_eq!(report.copies_scheduled, report.transmissions);
+        prop_assert_eq!(report.copies_delivered, report.transmissions);
+        let g = sim.dynamic_graph().current().clone();
+        for v in NodeId::all(n) {
+            let seen = &sim.node(v).seen;
+            prop_assert_eq!(seen.len(), g.degree(v), "{} sender set != neighbors", v);
+            for (&from, &count) in seen {
+                prop_assert_eq!(count, 1, "{} copies from v{} at {}", count, from, v);
+                prop_assert!(g.has_edge(v, NodeId::new(from)));
+            }
+        }
+    }
+
+    /// The synchronizer adapter under an arbitrary lossy/jittery/
+    /// duplicating link is replay-identical: same seeds ⇒ same `RunReport`
+    /// bytes, same learning log, same link statistics.
+    #[test]
+    fn seeded_lossy_sync_runs_are_replay_identical(
+        adv_seed in 0u64..500,
+        link_seed in 0u64..500,
+        drop_centi in 0u64..50,
+        dup_centi in 0u64..30,
+        jitter in 0u64..4,
+    ) {
+        let run = || {
+            let (n, k) = (10, 6);
+            let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+            let link = PerfectLink
+                .duplicating(dup_centi as f64 / 100.0)
+                .lossy(drop_centi as f64 / 100.0)
+                .with_jitter(jitter);
+            let mut sim = UnicastSynchronizer::new(
+                "ss",
+                SingleSourceNode::nodes(&assignment),
+                PeriodicRewiring::new(Topology::RandomTree, 3, adv_seed),
+                &assignment,
+                SimConfig::with_max_rounds(30_000),
+                link,
+                link_seed,
+            );
+            let report = sim.run_to_completion();
+            (
+                format!("{report:?}"),
+                format!("{:?}", sim.tracker().log()),
+                sim.link_stats(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The asynchronous event engine is replay-identical too, including
+    /// timer-driven retransmissions racing lossy deliveries.
+    #[test]
+    fn seeded_lossy_event_runs_are_replay_identical(
+        n in 3usize..16,
+        adv_seed in 0u64..300,
+        engine_seed in 0u64..300,
+        drop_centi in 0u64..60,
+    ) {
+        let run = || {
+            let nodes: Vec<Announcer> = (0..n).map(|_| Announcer::with_retries(4)).collect();
+            let adversary = StaticAdversary::from_topology(Topology::RandomTree, n, adv_seed);
+            let link = PerfectLink.lossy(drop_centi as f64 / 100.0).with_jitter(3);
+            let mut sim = EventSim::new(nodes, adversary, link, 4, engine_seed);
+            let report = sim.run(100_000);
+            let seen: Vec<(u32, Vec<(u32, u64)>)> = NodeId::all(n)
+                .map(|v| {
+                    (
+                        v.value(),
+                        sim.node(v).seen.iter().map(|(&f, &c)| (f, c)).collect(),
+                    )
+                })
+                .collect();
+            (format!("{report:?}"), seen)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Deterministic non-property check: a duplicating link inflates copies,
+/// a lossy link sheds them, and the counters stay consistent.
+#[test]
+fn link_stat_invariants_hold_under_loss_and_duplication() {
+    let (n, k) = (12, 8);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let mut sim = UnicastSynchronizer::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 9),
+        &assignment,
+        SimConfig::with_max_rounds(200_000),
+        PerfectLink.duplicating(0.3).lossy(0.2),
+        13,
+    );
+    let report = sim.run_to_completion();
+    assert!(report.completed, "{report}");
+    let (tx, scheduled, delivered) = sim.link_stats();
+    assert!(tx > 0);
+    // Zero latency: every scheduled copy arrives within its round.
+    assert_eq!(delivered, scheduled);
+    assert_eq!(sim.in_flight(), 0);
+}

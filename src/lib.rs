@@ -17,6 +17,11 @@
 //!   (Definition 1.1), token-learning tracking (Definition 1.4).
 //! * [`core`] — Algorithms 1 & 2, Multi-Source-Unicast, flooding,
 //!   baselines, the potential adversary of Theorem 2.3, random walks.
+//! * [`runtime`] — the deterministic discrete-event runtime: virtual
+//!   clock, seeded event queue, per-node mailboxes, composable lossy /
+//!   latent link models, synchronizer adapters that run the round-based
+//!   protocols unchanged (byte-identical to [`sim`] under a perfect
+//!   link), and the asynchronous `EventProtocol` engine.
 //! * [`analysis`] — statistics, power-law fits, adversary-competitive
 //!   accounting (Definition 1.3), result tables.
 //!
@@ -84,4 +89,5 @@
 pub use dynspread_analysis as analysis;
 pub use dynspread_core as core;
 pub use dynspread_graph as graph;
+pub use dynspread_runtime as runtime;
 pub use dynspread_sim as sim;

@@ -1,0 +1,205 @@
+//! The synchronizer adapters' equivalence contract: under a perfect link
+//! (zero latency, no loss, no duplication) the event-driven runtime must
+//! reproduce the synchronous engines **byte-for-byte** — same `RunReport`
+//! (every field, via `Debug`) and same learning log — for the same seed,
+//! across every adversary family, in both communication modes.
+
+use dynspread::core::flooding::PhasedFlooding;
+use dynspread::core::multi_source::MultiSourceNode;
+use dynspread::core::single_source::SingleSourceNode;
+use dynspread::graph::generators::Topology;
+use dynspread::graph::oblivious::{
+    ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary,
+};
+use dynspread::graph::{Graph, NodeId};
+use dynspread::runtime::link::{LinkModelExt, PerfectLink};
+use dynspread::runtime::sync::{BroadcastSynchronizer, UnicastSynchronizer};
+use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
+
+const MAX_ROUNDS: u64 = 2_000_000;
+
+/// One fingerprint per execution: the full Debug report + learning log.
+fn fingerprint(report: &dynspread::sim::RunReport, log: String) -> (String, String) {
+    (format!("{report:?}"), log)
+}
+
+fn unicast_sync(n: usize, k: usize, kind: u8, seed: u64) -> (String, String) {
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let nodes = SingleSourceNode::nodes(&assignment);
+    let cfg = SimConfig::with_max_rounds(MAX_ROUNDS);
+    macro_rules! run {
+        ($adv:expr) => {{
+            let mut sim = UnicastSim::new("ss", nodes, $adv, &assignment, cfg);
+            let report = sim.run_to_completion();
+            fingerprint(&report, format!("{:?}", sim.tracker().log()))
+        }};
+    }
+    match kind {
+        0 => run!(StaticAdversary::new(Graph::cycle(n))),
+        1 => run!(PeriodicRewiring::new(Topology::RandomTree, 3, seed)),
+        2 => run!(ChurnAdversary::new(
+            Topology::SparseConnected(2.0),
+            2,
+            3,
+            seed
+        )),
+        _ => run!(EdgeMarkovian::new(0.08, 0.2, 2, seed)),
+    }
+}
+
+fn unicast_runtime(n: usize, k: usize, kind: u8, seed: u64) -> (String, String) {
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let nodes = SingleSourceNode::nodes(&assignment);
+    let cfg = SimConfig::with_max_rounds(MAX_ROUNDS);
+    macro_rules! run {
+        ($adv:expr) => {{
+            let mut sim =
+                UnicastSynchronizer::new("ss", nodes, $adv, &assignment, cfg, PerfectLink, 999);
+            let report = sim.run_to_completion();
+            fingerprint(&report, format!("{:?}", sim.tracker().log()))
+        }};
+    }
+    match kind {
+        0 => run!(StaticAdversary::new(Graph::cycle(n))),
+        1 => run!(PeriodicRewiring::new(Topology::RandomTree, 3, seed)),
+        2 => run!(ChurnAdversary::new(
+            Topology::SparseConnected(2.0),
+            2,
+            3,
+            seed
+        )),
+        _ => run!(EdgeMarkovian::new(0.08, 0.2, 2, seed)),
+    }
+}
+
+#[test]
+fn perfect_link_unicast_matches_sync_engine_byte_for_byte() {
+    for kind in 0u8..4 {
+        for seed in [7, 97] {
+            let (rs, ls) = unicast_sync(16, 12, kind, seed);
+            let (rr, lr) = unicast_runtime(16, 12, kind, seed);
+            assert_eq!(
+                rs, rr,
+                "report differs for adversary kind {kind}, seed {seed}"
+            );
+            assert_eq!(ls, lr, "log differs for adversary kind {kind}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn perfect_link_broadcast_matches_sync_engine_byte_for_byte() {
+    for (kind, seed) in [(0u8, 5u64), (1, 5), (2, 11), (3, 11)] {
+        let n = 12;
+        let assignment = TokenAssignment::round_robin_sources(n, 8, 4);
+        let cfg = SimConfig::with_max_rounds(100_000);
+        macro_rules! both {
+            ($adv:expr) => {{
+                let mut sync_sim = BroadcastSim::new(
+                    "flood",
+                    PhasedFlooding::nodes(&assignment),
+                    $adv,
+                    &assignment,
+                    cfg.clone(),
+                );
+                let rs = sync_sim.run_to_completion();
+                let ls = format!("{:?}", sync_sim.tracker().log());
+                let mut rt_sim = BroadcastSynchronizer::new(
+                    "flood",
+                    PhasedFlooding::nodes(&assignment),
+                    $adv,
+                    &assignment,
+                    cfg.clone(),
+                    PerfectLink,
+                    1234,
+                );
+                let rr = rt_sim.run_to_completion();
+                let lr = format!("{:?}", rt_sim.tracker().log());
+                assert_eq!(format!("{rs:?}"), format!("{rr:?}"), "kind {kind}");
+                assert_eq!(ls, lr, "kind {kind}");
+            }};
+        }
+        match kind {
+            0 => both!(StaticAdversary::new(Graph::cycle(n))),
+            1 => both!(PeriodicRewiring::new(Topology::RandomTree, 3, seed)),
+            2 => both!(ChurnAdversary::new(
+                Topology::SparseConnected(2.0),
+                2,
+                3,
+                seed
+            )),
+            _ => both!(EdgeMarkovian::new(0.08, 0.2, 2, seed)),
+        }
+    }
+}
+
+#[test]
+fn perfect_link_multi_source_matches_sync_engine() {
+    let (n, k, s) = (14, 10, 4);
+    let assignment = TokenAssignment::round_robin_sources(n, k, s);
+    let cfg = SimConfig::with_max_rounds(MAX_ROUNDS);
+    let (nodes_a, _) = MultiSourceNode::nodes(&assignment);
+    let mut sync_sim = UnicastSim::new(
+        "ms",
+        nodes_a,
+        ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, 5),
+        &assignment,
+        cfg.clone(),
+    );
+    let rs = sync_sim.run_to_completion();
+    let (nodes_b, _) = MultiSourceNode::nodes(&assignment);
+    let mut rt_sim = UnicastSynchronizer::new(
+        "ms",
+        nodes_b,
+        ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, 5),
+        &assignment,
+        cfg,
+        PerfectLink,
+        77,
+    );
+    let rr = rt_sim.run_to_completion();
+    assert!(rs.completed);
+    assert_eq!(format!("{rs:?}"), format!("{rr:?}"));
+    assert_eq!(
+        format!("{:?}", sync_sim.tracker().log()),
+        format!("{:?}", rt_sim.tracker().log())
+    );
+}
+
+/// Sanity: the equivalence is *not* vacuous — a lossy link produces a
+/// different execution (more rounds or different message counts) but the
+/// run still completes under a dynamic adversary.
+#[test]
+fn lossy_link_changes_the_execution_but_still_completes() {
+    let (n, k) = (12, 8);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let cfg = SimConfig::with_max_rounds(MAX_ROUNDS);
+    let mut perfect = UnicastSynchronizer::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 3),
+        &assignment,
+        cfg.clone(),
+        PerfectLink,
+        50,
+    );
+    let rp = perfect.run_to_completion();
+    let mut lossy = UnicastSynchronizer::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 3),
+        &assignment,
+        cfg,
+        PerfectLink.lossy(0.25),
+        50,
+    );
+    let rl = lossy.run_to_completion();
+    assert!(rp.completed && rl.completed, "{rp}\n{rl}");
+    assert_ne!(format!("{rp:?}"), format!("{rl:?}"));
+    let (tx, scheduled, delivered) = lossy.link_stats();
+    assert!(
+        scheduled < tx,
+        "lossy link dropped nothing: {tx} vs {scheduled}"
+    );
+    assert_eq!(delivered, scheduled, "zero-latency copies all arrive");
+}

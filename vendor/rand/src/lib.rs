@@ -9,7 +9,9 @@
 //! * [`SeedableRng::seed_from_u64`],
 //! * [`rngs::StdRng`] — a deterministic xoshiro256** generator seeded via
 //!   SplitMix64,
-//! * [`seq::SliceRandom`] with `choose` and `shuffle`.
+//! * [`seq::SliceRandom`] with `choose` and `shuffle`,
+//! * [`distributions::Distribution`] with [`distributions::Geometric`]
+//!   (inverse-CDF sampler; powers the skip-sampling adversaries).
 //!
 //! Determinism contract: for a fixed seed the generated stream is stable
 //! across runs and platforms (the workspace's reproducibility tests rely on
@@ -74,6 +76,61 @@ pub trait SeedableRng: Sized {
 
 /// Uniform-range sampling machinery (mirrors `rand::distributions::uniform`).
 pub mod distributions {
+    use crate::RngCore;
+
+    /// A distribution that can be sampled with any RNG (mirrors
+    /// `rand::distributions::Distribution`).
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The geometric distribution over `{0, 1, 2, …}`: the number of
+    /// failures before the first success in independent trials with success
+    /// probability `p` (mirrors `rand_distr::Geometric`).
+    ///
+    /// The sampler inverts the CDF (`⌊ln(1−U)/ln(1−p)⌋`), so one uniform
+    /// draw yields one sample regardless of the skip length — this is what
+    /// makes skip-sampling a Bernoulli process over `N` items cost
+    /// `O(expected hits)` instead of `O(N)` coin flips.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Geometric {
+        /// Precomputed `ln(1 − p)`; `0.0` encodes the degenerate `p = 1`.
+        ln_q: f64,
+    }
+
+    impl Geometric {
+        /// Creates a geometric distribution with success probability `p`.
+        ///
+        /// # Panics
+        ///
+        /// Panics unless `0 < p ≤ 1` (a zero success probability never
+        /// terminates; callers gate that case themselves).
+        pub fn new(p: f64) -> Self {
+            assert!(p > 0.0 && p <= 1.0, "Geometric: p = {p} must be in (0, 1]");
+            // ln_1p keeps tiny p exact (1.0 - p would round to 1.0 below
+            // ~1e-16, silently turning "almost never" into "always");
+            // p = 1 yields −∞, handled explicitly in `sample`.
+            Geometric { ln_q: (-p).ln_1p() }
+        }
+    }
+
+    impl Distribution<u64> for Geometric {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.ln_q == f64::NEG_INFINITY {
+                return 0; // p = 1: success on the first trial, always.
+            }
+            // U uniform in [0, 1); 1 − U in (0, 1] keeps the log finite.
+            let u = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+            let s = ((1.0 - u).ln() / self.ln_q).floor();
+            if s >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                s as u64
+            }
+        }
+    }
+
     /// Range types that [`crate::Rng::gen_range`] accepts.
     pub mod uniform {
         use crate::RngCore;
@@ -246,6 +303,7 @@ pub mod seq {
 
 #[cfg(test)]
 mod tests {
+    use super::distributions::{Distribution, Geometric};
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
     use super::{Rng, SeedableRng};
@@ -293,6 +351,63 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = Geometric::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        // E[Geometric(p)] = (1 − p)/p; p = 0.2 → mean 4.
+        let mut rng = StdRng::seed_from_u64(19);
+        let g = Geometric::new(0.2);
+        let total: u64 = (0..50_000).map(|_| g.sample(&mut rng)).sum();
+        let mean = total as f64 / 50_000.0;
+        assert!((3.8..4.2).contains(&mean), "mean {mean} far from 4");
+    }
+
+    #[test]
+    fn geometric_skip_sampling_matches_bernoulli_rate() {
+        // Skip-sampling a Bernoulli(p) process over N items must hit
+        // ~p·N items.
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = 0.03;
+        let n = 100_000u64;
+        let g = Geometric::new(p);
+        let mut hits = 0u64;
+        let mut i = g.sample(&mut rng);
+        while i < n {
+            hits += 1;
+            i += 1 + g.sample(&mut rng);
+        }
+        let expected = p * n as f64;
+        assert!(
+            (hits as f64 - expected).abs() < 0.15 * expected,
+            "hits {hits} far from {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn geometric_rejects_zero_p() {
+        let _ = Geometric::new(0.0);
+    }
+
+    #[test]
+    fn geometric_tiny_p_is_not_degenerate() {
+        // 1.0 - 5e-17 rounds to 1.0, so a naive ln(1 - p) would collapse
+        // tiny p to the p = 1 fast path; ln_1p must keep it huge instead.
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = Geometric::new(5e-17);
+        for _ in 0..50 {
+            assert!(g.sample(&mut rng) > 1_000_000, "tiny p must skip far");
+        }
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Transport-agnostic decision state of the token-dissemination algorithms.
+//!
+//! Algorithm 1 and its multi-source extension are specified over
+//! synchronous rounds, but their *decisions* — which tokens are still
+//! worth requesting, which peers are known complete, who has been informed
+//! of our own completeness — do not depend on the round structure at all.
+//! This module extracts that state so the same logic drives both
+//! execution models:
+//!
+//! * the round-based [`UnicastProtocol`](dynspread_sim::protocol::UnicastProtocol)
+//!   nodes ([`SingleSourceNode`](crate::single_source::SingleSourceNode),
+//!   [`MultiSourceNode`](crate::multi_source::MultiSourceNode)), where one
+//!   request is assigned per eligible edge per round and reliability is
+//!   the model's (every sent message arrives);
+//! * the asynchronous `EventProtocol` ports in `dynspread-runtime`
+//!   (`AsyncSingleSource`, `AsyncMultiSource`), where the same assignment
+//!   engine feeds per-neighbor retransmission windows and reliability is
+//!   the protocol's (explicit retransmission + receiver-side dedup).
+//!
+//! Two pieces:
+//!
+//! * [`DisseminationCore`] — token knowledge `K_v`, the in-flight request
+//!   set, and the distinct-missing-token assignment queue ("assign each
+//!   eligible channel a *different* missing token, consumed front to
+//!   back" — Algorithm 1 lines 13–19).
+//! * [`CompletenessLedger`] — the paper's `R_v` (whom we have informed of
+//!   our completeness) and `S_v` (who announced completeness to us), both
+//!   *monotone*: bits are only ever set. In the async port `R_v` doubles
+//!   as acknowledgment state (set on `Ack`, not on send), which is what
+//!   makes announcement retransmission idempotent.
+
+use dynspread_graph::NodeId;
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+
+/// Token knowledge plus the distinct-missing-token request assigner shared
+/// by every dissemination protocol, round-based or asynchronous.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_core::dissemination::DisseminationCore;
+/// use dynspread_graph::NodeId;
+/// use dynspread_sim::token::{TokenAssignment, TokenId};
+///
+/// let a = TokenAssignment::single_source(3, 2, NodeId::new(0));
+/// let mut core = DisseminationCore::from_assignment(NodeId::new(1), &a);
+/// assert!(!core.is_complete());
+///
+/// // Assign distinct missing tokens to two channels.
+/// core.refill();
+/// let first = core.assign_next().unwrap();
+/// let second = core.assign_next().unwrap();
+/// assert_ne!(first, second);
+/// assert!(core.assign_next().is_none());
+///
+/// // The answered token leaves the in-flight set; the other stays.
+/// assert!(core.accept_token(first));
+/// core.release(first);
+/// core.refill();
+/// assert!(core.assign_next().is_none(), "t1 is still in flight");
+/// ```
+#[derive(Clone, Debug)]
+pub struct DisseminationCore {
+    /// `K_v`: the tokens this node holds. Monotone — tokens are never
+    /// forgotten.
+    know: TokenSet,
+    /// Tokens with an outstanding (live) request on some channel.
+    in_flight: TokenSet,
+    /// Requestable tokens of the current assignment pass, consumed front
+    /// to back (reused across passes to avoid per-pass allocation).
+    queue: Vec<TokenId>,
+    /// Next unassigned index into `queue`.
+    cursor: usize,
+}
+
+impl DisseminationCore {
+    /// Creates the core for node `v` with its initial knowledge from
+    /// `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the assignment.
+    pub fn from_assignment(v: NodeId, assignment: &TokenAssignment) -> Self {
+        assert!(v.index() < assignment.node_count(), "node out of range");
+        DisseminationCore::with_knowledge(assignment.initial_knowledge(v))
+    }
+
+    /// Creates the core with an explicit knowledge set (phase handoffs and
+    /// tests).
+    pub fn with_knowledge(know: TokenSet) -> Self {
+        DisseminationCore {
+            in_flight: TokenSet::new(know.universe()),
+            know,
+            queue: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// The node's current token knowledge `K_v`.
+    pub fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+
+    /// Whether the node is complete (Definition 3.1).
+    pub fn is_complete(&self) -> bool {
+        self.know.is_full()
+    }
+
+    /// Applies a received token: inserts it into `K_v`, returning whether
+    /// it was new. Duplicate deliveries (retransmissions, duplicating
+    /// links) return `false` — application is at-most-once by
+    /// construction.
+    pub fn accept_token(&mut self, t: TokenId) -> bool {
+        self.know.insert(t)
+    }
+
+    /// Whether `t` currently has an outstanding request on some channel.
+    pub fn in_flight(&self, t: TokenId) -> bool {
+        self.in_flight.contains(t)
+    }
+
+    /// Retires an outstanding request for `t`: the token arrived (or its
+    /// channel died), so it becomes assignable again.
+    pub fn release(&mut self, t: TokenId) {
+        self.in_flight.remove(t);
+    }
+
+    /// Mutable access to the in-flight set, for callers that keep it in
+    /// sync with their own channel bookkeeping (the round-based nodes'
+    /// [`EdgeTracker`](crate::edge_history::EdgeTracker) drains dead
+    /// edges' pending queues directly into it).
+    pub fn in_flight_mut(&mut self) -> &mut TokenSet {
+        &mut self.in_flight
+    }
+
+    /// Starts an assignment pass over **all** missing tokens without an
+    /// outstanding request, in increasing token order.
+    pub fn refill(&mut self) {
+        self.queue.clear();
+        self.cursor = 0;
+        let in_flight = &self.in_flight;
+        // Split borrows: `queue` is disjoint from `know`/`in_flight`.
+        let know = &self.know;
+        self.queue
+            .extend(know.missing().filter(|&t| !in_flight.contains(t)));
+    }
+
+    /// Starts an assignment pass over the requestable subset of
+    /// `candidates` (missing and not in flight), preserving their order —
+    /// the multi-source algorithms restrict each pass to the active
+    /// source's tokens.
+    pub fn refill_from(&mut self, candidates: &[TokenId]) {
+        self.queue.clear();
+        self.cursor = 0;
+        let know = &self.know;
+        let in_flight = &self.in_flight;
+        self.queue.extend(
+            candidates
+                .iter()
+                .copied()
+                .filter(|&t| !know.contains(t) && !in_flight.contains(t)),
+        );
+    }
+
+    /// Whether the current pass has tokens left to assign.
+    pub fn has_assignable(&self) -> bool {
+        self.cursor < self.queue.len()
+    }
+
+    /// Assigns the next token of the current pass to a channel: marks it
+    /// in flight and returns it, or `None` when the pass is exhausted.
+    /// Successive calls within one pass always return *distinct* tokens.
+    pub fn assign_next(&mut self) -> Option<TokenId> {
+        let t = *self.queue.get(self.cursor)?;
+        self.cursor += 1;
+        self.in_flight.insert(t);
+        Some(t)
+    }
+}
+
+/// The paper's per-node completeness bookkeeping: `R_v` (informed peers)
+/// and `S_v` (peers known to be complete), as monotone bit vectors.
+///
+/// The single-source algorithm keeps one ledger; the multi-source
+/// algorithms keep one per source (`R_v(x)`, `S_v(x)`). The asynchronous
+/// ports reuse `R_v` as *acknowledgment* state: a peer is marked informed
+/// only when its `Ack` arrives, so unacked announcements keep being
+/// retransmitted and the at-most-once "announce ever" budget of the
+/// synchronous algorithm becomes an at-most-once *acknowledged* budget.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_core::dissemination::CompletenessLedger;
+/// use dynspread_graph::NodeId;
+///
+/// let mut ledger = CompletenessLedger::new(3);
+/// let u = NodeId::new(2);
+/// assert!(ledger.note_peer_complete(u), "first announcement is news");
+/// assert!(!ledger.note_peer_complete(u), "repeats are not");
+/// assert!(ledger.peer_complete(u));
+/// assert!(ledger.needs_inform(u));
+/// assert!(ledger.mark_informed(u));
+/// assert!(!ledger.needs_inform(u));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompletenessLedger {
+    /// `R_v`: peers informed of (async: that acknowledged) our
+    /// completeness.
+    informed: Vec<bool>,
+    /// `S_v`: peers that announced completeness to us.
+    known_complete: Vec<bool>,
+}
+
+impl CompletenessLedger {
+    /// Creates an empty ledger for an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        CompletenessLedger {
+            informed: vec![false; n],
+            known_complete: vec![false; n],
+        }
+    }
+
+    /// Records that `u` announced its completeness. Returns `true` iff
+    /// this was news (monotone: never unset).
+    pub fn note_peer_complete(&mut self, u: NodeId) -> bool {
+        !std::mem::replace(&mut self.known_complete[u.index()], true)
+    }
+
+    /// Whether `u` is known to be complete (`u ∈ S_v`).
+    pub fn peer_complete(&self, u: NodeId) -> bool {
+        self.known_complete[u.index()]
+    }
+
+    /// Whether any peer is known complete (`S_v ≠ ∅`).
+    pub fn any_peer_complete(&self) -> bool {
+        self.known_complete.iter().any(|&b| b)
+    }
+
+    /// The peers known complete, in increasing ID order.
+    pub fn complete_peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.known_complete
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// Whether `u` still needs to be informed of our completeness
+    /// (`u ∉ R_v`).
+    pub fn needs_inform(&self, u: NodeId) -> bool {
+        !self.informed[u.index()]
+    }
+
+    /// Records that `u` has been informed (async: has acknowledged).
+    /// Returns `true` iff this was news (monotone: never unset).
+    pub fn mark_informed(&mut self, u: NodeId) -> bool {
+        !std::mem::replace(&mut self.informed[u.index()], true)
+    }
+
+    /// Number of informed peers — monotone over any execution.
+    pub fn informed_count(&self) -> usize {
+        self.informed.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn assignment_pass_is_distinct_and_in_order() {
+        let a = TokenAssignment::single_source(2, 5, NodeId::new(0));
+        let mut core = DisseminationCore::from_assignment(NodeId::new(1), &a);
+        core.refill();
+        let pass: Vec<TokenId> = std::iter::from_fn(|| core.assign_next()).collect();
+        assert_eq!(pass, (0..5).map(tid).collect::<Vec<_>>());
+        // Everything is now in flight: a fresh pass assigns nothing.
+        core.refill();
+        assert!(!core.has_assignable());
+        assert!(core.assign_next().is_none());
+    }
+
+    #[test]
+    fn release_makes_tokens_assignable_again() {
+        let a = TokenAssignment::single_source(2, 3, NodeId::new(0));
+        let mut core = DisseminationCore::from_assignment(NodeId::new(1), &a);
+        core.refill();
+        while core.assign_next().is_some() {}
+        core.release(tid(1));
+        core.refill();
+        assert_eq!(core.assign_next(), Some(tid(1)));
+        assert_eq!(core.assign_next(), None);
+    }
+
+    #[test]
+    fn accept_token_is_at_most_once() {
+        let a = TokenAssignment::single_source(2, 2, NodeId::new(0));
+        let mut core = DisseminationCore::from_assignment(NodeId::new(1), &a);
+        assert!(core.accept_token(tid(0)));
+        assert!(!core.accept_token(tid(0)), "duplicate application");
+        assert!(!core.is_complete());
+        assert!(core.accept_token(tid(1)));
+        assert!(core.is_complete());
+    }
+
+    #[test]
+    fn refill_from_respects_scope_and_flight() {
+        let a = TokenAssignment::round_robin_sources(3, 4, 2);
+        let mut core = DisseminationCore::from_assignment(NodeId::new(2), &a);
+        // Scope: tokens {0, 2} (source 0's tokens under round-robin s=2).
+        core.refill_from(&[tid(0), tid(2)]);
+        assert_eq!(core.assign_next(), Some(tid(0)));
+        assert_eq!(core.assign_next(), Some(tid(2)));
+        assert_eq!(core.assign_next(), None);
+        // Both in flight now; the full refill only offers {1, 3}.
+        core.refill();
+        assert_eq!(core.assign_next(), Some(tid(1)));
+        assert_eq!(core.assign_next(), Some(tid(3)));
+    }
+
+    #[test]
+    fn source_is_born_complete() {
+        let a = TokenAssignment::single_source(2, 4, NodeId::new(0));
+        let core = DisseminationCore::from_assignment(NodeId::new(0), &a);
+        assert!(core.is_complete());
+        assert_eq!(core.known_tokens().count(), 4);
+    }
+
+    #[test]
+    fn ledger_is_monotone() {
+        let mut ledger = CompletenessLedger::new(4);
+        assert!(!ledger.any_peer_complete());
+        assert!(ledger.note_peer_complete(NodeId::new(3)));
+        assert!(ledger.any_peer_complete());
+        assert_eq!(
+            ledger.complete_peers().collect::<Vec<_>>(),
+            vec![NodeId::new(3)]
+        );
+        assert_eq!(ledger.informed_count(), 0);
+        assert!(ledger.mark_informed(NodeId::new(1)));
+        assert!(!ledger.mark_informed(NodeId::new(1)));
+        assert_eq!(ledger.informed_count(), 1);
+    }
+}

@@ -28,12 +28,18 @@
 //!   cutting) used by the ablation experiments.
 //! * [`random_walk`] — lazy random walks on dynamic graphs and the
 //!   visit-count experiment for Lemma 3.7.
+//! * [`dissemination`] — the transport-agnostic decision core
+//!   ([`dissemination::DisseminationCore`],
+//!   [`dissemination::CompletenessLedger`]) shared by the round-based
+//!   nodes here and the asynchronous `EventProtocol` ports in
+//!   `dynspread-runtime`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod baselines;
+pub mod dissemination;
 pub mod edge_history;
 pub mod flooding;
 pub mod gf2;
@@ -47,6 +53,7 @@ pub mod single_source;
 
 pub use adaptive::{RequestCuttingAdversary, StableRequestCutter};
 pub use baselines::{TreeBroadcastStatic, UnicastFlooding};
+pub use dissemination::{CompletenessLedger, DisseminationCore};
 pub use edge_history::EdgeCategory;
 pub use flooding::{BcastMsg, FloodingBroadcast, PhasedFlooding, RoundRobinBroadcast};
 pub use leader_election::{ElectionMode, ElectionNode};

@@ -24,6 +24,7 @@
 //! common knowledge, fixed by the initial placement (this stands in for the
 //! paper's `⟨ID_x, i⟩` token labels, which every node can parse).
 
+use crate::dissemination::{CompletenessLedger, DisseminationCore};
 use crate::edge_history::{EdgeCategory, EdgeTracker};
 use dynspread_graph::{NodeId, Round};
 use dynspread_sim::message::{MessageClass, MessagePayload};
@@ -168,24 +169,20 @@ impl MessagePayload for MsMsg {
 pub struct MultiSourceNode {
     id: NodeId,
     map: Arc<SourceMap>,
-    know: TokenSet,
+    /// Transport-agnostic decision state: `K_v`, the in-flight request
+    /// set, and the distinct-missing-token assigner (shared with the
+    /// asynchronous port in `dynspread-runtime`).
+    core: DisseminationCore,
     /// Per source: how many of its tokens we hold.
     have_count: Vec<usize>,
-    /// `R_v(x)`: per source, whom we've informed of our x-completeness.
-    informed: Vec<Vec<bool>>,
-    /// `S_v(x)`: per source, who announced x-completeness to us.
-    known_complete: Vec<Vec<bool>>,
+    /// Per source `x`: `R_v(x)` / `S_v(x)` completeness bookkeeping.
+    ledgers: Vec<CompletenessLedger>,
     /// Requests received this round (answered next round).
     requests_arriving: Vec<(NodeId, TokenId)>,
     /// Requests received last round (answered this round).
     requests_to_answer: Vec<(NodeId, TokenId)>,
     /// Local edge histories and outstanding-request queues.
     edges: EdgeTracker,
-    /// Tokens with an outstanding (live) request on some edge.
-    in_flight: TokenSet,
-    /// Reusable per-round buffer of requestable missing tokens (see the
-    /// identical field on `SingleSourceNode`).
-    missing_scratch: Vec<TokenId>,
 }
 
 impl MultiSourceNode {
@@ -194,25 +191,7 @@ impl MultiSourceNode {
     pub fn new(v: NodeId, assignment: &TokenAssignment, map: Arc<SourceMap>) -> Self {
         let n = assignment.node_count();
         assert!(v.index() < n, "node out of range");
-        let s = map.source_count();
-        let know = assignment.initial_knowledge(v);
-        let mut have_count = vec![0usize; s];
-        for t in know.iter() {
-            have_count[map.source_index_of(t)] += 1;
-        }
-        MultiSourceNode {
-            id: v,
-            know,
-            have_count,
-            informed: vec![vec![false; n]; s],
-            known_complete: vec![vec![false; n]; s],
-            requests_arriving: Vec::new(),
-            requests_to_answer: Vec::new(),
-            edges: EdgeTracker::new(n),
-            in_flight: TokenSet::new(assignment.token_count()),
-            missing_scratch: Vec::new(),
-            map,
-        }
+        MultiSourceNode::with_knowledge(v, n, assignment.initial_knowledge(v), map)
     }
 
     /// Creates node `v` with an explicit knowledge set (used by phase 2 of
@@ -230,15 +209,12 @@ impl MultiSourceNode {
         }
         MultiSourceNode {
             id: v,
-            in_flight: TokenSet::new(know.universe()),
-            know,
+            core: DisseminationCore::with_knowledge(know),
             have_count,
-            informed: vec![vec![false; n]; s],
-            known_complete: vec![vec![false; n]; s],
+            ledgers: (0..s).map(|_| CompletenessLedger::new(n)).collect(),
             requests_arriving: Vec::new(),
             requests_to_answer: Vec::new(),
             edges: EdgeTracker::new(n),
-            missing_scratch: Vec::new(),
             map,
         }
     }
@@ -265,7 +241,7 @@ impl MultiSourceNode {
 
     /// Whether the node holds all `k` tokens.
     pub fn is_complete(&self) -> bool {
-        self.know.is_full()
+        self.core.is_complete()
     }
 
     /// Task 1: per edge, announce completeness for the minimum source the
@@ -273,9 +249,9 @@ impl MultiSourceNode {
     fn send_announcements(&mut self, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
         for &u in neighbors {
             for idx in 0..self.map.source_count() {
-                if self.complete_wrt(idx) && !self.informed[idx][u.index()] {
+                if self.complete_wrt(idx) && self.ledgers[idx].needs_inform(u) {
                     out.send(u, MsMsg::Completeness(self.map.sources()[idx]));
-                    self.informed[idx][u.index()] = true;
+                    self.ledgers[idx].mark_informed(u);
                     break; // one announcement per edge per round
                 }
             }
@@ -286,7 +262,7 @@ impl MultiSourceNode {
     /// the token).
     fn send_answers(&mut self, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
         for &(u, t) in &self.requests_to_answer {
-            if neighbors.binary_search(&u).is_ok() && self.know.contains(t) {
+            if neighbors.binary_search(&u).is_ok() && self.core.known_tokens().contains(t) {
                 out.send(u, MsMsg::Token(t));
             }
         }
@@ -298,43 +274,32 @@ impl MultiSourceNode {
     fn send_requests(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
         // "Pick the minimum x such that x ∉ I_v and S_v(x) ≠ ∅."
         let Some(active) = (0..self.map.source_count())
-            .find(|&idx| !self.complete_wrt(idx) && self.known_complete[idx].iter().any(|&b| b))
+            .find(|&idx| !self.complete_wrt(idx) && self.ledgers[idx].any_peer_complete())
         else {
             return;
         };
-        let mut missing = std::mem::take(&mut self.missing_scratch);
-        missing.clear();
-        missing.extend(
-            self.map
-                .tokens_of(active)
-                .iter()
-                .copied()
-                .filter(|&t| !self.know.contains(t) && !self.in_flight.contains(t)),
-        );
-        let mut next = 0usize;
-        if !missing.is_empty() {
+        // One assignment pass restricted to the active source's tokens.
+        self.core.refill_from(self.map.tokens_of(active));
+        if self.core.has_assignable() {
             'outer: for category in [
                 EdgeCategory::New,
                 EdgeCategory::Idle,
                 EdgeCategory::Contributive,
             ] {
                 for &u in neighbors {
-                    if next == missing.len() {
+                    if !self.core.has_assignable() {
                         break 'outer;
                     }
-                    if self.known_complete[active][u.index()]
+                    if self.ledgers[active].peer_complete(u)
                         && self.edges.classify(u, round) == category
                     {
-                        let t = missing[next];
-                        next += 1;
+                        let t = self.core.assign_next().expect("has_assignable");
                         out.send(u, MsMsg::Request(t));
                         self.edges.push_pending(u, t);
-                        self.in_flight.insert(t);
                     }
                 }
             }
         }
-        self.missing_scratch = missing;
     }
 }
 
@@ -342,7 +307,8 @@ impl UnicastProtocol for MultiSourceNode {
     type Msg = MsMsg;
 
     fn send(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<MsMsg>) {
-        self.edges.refresh(round, neighbors, &mut self.in_flight);
+        self.edges
+            .refresh(round, neighbors, self.core.in_flight_mut());
         // The three tasks run in parallel (Section 3.2.1); a node may send
         // an announcement, a token, and a request over the same edge in the
         // same round — they are separate messages and metered separately.
@@ -361,18 +327,18 @@ impl UnicastProtocol for MultiSourceNode {
                     .sources()
                     .binary_search(x)
                     .expect("announced source must be a source");
-                self.known_complete[idx][from.index()] = true;
+                self.ledgers[idx].note_peer_complete(from);
             }
             MsMsg::Request(t) => {
                 self.requests_arriving.push((from, *t));
             }
             MsMsg::Token(t) => {
-                if self.know.insert(*t) {
+                if self.core.accept_token(*t) {
                     self.have_count[self.map.source_index_of(*t)] += 1;
                 }
                 self.edges.note_token(from);
                 if self.edges.retire_pending(from, *t) {
-                    self.in_flight.remove(*t);
+                    self.core.release(*t);
                 }
             }
         }
@@ -383,12 +349,13 @@ impl UnicastProtocol for MultiSourceNode {
         std::mem::swap(&mut self.requests_to_answer, &mut self.requests_arriving);
         self.requests_arriving.clear();
         if self.is_complete() {
-            self.edges.clear_all_pending(&mut self.in_flight);
+            let MultiSourceNode { edges, core, .. } = self;
+            edges.clear_all_pending(core.in_flight_mut());
         }
     }
 
     fn known_tokens(&self) -> &TokenSet {
-        &self.know
+        self.core.known_tokens()
     }
 }
 

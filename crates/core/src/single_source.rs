@@ -19,6 +19,7 @@
 //! Theorem 3.4: on 3-edge-stable dynamic graphs it terminates in `O(nk)`
 //! rounds.
 
+use crate::dissemination::{CompletenessLedger, DisseminationCore};
 use crate::edge_history::{EdgeCategory, EdgeTracker};
 use dynspread_graph::{NodeId, Round};
 use dynspread_sim::message::{MessageClass, MessagePayload};
@@ -95,23 +96,18 @@ pub enum RequestPolicy {
 pub struct SingleSourceNode {
     policy: RequestPolicy,
     id: NodeId,
-    know: TokenSet,
-    /// `R_v`: nodes already informed of our completeness.
-    informed: Vec<bool>,
-    /// `S_v`: nodes that announced completeness to us.
-    known_complete: Vec<bool>,
+    /// Transport-agnostic decision state: `K_v`, the in-flight request
+    /// set, and the distinct-missing-token assigner (shared with the
+    /// asynchronous port in `dynspread-runtime`).
+    core: DisseminationCore,
+    /// `R_v` / `S_v` completeness bookkeeping.
+    ledger: CompletenessLedger,
     /// Requests received this round (answered next round).
     requests_arriving: Vec<(NodeId, TokenId)>,
     /// Requests received last round (answered this round).
     requests_to_answer: Vec<(NodeId, TokenId)>,
     /// Local edge histories and outstanding-request queues.
     edges: EdgeTracker,
-    /// Tokens with an outstanding (live) request on some edge.
-    in_flight: TokenSet,
-    /// Reusable per-round buffer of requestable missing tokens — filled and
-    /// drained inside [`UnicastProtocol::send`], kept to avoid a per-round
-    /// allocation (the ROADMAP's allocation-audit item).
-    missing_scratch: Vec<TokenId>,
     /// Cumulative requests sent per edge category (indexed new/idle/
     /// contributive) — instrumentation for the futile-round analysis
     /// (Definition 3.3, Lemmas 3.2/3.3).
@@ -146,18 +142,14 @@ impl SingleSourceNode {
     pub fn with_policy(v: NodeId, assignment: &TokenAssignment, policy: RequestPolicy) -> Self {
         let n = assignment.node_count();
         assert!(v.index() < n, "node out of range");
-        let k = assignment.token_count();
         SingleSourceNode {
             policy,
             id: v,
-            know: assignment.initial_knowledge(v),
-            informed: vec![false; n],
-            known_complete: vec![false; n],
+            core: DisseminationCore::from_assignment(v, assignment),
+            ledger: CompletenessLedger::new(n),
             requests_arriving: Vec::new(),
             requests_to_answer: Vec::new(),
             edges: EdgeTracker::new(n),
-            in_flight: TokenSet::new(k),
-            missing_scratch: Vec::new(),
             requests_by_category: [0; 3],
         }
     }
@@ -171,7 +163,7 @@ impl SingleSourceNode {
 
     /// Whether this node is complete (Definition 3.1).
     pub fn is_complete(&self) -> bool {
-        self.know.is_full()
+        self.core.is_complete()
     }
 
     /// This node's ID.
@@ -181,11 +173,7 @@ impl SingleSourceNode {
 
     /// The nodes that have announced completeness to this node (`S_v`).
     pub fn known_complete_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.known_complete
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| NodeId::new(i as u32))
+        self.ledger.complete_peers()
     }
 
     /// Classifies the edge to current neighbor `u` in round `round`.
@@ -206,12 +194,12 @@ impl SingleSourceNode {
     /// first — Algorithm 1 lines 1–6).
     fn send_complete(&mut self, neighbors: &[NodeId], out: &mut Outbox<SsMsg>) {
         // Disjoint field borrows: `requests_to_answer` is only read while
-        // `informed` is written, so no buffer needs to be taken (and thus
+        // the ledger is written, so no buffer needs to be taken (and thus
         // dropped) per round.
         for &u in neighbors {
-            if !self.informed[u.index()] {
+            if self.ledger.needs_inform(u) {
                 out.send(u, SsMsg::Completeness);
-                self.informed[u.index()] = true;
+                self.ledger.mark_informed(u);
             } else if let Some(&(_, t)) = self.requests_to_answer.iter().find(|(w, _)| *w == u) {
                 out.send(u, SsMsg::Token(t));
             }
@@ -225,12 +213,10 @@ impl SingleSourceNode {
     /// eligible edges, new first, then idle, then contributive
     /// (Algorithm 1 lines 7–20).
     fn send_incomplete(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<SsMsg>) {
-        let mut missing = std::mem::take(&mut self.missing_scratch);
-        missing.clear();
-        missing.extend(self.know.missing().filter(|&t| !self.in_flight.contains(t)));
-        // Next unassigned missing token (tokens are consumed front to back).
-        let mut next = 0usize;
-        if !missing.is_empty() {
+        // One assignment pass over the requestable tokens, consumed front
+        // to back across the category sweeps.
+        self.core.refill();
+        if self.core.has_assignable() {
             // One pass per category (a single pass in ID order for the
             // unprioritized ablation — modeled as every category matching).
             let passes: &[Option<EdgeCategory>] = match self.policy {
@@ -243,10 +229,10 @@ impl SingleSourceNode {
             };
             'outer: for &category in passes {
                 for &u in neighbors {
-                    if next == missing.len() {
+                    if !self.core.has_assignable() {
                         break 'outer;
                     }
-                    if !self.known_complete[u.index()] {
+                    if !self.ledger.peer_complete(u) {
                         continue;
                     }
                     if let Some(c) = category {
@@ -254,16 +240,13 @@ impl SingleSourceNode {
                             continue;
                         }
                     }
-                    let t = missing[next];
-                    next += 1;
+                    let t = self.core.assign_next().expect("has_assignable");
                     out.send(u, SsMsg::Request(t));
                     self.edges.push_pending(u, t);
-                    self.in_flight.insert(t);
                     self.requests_by_category[category_index(self.edges.classify(u, round))] += 1;
                 }
             }
         }
-        self.missing_scratch = missing;
     }
 }
 
@@ -271,7 +254,8 @@ impl UnicastProtocol for SingleSourceNode {
     type Msg = SsMsg;
 
     fn send(&mut self, round: Round, neighbors: &[NodeId], out: &mut Outbox<SsMsg>) {
-        self.edges.refresh(round, neighbors, &mut self.in_flight);
+        self.edges
+            .refresh(round, neighbors, self.core.in_flight_mut());
         if self.is_complete() {
             self.send_complete(neighbors, out);
         } else {
@@ -282,16 +266,16 @@ impl UnicastProtocol for SingleSourceNode {
     fn receive(&mut self, _round: Round, from: NodeId, msg: &SsMsg) {
         match msg {
             SsMsg::Completeness => {
-                self.known_complete[from.index()] = true;
+                self.ledger.note_peer_complete(from);
             }
             SsMsg::Request(t) => {
                 self.requests_arriving.push((from, *t));
             }
             SsMsg::Token(t) => {
-                self.know.insert(*t);
+                self.core.accept_token(*t);
                 self.edges.note_token(from);
                 if self.edges.retire_pending(from, *t) {
-                    self.in_flight.remove(*t);
+                    self.core.release(*t);
                 }
             }
         }
@@ -304,12 +288,13 @@ impl UnicastProtocol for SingleSourceNode {
         if self.is_complete() {
             // A node that just completed stops requesting; clear the
             // bookkeeping of its incomplete phase.
-            self.edges.clear_all_pending(&mut self.in_flight);
+            let SingleSourceNode { edges, core, .. } = self;
+            edges.clear_all_pending(core.in_flight_mut());
         }
     }
 
     fn known_tokens(&self) -> &TokenSet {
-        &self.know
+        self.core.known_tokens()
     }
 }
 

@@ -29,10 +29,13 @@ use crate::link::LinkModel;
 use crate::mailbox::Mailbox;
 use dynspread_graph::adversary::Adversary;
 use dynspread_graph::{DynamicGraph, NodeId, Round};
+use dynspread_sim::message::MessageClass;
 use dynspread_sim::token::{TokenAssignment, TokenSet};
 use dynspread_sim::tracker::TokenTracker;
+use dynspread_sim::RunReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// What a node may do while handling an event.
 pub struct EventCtx<'a, M> {
@@ -306,6 +309,39 @@ where
             .unwrap_or(0)
     }
 
+    /// Summarizes the execution so far as a [`RunReport`], the common
+    /// currency of the experiment tables — so async grids tabulate next
+    /// to synchronous ones. Mapping: `rounds` = topology epochs,
+    /// `total_messages` = transmissions (Definition 1.1 charges sends;
+    /// dropped copies still cost), per-class counts are unavailable in
+    /// the payload-agnostic engine and stay 0, and
+    /// [`unroutable`](RunReport::unroutable) carries the sends dropped at
+    /// the source for lack of an edge — the counter the synchronous
+    /// engines can never set (they panic instead).
+    pub fn run_report(&self, algorithm: impl Into<Arc<str>>) -> RunReport {
+        RunReport {
+            algorithm: algorithm.into(),
+            adversary: Arc::from(self.adversary.name()),
+            n: self.nodes.len(),
+            k: self.tracker.as_ref().map_or(0, TokenTracker::token_count),
+            rounds: self.dg.round(),
+            completed: self
+                .tracker
+                .as_ref()
+                .is_some_and(TokenTracker::all_complete),
+            total_messages: self.transmissions,
+            unicast_messages: self.transmissions,
+            broadcast_messages: 0,
+            by_class: [0; MessageClass::ALL.len()],
+            topology: self.dg.meter(),
+            learnings: self
+                .tracker
+                .as_ref()
+                .map_or(0, TokenTracker::total_learnings),
+            unroutable: self.unroutable,
+        }
+    }
+
     /// Evolves the topology until it covers virtual time `t`.
     fn advance_epochs_to(&mut self, t: VirtualTime) {
         let target_round = t / self.ticks_per_round + 1;
@@ -494,6 +530,34 @@ mod tests {
         assert_eq!(report.copies_delivered, 3);
         assert_eq!(sim.node(NodeId::new(3)).received, 0, "no edge, no delivery");
         assert_eq!(sim.node(NodeId::new(0)).received, 1);
+    }
+
+    #[test]
+    fn run_report_carries_the_unroutable_counter() {
+        let nodes = vec![
+            BlindSender {
+                target: NodeId::new(2),
+                received: 0,
+            },
+            BlindSender {
+                target: NodeId::new(0),
+                received: 0,
+            },
+            BlindSender {
+                target: NodeId::new(1),
+                received: 0,
+            },
+        ];
+        let adversary = StaticAdversary::new(Graph::path(3));
+        let mut sim = EventSim::new(nodes, adversary, PerfectLink, 1, 3);
+        let event_report = sim.run(100);
+        let report = sim.run_report("blind");
+        assert_eq!(report.unroutable, 1, "0→2 has no edge on the path");
+        assert_eq!(report.unroutable, event_report.unroutable);
+        assert_eq!(report.total_messages, event_report.transmissions);
+        assert_eq!(&*report.algorithm, "blind");
+        assert!(!report.completed, "no tracking ⇒ never reported complete");
+        assert!(report.to_string().contains("1 unroutable"));
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //!   topology keeps evolving underneath every `ticks_per_round` ticks.
 //!   This is the asynchronous counterpart of the paper's model — rounds
 //!   become an emergent property of latency, not a primitive.
+//! * **Asynchronous protocol ports** ([`protocol::AsyncSingleSource`],
+//!   [`protocol::AsyncMultiSource`]) run the paper's dissemination
+//!   algorithms *natively* on the event engine: the same transport-agnostic
+//!   decision core as the round-based nodes, plus explicit per-neighbor
+//!   retransmission, ack/dedup state, and adaptive backoff — so they reach
+//!   full dissemination over lossy/jittery links where the round protocols
+//!   would deadlock, and agree with the synchronous references wherever the
+//!   models coincide (see `tests/async_conformance.rs` and
+//!   `crates/runtime/README.md` for the conformance contract).
 //!
 //! # How the event model relates to the paper's rounds
 //!
@@ -85,10 +94,12 @@ pub mod engine;
 pub mod event;
 pub mod link;
 pub mod mailbox;
+pub mod protocol;
 pub mod sync;
 
 pub use engine::{EventCtx, EventProtocol, EventReport, EventSim, StopReason};
 pub use event::{EventQueue, VirtualTime};
-pub use link::{LinkModel, LinkModelExt, PerfectLink};
+pub use link::{DropLink, LinkModel, LinkModelExt, PerfectLink};
 pub use mailbox::{Envelope, Mailbox};
+pub use protocol::{AsyncConfig, AsyncMultiSource, AsyncSingleSource};
 pub use sync::{BroadcastSynchronizer, UnicastSynchronizer};

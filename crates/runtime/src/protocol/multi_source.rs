@@ -1,0 +1,323 @@
+//! The asynchronous port of Multi-Source-Unicast (Section 3.2.1).
+//!
+//! Same decisions as [`MultiSourceNode`](dynspread_core::multi_source::MultiSourceNode)
+//! — per-source completeness announcements (minimum source first), token
+//! service for any held token, and request traffic focused on the minimum
+//! incomplete source with a known-complete peer — carried by the same
+//! retransmission machinery as [`AsyncSingleSource`](super::AsyncSingleSource):
+//! per-source acked announcements, per-neighbor request windows, probes,
+//! and an adaptive-backoff heartbeat.
+
+use super::{AsyncConfig, RequestWindow, Retransmitter};
+use crate::engine::{EventCtx, EventProtocol};
+use dynspread_core::dissemination::{CompletenessLedger, DisseminationCore};
+use dynspread_core::multi_source::SourceMap;
+use dynspread_graph::NodeId;
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+use std::sync::Arc;
+
+/// Messages of the asynchronous multi-source port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsyncMsMsg {
+    /// "What are you complete with respect to?" — discovery pull.
+    Probe,
+    /// "I am complete w.r.t. source `x`" — retransmitted until
+    /// acknowledged per source.
+    Completeness(NodeId),
+    /// Acknowledges a `Completeness(x)` announcement.
+    Ack(NodeId),
+    /// "Please send me token `t`".
+    Request(TokenId),
+    /// The requested token.
+    Token(TokenId),
+}
+
+/// Per-node state of the asynchronous Multi-Source-Unicast port.
+///
+/// ```
+/// use dynspread_graph::{oblivious::StaticAdversary, Graph};
+/// use dynspread_runtime::engine::{EventSim, StopReason};
+/// use dynspread_runtime::link::{LinkModelExt, PerfectLink};
+/// use dynspread_runtime::protocol::{AsyncConfig, AsyncMultiSource};
+/// use dynspread_sim::token::TokenAssignment;
+///
+/// let assignment = TokenAssignment::round_robin_sources(5, 4, 2);
+/// let (nodes, _map) = AsyncMultiSource::nodes(&assignment, AsyncConfig::default());
+/// let mut sim = EventSim::with_tracking(
+///     nodes,
+///     StaticAdversary::new(Graph::cycle(5)),
+///     PerfectLink.lossy(0.2),
+///     4,
+///     11,
+///     &assignment,
+/// );
+/// assert_eq!(sim.run(100_000).stopped, StopReason::Complete);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsyncMultiSource {
+    id: NodeId,
+    map: Arc<SourceMap>,
+    /// Shared transport-agnostic decision state.
+    core: DisseminationCore,
+    /// Per source: how many of its tokens we hold.
+    have_count: Vec<usize>,
+    /// Per source `x`: `R_v(x)` (ack state) / `S_v(x)`.
+    ledgers: Vec<CompletenessLedger>,
+    /// One outstanding request per neighbor.
+    window: RequestWindow,
+    /// Heartbeat pacing with adaptive backoff.
+    pacer: Retransmitter,
+}
+
+impl AsyncMultiSource {
+    /// Creates node `v` with initial knowledge from `assignment` and the
+    /// shared source map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the configuration is invalid.
+    pub fn new(
+        v: NodeId,
+        assignment: &TokenAssignment,
+        map: Arc<SourceMap>,
+        cfg: AsyncConfig,
+    ) -> Self {
+        let n = assignment.node_count();
+        assert!(v.index() < n, "node out of range");
+        let s = map.source_count();
+        let core = DisseminationCore::from_assignment(v, assignment);
+        let mut have_count = vec![0usize; s];
+        for t in core.known_tokens().iter() {
+            have_count[map.source_index_of(t)] += 1;
+        }
+        AsyncMultiSource {
+            id: v,
+            core,
+            have_count,
+            ledgers: (0..s).map(|_| CompletenessLedger::new(n)).collect(),
+            window: RequestWindow::new(n),
+            pacer: Retransmitter::new(cfg),
+            map,
+        }
+    }
+
+    /// Builds all `n` node protocols plus the shared [`SourceMap`].
+    pub fn nodes(
+        assignment: &TokenAssignment,
+        cfg: AsyncConfig,
+    ) -> (Vec<AsyncMultiSource>, Arc<SourceMap>) {
+        let map = Arc::new(SourceMap::from_assignment(assignment));
+        let nodes = NodeId::all(assignment.node_count())
+            .map(|v| AsyncMultiSource::new(v, assignment, Arc::clone(&map), cfg))
+            .collect();
+        (nodes, map)
+    }
+
+    /// This node's ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is complete w.r.t. the source with index `idx`.
+    pub fn complete_wrt(&self, idx: usize) -> bool {
+        self.have_count[idx] == self.map.tokens_of(idx).len()
+    }
+
+    /// Whether the node holds all `k` tokens.
+    pub fn is_complete(&self) -> bool {
+        self.core.is_complete()
+    }
+
+    /// The minimum incomplete source with a known-complete peer — the
+    /// request focus ("pick the minimum `x ∉ I_v` with `S_v(x) ≠ ∅`").
+    fn active_source(&self) -> Option<usize> {
+        (0..self.map.source_count())
+            .find(|&idx| !self.complete_wrt(idx) && self.ledgers[idx].any_peer_complete())
+    }
+
+    /// Opens a request toward `u` from the *current* assignment pass over
+    /// `active`'s tokens, if `u` serves that source and the window is
+    /// free. Callers must have refreshed the pass with
+    /// `core.refill_from(..)` since the last knowledge/in-flight change.
+    fn assign_to(&mut self, active: usize, u: NodeId, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        if self.window.outstanding(u).is_some() || !self.ledgers[active].peer_complete(u) {
+            return;
+        }
+        if let Some(t) = self.core.assign_next() {
+            ctx.send(u, AsyncMsMsg::Request(t));
+            self.window.open(u, t);
+        }
+    }
+
+    /// Message-triggered single request toward `u`: recomputes the active
+    /// source, refreshes the assignment pass (knowledge just changed),
+    /// and assigns one token.
+    fn try_request(&mut self, u: NodeId, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        if self.window.outstanding(u).is_some() {
+            return;
+        }
+        let Some(active) = self.active_source() else {
+            return;
+        };
+        self.core.refill_from(self.map.tokens_of(active));
+        self.assign_to(active, u, ctx);
+    }
+
+    /// Announces per-source completeness to `u`: the minimum unacked
+    /// complete-w.r.t. source, mirroring the round algorithm's
+    /// one-announcement-per-edge-per-round rule per heartbeat.
+    fn announce_to(&mut self, u: NodeId, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        for idx in 0..self.map.source_count() {
+            if self.complete_wrt(idx) && self.ledgers[idx].needs_inform(u) {
+                ctx.send(u, AsyncMsMsg::Completeness(self.map.sources()[idx]));
+                return;
+            }
+        }
+    }
+
+    /// Whether any current announcement work remains toward `u`.
+    fn owes_announcement(&self, u: NodeId) -> bool {
+        (0..self.map.source_count())
+            .any(|idx| self.complete_wrt(idx) && self.ledgers[idx].needs_inform(u))
+    }
+
+    /// Whether probing `u` could still teach us something: some source we
+    /// are incomplete for, with `u` not yet known complete for it.
+    fn worth_probing(&self, u: NodeId) -> bool {
+        (0..self.map.source_count())
+            .any(|idx| !self.complete_wrt(idx) && !self.ledgers[idx].peer_complete(u))
+    }
+}
+
+impl EventProtocol for AsyncMultiSource {
+    type Msg = AsyncMsMsg;
+
+    fn on_start(&mut self, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        for i in 0..ctx.neighbors().len() {
+            let u = ctx.neighbors()[i];
+            self.announce_to(u, ctx);
+            if !self.is_complete() {
+                ctx.send(u, AsyncMsMsg::Probe);
+            }
+        }
+        ctx.set_timer(self.pacer.current(), 0);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &AsyncMsMsg, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        match msg {
+            AsyncMsMsg::Probe => {
+                // Tell the prober everything we are complete about — one
+                // message per source, each O(log n) bits.
+                for idx in 0..self.map.source_count() {
+                    if self.complete_wrt(idx) {
+                        ctx.send(from, AsyncMsMsg::Completeness(self.map.sources()[idx]));
+                    }
+                }
+            }
+            AsyncMsMsg::Completeness(x) => {
+                let idx = self
+                    .map
+                    .sources()
+                    .binary_search(x)
+                    .expect("announced source must be a source");
+                if self.ledgers[idx].note_peer_complete(from) {
+                    self.pacer.note_progress();
+                }
+                ctx.send(from, AsyncMsMsg::Ack(*x));
+                if !self.is_complete() {
+                    self.try_request(from, ctx);
+                }
+            }
+            AsyncMsMsg::Ack(x) => {
+                let idx = self
+                    .map
+                    .sources()
+                    .binary_search(x)
+                    .expect("acked source must be a source");
+                if self.ledgers[idx].mark_informed(from) {
+                    self.pacer.note_progress();
+                }
+            }
+            AsyncMsMsg::Request(t) => {
+                // Serve any held token (the round algorithm answers from
+                // `K_v`, not from completeness).
+                if self.core.known_tokens().contains(*t) {
+                    ctx.send(from, AsyncMsMsg::Token(*t));
+                }
+            }
+            AsyncMsMsg::Token(t) => {
+                self.window.close(from, *t);
+                self.core.release(*t);
+                if self.core.accept_token(*t) {
+                    self.pacer.note_progress();
+                    let idx = self.map.source_index_of(*t);
+                    self.have_count[idx] += 1;
+                    if self.complete_wrt(idx) {
+                        // Newly complete w.r.t. this source: announce it.
+                        for i in 0..ctx.neighbors().len() {
+                            let u = ctx.neighbors()[i];
+                            if self.ledgers[idx].needs_inform(u) {
+                                ctx.send(u, AsyncMsMsg::Completeness(self.map.sources()[idx]));
+                            }
+                        }
+                    }
+                    if self.is_complete() {
+                        let core = &mut self.core;
+                        self.window.clear_all(|t| core.release(t));
+                    } else {
+                        self.try_request(from, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        // Announcement work runs regardless of overall completeness: a
+        // node can be complete w.r.t. its own source from the start.
+        for i in 0..ctx.neighbors().len() {
+            let u = ctx.neighbors()[i];
+            self.announce_to(u, ctx);
+        }
+        if !self.is_complete() {
+            let core = &mut self.core;
+            self.window
+                .sweep_stale(ctx.neighbors(), |t| core.release(t));
+            // One active source and one assignment pass for the whole
+            // heartbeat, mirroring the round protocol's per-round sweep
+            // instead of rebuilding the queue per neighbor.
+            let active = self.active_source();
+            if let Some(active) = active {
+                self.core.refill_from(self.map.tokens_of(active));
+            }
+            for i in 0..ctx.neighbors().len() {
+                let u = ctx.neighbors()[i];
+                if let Some(t) = self.window.outstanding(u) {
+                    if self.core.known_tokens().contains(t) {
+                        self.window.close(u, t);
+                        self.core.release(t);
+                    } else {
+                        ctx.send(u, AsyncMsMsg::Request(t));
+                        continue;
+                    }
+                }
+                if let Some(active) = active {
+                    self.assign_to(active, u, ctx);
+                }
+                if self.window.outstanding(u).is_none() && self.worth_probing(u) {
+                    ctx.send(u, AsyncMsMsg::Probe);
+                }
+            }
+            ctx.set_timer(self.pacer.next_delay(), 0);
+        } else {
+            let any_unacked = ctx.neighbors().iter().any(|&u| self.owes_announcement(u));
+            if any_unacked {
+                ctx.set_timer(self.pacer.next_delay(), 0);
+            }
+        }
+    }
+
+    fn known_tokens(&self) -> Option<&TokenSet> {
+        Some(self.core.known_tokens())
+    }
+}

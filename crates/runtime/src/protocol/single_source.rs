@@ -1,0 +1,286 @@
+//! The asynchronous port of Algorithm 1 (Single-Source-Unicast).
+//!
+//! Same decisions as [`SingleSourceNode`](dynspread_core::single_source::SingleSourceNode)
+//! — only complete nodes serve tokens, incomplete nodes request distinct
+//! missing tokens from peers that announced completeness — but the round
+//! structure is replaced by event-driven reactions plus a retransmission
+//! heartbeat, so the protocol stays live when the link drops, delays,
+//! duplicates, or reorders messages:
+//!
+//! * receiving a (new) completeness announcement immediately opens a
+//!   request toward the announcer; receiving a requested token
+//!   immediately requests the next missing one from the same peer
+//!   (request pipelining, window 1 per neighbor);
+//! * every heartbeat re-sends the still-open request windows, assigns
+//!   fresh requests to idle known-complete neighbors, probes unknown
+//!   neighbors, and (once complete) re-announces to unacked neighbors;
+//! * all state is monotone or idempotent — duplicate deliveries are
+//!   absorbed, never double-applied.
+
+use super::{AsyncConfig, RequestWindow, Retransmitter};
+use crate::engine::{EventCtx, EventProtocol};
+use dynspread_core::dissemination::{CompletenessLedger, DisseminationCore};
+use dynspread_graph::NodeId;
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+
+/// Messages of the asynchronous single-source port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsyncSsMsg {
+    /// "Are you complete?" — pull-based discovery from incomplete nodes.
+    Probe,
+    /// "I am complete" — retransmitted until acknowledged.
+    Completeness,
+    /// Acknowledges a completeness announcement.
+    Ack,
+    /// "Please send me token `t`" — retransmitted until the token lands.
+    Request(TokenId),
+    /// The requested token.
+    Token(TokenId),
+}
+
+/// Per-node state of the asynchronous Single-Source-Unicast port.
+///
+/// Run under [`EventSim`](crate::engine::EventSim), typically with
+/// tracking so the run stops at full dissemination:
+///
+/// ```
+/// use dynspread_graph::{oblivious::StaticAdversary, Graph, NodeId};
+/// use dynspread_runtime::engine::{EventSim, StopReason};
+/// use dynspread_runtime::link::{LinkModelExt, PerfectLink};
+/// use dynspread_runtime::protocol::{AsyncConfig, AsyncSingleSource};
+/// use dynspread_sim::token::TokenAssignment;
+///
+/// let assignment = TokenAssignment::single_source(4, 3, NodeId::new(0));
+/// let nodes = AsyncSingleSource::nodes(&assignment, AsyncConfig::default());
+/// let link = PerfectLink.lossy(0.3).with_jitter(2); // would stall Algorithm 1
+/// let mut sim = EventSim::with_tracking(
+///     nodes,
+///     StaticAdversary::new(Graph::path(4)),
+///     link,
+///     4,
+///     7,
+///     &assignment,
+/// );
+/// let report = sim.run(100_000);
+/// assert_eq!(report.stopped, StopReason::Complete);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsyncSingleSource {
+    id: NodeId,
+    /// Shared transport-agnostic decision state (same type the
+    /// round-based node uses).
+    core: DisseminationCore,
+    /// `R_v` (ack state) / `S_v` bookkeeping.
+    ledger: CompletenessLedger,
+    /// One outstanding request per neighbor, re-sent until answered.
+    window: RequestWindow,
+    /// Heartbeat pacing with adaptive backoff.
+    pacer: Retransmitter,
+    /// Timer-driven re-sends of still-open request windows.
+    retransmitted_requests: u64,
+    /// Token deliveries that were already known (loss-free runs keep this
+    /// at 0 only when nothing is duplicated or re-requested).
+    duplicate_tokens: u64,
+}
+
+impl AsyncSingleSource {
+    /// Creates the node `v` with its initial knowledge from `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the configuration is invalid.
+    pub fn new(v: NodeId, assignment: &TokenAssignment, cfg: AsyncConfig) -> Self {
+        let n = assignment.node_count();
+        assert!(v.index() < n, "node out of range");
+        AsyncSingleSource {
+            id: v,
+            core: DisseminationCore::from_assignment(v, assignment),
+            ledger: CompletenessLedger::new(n),
+            window: RequestWindow::new(n),
+            pacer: Retransmitter::new(cfg),
+            retransmitted_requests: 0,
+            duplicate_tokens: 0,
+        }
+    }
+
+    /// Builds the full vector of per-node protocols for an assignment.
+    pub fn nodes(assignment: &TokenAssignment, cfg: AsyncConfig) -> Vec<AsyncSingleSource> {
+        NodeId::all(assignment.node_count())
+            .map(|v| AsyncSingleSource::new(v, assignment, cfg))
+            .collect()
+    }
+
+    /// This node's ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node is complete (Definition 3.1).
+    pub fn is_complete(&self) -> bool {
+        self.core.is_complete()
+    }
+
+    /// Peers that acknowledged our completeness announcement — monotone
+    /// over the execution.
+    pub fn acked_peers(&self) -> usize {
+        self.ledger.informed_count()
+    }
+
+    /// Timer-driven request re-sends so far.
+    pub fn retransmitted_requests(&self) -> u64 {
+        self.retransmitted_requests
+    }
+
+    /// Token deliveries that were duplicates (already applied).
+    pub fn duplicate_tokens(&self) -> u64 {
+        self.duplicate_tokens
+    }
+
+    /// Opens a request toward `u` from the *current* assignment pass, if
+    /// the window to `u` is free and the pass has tokens left. Callers
+    /// must have refreshed the pass with `core.refill()` since the last
+    /// knowledge or in-flight change.
+    fn assign_to(&mut self, u: NodeId, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        if self.window.outstanding(u).is_some() {
+            return;
+        }
+        if let Some(t) = self.core.assign_next() {
+            ctx.send(u, AsyncSsMsg::Request(t));
+            self.window.open(u, t);
+        }
+    }
+
+    /// Message-triggered single request toward `u`: refreshes the
+    /// assignment pass (knowledge just changed) and assigns one token.
+    fn try_request(&mut self, u: NodeId, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        if self.window.outstanding(u).is_some() {
+            return;
+        }
+        self.core.refill();
+        self.assign_to(u, ctx);
+    }
+
+    /// Announces completeness to every current neighbor (on becoming
+    /// complete; re-sends happen on the heartbeat until acked).
+    fn announce_everywhere(&mut self, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        for i in 0..ctx.neighbors().len() {
+            let u = ctx.neighbors()[i];
+            if self.ledger.needs_inform(u) {
+                ctx.send(u, AsyncSsMsg::Completeness);
+            }
+        }
+    }
+}
+
+impl EventProtocol for AsyncSingleSource {
+    type Msg = AsyncSsMsg;
+
+    fn on_start(&mut self, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        if self.is_complete() {
+            self.announce_everywhere(ctx);
+        } else {
+            ctx.broadcast(&AsyncSsMsg::Probe);
+        }
+        ctx.set_timer(self.pacer.current(), 0);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &AsyncSsMsg, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        match msg {
+            AsyncSsMsg::Probe => {
+                if self.is_complete() {
+                    ctx.send(from, AsyncSsMsg::Completeness);
+                }
+            }
+            AsyncSsMsg::Completeness => {
+                if self.ledger.note_peer_complete(from) {
+                    self.pacer.note_progress();
+                }
+                ctx.send(from, AsyncSsMsg::Ack);
+                if !self.is_complete() {
+                    self.try_request(from, ctx);
+                }
+            }
+            AsyncSsMsg::Ack => {
+                if self.ledger.mark_informed(from) {
+                    self.pacer.note_progress();
+                }
+            }
+            AsyncSsMsg::Request(t) => {
+                // Only complete nodes are ever asked (announcing is how a
+                // node becomes a target), and completeness is monotone —
+                // but a reordered probe answer can race, so check.
+                if self.core.known_tokens().contains(*t) {
+                    ctx.send(from, AsyncSsMsg::Token(*t));
+                }
+            }
+            AsyncSsMsg::Token(t) => {
+                self.window.close(from, *t);
+                self.core.release(*t);
+                if self.core.accept_token(*t) {
+                    self.pacer.note_progress();
+                    if self.is_complete() {
+                        // Incomplete-phase bookkeeping is over; announce.
+                        let core = &mut self.core;
+                        self.window.clear_all(|t| core.release(t));
+                        self.announce_everywhere(ctx);
+                    } else {
+                        // Pipeline: keep this channel busy with the next
+                        // missing token.
+                        self.try_request(from, ctx);
+                    }
+                } else {
+                    self.duplicate_tokens += 1;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        if !self.is_complete() {
+            // Windows to churned-away neighbors die; their tokens become
+            // assignable on live channels again.
+            let core = &mut self.core;
+            self.window
+                .sweep_stale(ctx.neighbors(), |t| core.release(t));
+            // One assignment pass for the whole heartbeat (tokens released
+            // mid-loop become assignable on the next one), mirroring the
+            // round protocol's one-pass-per-round discipline instead of
+            // rebuilding the missing-token queue per neighbor.
+            self.core.refill();
+            for i in 0..ctx.neighbors().len() {
+                let u = ctx.neighbors()[i];
+                if let Some(t) = self.window.outstanding(u) {
+                    // A duplicate delivery may have satisfied the request
+                    // through another channel; otherwise retransmit.
+                    if self.core.known_tokens().contains(t) {
+                        self.window.close(u, t);
+                        self.core.release(t);
+                    } else {
+                        ctx.send(u, AsyncSsMsg::Request(t));
+                        self.retransmitted_requests += 1;
+                        continue;
+                    }
+                }
+                if self.ledger.peer_complete(u) {
+                    self.assign_to(u, ctx);
+                } else {
+                    ctx.send(u, AsyncSsMsg::Probe);
+                }
+            }
+            ctx.set_timer(self.pacer.next_delay(), 0);
+        } else {
+            self.announce_everywhere(ctx);
+            let any_unacked = ctx.neighbors().iter().any(|&u| self.ledger.needs_inform(u));
+            if any_unacked {
+                // Keep pushing until every current neighbor acked; once
+                // they all have, go quiet — probes re-awaken us if the
+                // adversary brings new incomplete neighbors.
+                ctx.set_timer(self.pacer.next_delay(), 0);
+            }
+        }
+    }
+
+    fn known_tokens(&self) -> Option<&TokenSet> {
+        Some(self.core.known_tokens())
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests of the async ports' retransmission invariants:
+//!
+//! * **No token is ever un-received** — a node's knowledge is monotone:
+//!   random operation sequences on the shared `DisseminationCore` never
+//!   shrink it, and full executions never record a duplicate or
+//!   out-of-order learning.
+//! * **Dedup means at-most-once application** — under arbitrary loss,
+//!   duplication, and jitter the tracker observes *exactly* `k(n−1)`
+//!   learnings: every duplicate delivery (link-level or
+//!   retransmission-level) is absorbed.
+//! * **Ack state is monotone** — `R_v` (the acked-announcement set) and
+//!   `S_v` only ever grow, and the backoff pacer's delays stay within
+//!   `[base, max]`, doubling without progress and resetting with it.
+
+use dynspread_core::dissemination::{CompletenessLedger, DisseminationCore};
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_graph::NodeId;
+use dynspread_runtime::engine::{EventSim, StopReason};
+use dynspread_runtime::link::{LinkModelExt, PerfectLink};
+use dynspread_runtime::protocol::{AsyncConfig, AsyncSingleSource, Retransmitter};
+use dynspread_sim::token::{TokenAssignment, TokenId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// End-to-end at-most-once application: a lossy + duplicating +
+    /// jittery link delivers arbitrary copy multisets, yet the learning
+    /// log holds exactly one ⟨node, token⟩ entry per required learning,
+    /// in nondecreasing epoch order (knowledge never regresses).
+    #[test]
+    fn lossy_duplicating_runs_apply_each_token_at_most_once(
+        n in 3usize..12,
+        k in 1usize..8,
+        drop_centi in 0u64..50,
+        dup_centi in 0u64..40,
+        jitter in 0u64..3,
+        seed in 0u64..500,
+    ) {
+        let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+        let link = PerfectLink
+            .duplicating(dup_centi as f64 / 100.0)
+            .lossy(drop_centi as f64 / 100.0)
+            .with_jitter(jitter);
+        let mut sim = EventSim::with_tracking(
+            AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+            PeriodicRewiring::new(Topology::RandomTree, 3, seed),
+            link,
+            2,
+            seed ^ 0xFACE,
+            &assignment,
+        );
+        let report = sim.run(1_000_000);
+        prop_assert_eq!(report.stopped, StopReason::Complete, "{}", report);
+        prop_assert_eq!(report.learnings, (k * (n - 1)) as u64);
+        let tracker = sim.tracker().expect("tracking enabled");
+        let mut seen = BTreeSet::new();
+        let mut last_round = 0;
+        for l in tracker.log() {
+            prop_assert!(seen.insert((l.node, l.token)), "duplicate learning {:?}", l);
+            prop_assert!(l.round >= last_round, "learning log went backwards");
+            last_round = l.round;
+        }
+        // Dedup bookkeeping is consistent: every duplicate token delivery
+        // was counted, none was applied.
+        for v in NodeId::all(n) {
+            prop_assert!(tracker.knowledge(v).is_full());
+        }
+    }
+
+    /// Knowledge monotonicity of the shared decision core under random
+    /// accept/release/assign interleavings: the known set only grows, a
+    /// second application of the same token always reports `false`, and
+    /// one assignment pass never hands out the same token twice.
+    #[test]
+    fn core_knowledge_is_monotone_and_assignment_distinct(
+        k in 1usize..40,
+        ops in prop::collection::vec((0u8..4, 0u32..40), 1..120),
+    ) {
+        let assignment = TokenAssignment::single_source(2, k, NodeId::new(0));
+        let mut core = DisseminationCore::from_assignment(NodeId::new(1), &assignment);
+        let mut applied = BTreeSet::new();
+        let mut last_count = 0usize;
+        for (op, raw) in ops {
+            let t = TokenId::new(raw % k as u32);
+            match op {
+                0 => {
+                    let newly = core.accept_token(t);
+                    prop_assert_eq!(newly, applied.insert(t), "at-most-once violated");
+                }
+                1 => core.release(t),
+                2 => {
+                    core.refill();
+                    let mut pass = BTreeSet::new();
+                    while let Some(t) = core.assign_next() {
+                        prop_assert!(pass.insert(t), "pass assigned {} twice", t);
+                        prop_assert!(!applied.contains(&t), "requested a held token");
+                    }
+                }
+                _ => {
+                    // A lone assignment (async port's per-neighbor path).
+                    core.refill();
+                    if let Some(t) = core.assign_next() {
+                        prop_assert!(!applied.contains(&t));
+                    }
+                }
+            }
+            let count = core.known_tokens().count();
+            prop_assert!(count >= last_count, "knowledge shrank");
+            last_count = count;
+            prop_assert_eq!(count, applied.len());
+        }
+    }
+
+    /// Ack-state monotonicity: arbitrary interleavings of announcements
+    /// and acks only ever grow `S_v` and `R_v`; repeats are never news.
+    #[test]
+    fn ledger_ack_state_is_monotone(
+        n in 1usize..20,
+        ops in prop::collection::vec((prop::bool::ANY, 0u32..20), 1..100),
+    ) {
+        let mut ledger = CompletenessLedger::new(n);
+        let mut complete = BTreeSet::new();
+        let mut informed = BTreeSet::new();
+        for (is_ack, raw) in ops {
+            let u = NodeId::new(raw % n as u32);
+            if is_ack {
+                prop_assert_eq!(ledger.mark_informed(u), informed.insert(u));
+            } else {
+                prop_assert_eq!(ledger.note_peer_complete(u), complete.insert(u));
+            }
+            // Monotone: everything ever recorded is still recorded.
+            for &v in &complete {
+                prop_assert!(ledger.peer_complete(v));
+            }
+            prop_assert_eq!(ledger.informed_count(), informed.len());
+        }
+    }
+
+    /// Backoff pacing: delays stay within `[base, max]`, are nondecreasing
+    /// while no progress is noted, and snap back to `base` on progress.
+    #[test]
+    fn backoff_delays_are_bounded_and_reset_on_progress(
+        base in 1u64..8,
+        span in 0u64..6,
+        progress_at in prop::collection::vec(prop::bool::ANY, 1..40),
+    ) {
+        let max = base << span;
+        let mut pacer = Retransmitter::new(AsyncConfig {
+            base_interval: base,
+            max_interval: max,
+        });
+        let mut prev = base;
+        for made_progress in progress_at {
+            if made_progress {
+                pacer.note_progress();
+            }
+            let d = pacer.next_delay();
+            prop_assert!((base..=max).contains(&d), "delay {} outside [{}, {}]", d, base, max);
+            if made_progress {
+                prop_assert_eq!(d, base, "progress must reset the interval");
+            } else {
+                prop_assert!(d >= prev.min(max), "interval shrank without progress");
+            }
+            prev = d;
+        }
+    }
+}
+
+/// Deterministic end-to-end check of the ack-monotonicity claim: under a
+/// perfect link every node's acked-peer count only grows, and the run's
+/// retransmission counters stay zero (nothing to retransmit when nothing
+/// is lost and the cascade outruns every heartbeat).
+#[test]
+fn perfect_zero_latency_run_needs_no_retransmission() {
+    let (n, k) = (10, 6);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let mut sim = EventSim::with_tracking(
+        AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 9),
+        PerfectLink,
+        1,
+        4,
+        &assignment,
+    );
+    let report = sim.run(100_000);
+    assert_eq!(report.stopped, StopReason::Complete, "{report}");
+    assert_eq!(report.learnings, (k * (n - 1)) as u64);
+    for v in NodeId::all(n) {
+        let node = sim.node(v);
+        assert_eq!(
+            node.retransmitted_requests(),
+            0,
+            "{v}: zero-latency cascade completes before any heartbeat"
+        );
+        assert_eq!(node.duplicate_tokens(), 0, "{v}: nothing duplicates");
+        assert!(node.acked_peers() < n);
+        assert!(node.is_complete());
+    }
+}

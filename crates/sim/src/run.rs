@@ -43,6 +43,13 @@ pub struct RunReport {
     pub topology: TopologyMeter,
     /// Total token learnings observed.
     pub learnings: u64,
+    /// Sends dropped at the source because no edge to the target existed
+    /// when the send was made. Always 0 for the synchronous round engines
+    /// (they *panic* on a send to a non-neighbor); nonzero only for
+    /// executions summarized from the asynchronous event runtime, where
+    /// replying to a peer whose edge has churned away is a normal hazard,
+    /// not a protocol bug.
+    pub unroutable: u64,
 }
 
 impl RunReport {
@@ -76,6 +83,7 @@ impl RunReport {
             by_class,
             topology,
             learnings,
+            unroutable: 0,
         }
     }
 
@@ -125,6 +133,9 @@ impl std::fmt::Display for RunReport {
         )?;
         if self.k > 0 {
             write!(f, ", amortized {:.1}/token", self.amortized())?;
+        }
+        if self.unroutable > 0 {
+            write!(f, ", {} unroutable", self.unroutable)?;
         }
         writeln!(f)?;
         for c in MessageClass::ALL {
@@ -192,5 +203,14 @@ mod tests {
         assert!(s.contains("completed"));
         assert!(s.contains("TC(E) = 5"));
         assert!(s.contains("token"));
+    }
+
+    #[test]
+    fn unroutable_defaults_to_zero_and_shows_when_set() {
+        let mut r = sample_report();
+        assert_eq!(r.unroutable, 0, "sync engines never drop at the source");
+        assert!(!r.to_string().contains("unroutable"));
+        r.unroutable = 7;
+        assert!(r.to_string().contains("7 unroutable"));
     }
 }

@@ -21,7 +21,10 @@
 //!   clock, seeded event queue, per-node mailboxes, composable lossy /
 //!   latent link models, synchronizer adapters that run the round-based
 //!   protocols unchanged (byte-identical to [`sim`] under a perfect
-//!   link), and the asynchronous `EventProtocol` engine.
+//!   link), the asynchronous `EventProtocol` engine, and native async
+//!   ports of the dissemination algorithms with explicit retransmission
+//!   (`runtime::protocol`; conformance contract in
+//!   `crates/runtime/README.md`).
 //! * [`analysis`] — statistics, power-law fits, adversary-competitive
 //!   accounting (Definition 1.3), result tables.
 //!

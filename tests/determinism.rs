@@ -12,7 +12,11 @@ use dynspread::core::single_source::SingleSourceNode;
 use dynspread::graph::generators::Topology;
 use dynspread::graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewiring};
 use dynspread::graph::NodeId;
+use dynspread::runtime::engine::{EventSim, StopReason};
+use dynspread::runtime::link::{DropLink, LinkModelExt};
+use dynspread::runtime::protocol::{AsyncConfig, AsyncSingleSource};
 use dynspread::sim::{RunReport, SimConfig, TokenAssignment, UnicastSim};
+use dynspread_bench::{derive_seed, par_map};
 
 fn run_with<A>(seed: u64, adversary: impl FnOnce(u64) -> A) -> (RunReport, String)
 where
@@ -104,4 +108,49 @@ fn incremental_tracker_log_is_exact() {
     let per_round = sim.tracker().learnings_per_round();
     let from_log: u64 = per_round.iter().sum();
     assert_eq!(from_log, report.learnings);
+}
+
+/// One async lossy run, fingerprinted: full `EventReport` + the complete
+/// learning log (every ⟨v, τ, epoch⟩ event in order).
+fn async_fingerprint(n: usize, k: usize, drop_centi: u64, seed: u64) -> String {
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let mut sim = EventSim::with_tracking(
+        AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+        EdgeMarkovian::new(0.08, 0.2, 2, seed),
+        DropLink::new(drop_centi as f64 / 100.0).with_jitter(2),
+        2,
+        derive_seed(seed, 0xA51C),
+        &assignment,
+    );
+    let report = sim.run(2_000_000);
+    assert_eq!(report.stopped, StopReason::Complete, "{report}");
+    format!(
+        "{report:?} / {:?}",
+        sim.tracker().expect("tracking enabled").log()
+    )
+}
+
+/// The new async runs inherit the workspace determinism contract: a
+/// `par_map`-fanned seed grid produces byte-identical fingerprints to the
+/// same grid run serially, and same-seed cells agree across repetitions.
+#[test]
+fn async_par_map_grid_is_byte_identical_to_serial() {
+    let (n, k) = (10, 6);
+    let jobs: Vec<(u64, u64)> = [0u64, 20, 35]
+        .iter()
+        .flat_map(|&drop| (0..3u64).map(move |s| (drop, derive_seed(91, s))))
+        .collect();
+    let serial: Vec<String> = jobs
+        .iter()
+        .map(|&(drop, seed)| async_fingerprint(n, k, drop, seed))
+        .collect();
+    let parallel = par_map(jobs.clone(), |(drop, seed)| {
+        async_fingerprint(n, k, drop, seed)
+    });
+    assert_eq!(parallel, serial, "parallel grid diverged from serial");
+    // Replay: rerunning the grid reproduces it byte for byte.
+    let replay = par_map(jobs, |(drop, seed)| async_fingerprint(n, k, drop, seed));
+    assert_eq!(replay, serial);
+    // The grid is not degenerate: different seeds change the execution.
+    assert_ne!(serial[1], serial[2]);
 }

@@ -10,7 +10,10 @@ use dynspread::core::multi_source::MultiSourceNode;
 use dynspread::core::network_coding::RlncNode;
 use dynspread::core::single_source::SingleSourceNode;
 use dynspread::graph::oblivious::StaticAdversary;
-use dynspread::graph::{Graph, NodeId};
+use dynspread::graph::{Edge, Graph, NodeId};
+use dynspread::runtime::engine::{EventReport, EventSim, StopReason};
+use dynspread::runtime::link::{LinkModelExt, PerfectLink};
+use dynspread::runtime::protocol::{AsyncConfig, AsyncSingleSource};
 use dynspread::sim::message::MessageClass;
 use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
 
@@ -142,4 +145,93 @@ fn single_source_star_is_bounded_by_parallel_requests() {
     // rounds = k + 2.
     assert_eq!(report.rounds, (k + 2) as u64);
     assert_eq!(report.class(MessageClass::Token), ((n - 1) * k) as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous port (AsyncSingleSource) under a latency-1 perfect link.
+//
+// The completion chain of the async port is purely edge-triggered —
+// heartbeat timers only add retransmissions, which receiver-side dedup
+// absorbs without changing any knowledge timing — so virtual completion
+// times follow from the message chain alone:
+//
+// * a node one hop from a node that completed at time `c` receives the
+//   completeness announcement at `c + 1` (announced in the very event
+//   that completed the sender; 1 tick of latency);
+// * its first request arrives at `c + 2`, the first token at `c + 3`,
+//   and with a window of one outstanding request per neighbor each
+//   further token costs one 2-tick round trip (request pipelining fires
+//   the next request in the event that delivered a token);
+// * so it completes at `c + 1 + 2k`, giving `d(2k + 1)` at hop
+//   distance `d` from the source (the source "completed" at time 0).
+// ---------------------------------------------------------------------------
+
+/// Runs the async port on a static graph over `PerfectLink.with_latency(1)`.
+fn run_async_latency1(graph: Graph, k: usize) -> EventReport {
+    let a = TokenAssignment::single_source(graph.node_count(), k, NodeId::new(0));
+    let mut sim = EventSim::with_tracking(
+        AsyncSingleSource::nodes(&a, AsyncConfig::default()),
+        StaticAdversary::new(graph),
+        PerfectLink.with_latency(1),
+        1,
+        42,
+        &a,
+    );
+    let report = sim.run(100_000);
+    assert_eq!(report.stopped, StopReason::Complete, "{report}");
+    assert_eq!(report.unroutable, 0, "static graph: every send routable");
+    report
+}
+
+#[test]
+fn async_single_source_pair_completes_at_2k_plus_1() {
+    // t=0: source announces. t=1: node 1 acks + requests token 0.
+    // t=2: source answers. t=3: token 0 lands; the next request fires in
+    // the same event … token i lands at 3 + 2i → completion at 2k + 1.
+    for k in [1usize, 3, 5] {
+        let report = run_async_latency1(Graph::path(2), k);
+        assert_eq!(report.final_time, (2 * k + 1) as u64, "k={k}");
+        assert_eq!(report.learnings, k as u64);
+    }
+}
+
+#[test]
+fn async_single_source_star_completes_in_parallel() {
+    // Hub is the source: every leaf runs the pair schedule independently
+    // and in parallel, so completion is 2k + 1 regardless of n.
+    let (n, k) = (5, 2);
+    let report = run_async_latency1(Graph::star(n), k);
+    assert_eq!(report.final_time, (2 * k + 1) as u64);
+    assert_eq!(report.learnings, (k * (n - 1)) as u64);
+}
+
+#[test]
+fn async_single_source_path_pays_per_hop() {
+    // Hop d completes at d(2k + 1): each relay must finish before it
+    // announces, then its downstream neighbor pays its own 1 + 2k.
+    for (n, k) in [(3usize, 1usize), (4, 1), (3, 2)] {
+        let report = run_async_latency1(Graph::path(n), k);
+        assert_eq!(
+            report.final_time,
+            ((n - 1) * (2 * k + 1)) as u64,
+            "path n={n}, k={k}"
+        );
+        assert_eq!(report.learnings, (k * (n - 1)) as u64);
+    }
+}
+
+#[test]
+fn async_single_source_two_clique_bridge() {
+    // Triangles {0,1,2} and {3,4,5} joined by the bridge {2,3}; source 0.
+    // Hop distances: 1,2 → d=1; 3 → d=2; 4,5 → d=3. The farthest nodes
+    // finish last, at 3(2k + 1).
+    for k in [1usize, 2] {
+        let mut g = Graph::empty(6);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)] {
+            g.insert_edge(Edge::new(NodeId::new(u), NodeId::new(v)));
+        }
+        let report = run_async_latency1(g, k);
+        assert_eq!(report.final_time, (3 * (2 * k + 1)) as u64, "k={k}");
+        assert_eq!(report.learnings, (k * 5) as u64);
+    }
 }

@@ -4,9 +4,12 @@
 //! regress:
 //!
 //! * `advance_connectivity_*`: one round of `DynamicGraph` update +
-//!   connectivity at `n = 512` under the default 3-stable rewiring
-//!   workload, for the frozen seed baseline (`BTreeSet` + clone + fresh
-//!   union–find) and the live delta-applied data plane, plus the speedup.
+//!   connectivity under the default 3-stable rewiring workload, for the
+//!   frozen seed baseline (`BTreeSet` + clone + fresh union–find) and the
+//!   live delta-applied data plane, plus the speedup — at the historical
+//!   `n = 512` (top-level keys, kept stable for trajectory comparisons)
+//!   and at `n = 4096` (the `advance_connectivity_4096` block, guarding
+//!   the CSR scale path).
 //! * `flooding_ns_per_round` / `single_source_ns_per_round`: end-to-end
 //!   simulator cost per round at fixed `(n, k)`.
 //!
@@ -48,25 +51,35 @@ fn median_ns_with_setup<T>(
     times[times.len() / 2]
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_core.json".into());
-    let n = 512;
-    let rounds = 30;
+/// Per-round baseline/delta medians and the speedup for one round of
+/// `DynamicGraph` update + connectivity at a given `n`.
+fn advance_connectivity_cell(n: usize, rounds: usize, samples: usize) -> (f64, f64, f64) {
     let schedule = sample_schedule(n, rounds, 3, 42);
     let baseline_graphs = to_baseline_graphs(n, &schedule);
     let graphs = to_graphs(n, &schedule);
-
-    let baseline_total = median_ns(15, || run_baseline_schedule(n, &baseline_graphs));
+    let baseline_total = median_ns(samples, || run_baseline_schedule(n, &baseline_graphs));
     let delta_total = median_ns_with_setup(
-        15,
+        samples,
         || prepare_updates(&graphs),
         |updates| run_delta_schedule(n, updates),
     );
     let baseline_per_round = baseline_total / rounds as f64;
     let delta_per_round = delta_total / rounds as f64;
-    let speedup = baseline_per_round / delta_per_round;
+    (
+        baseline_per_round,
+        delta_per_round,
+        baseline_per_round / delta_per_round,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_core.json".into());
+    let n = 512;
+    let (baseline_per_round, delta_per_round, speedup) = advance_connectivity_cell(n, 30, 15);
+    let big_n = 4096;
+    let (big_baseline, big_delta, big_speedup) = advance_connectivity_cell(big_n, 30, 9);
 
     // End-to-end simulator cost per round at fixed sizes (completion
     // asserted so the measured work is the real dissemination). The runs
@@ -93,7 +106,7 @@ fn main() {
     let single_rounds = single_rounds.get();
 
     let json = format!(
-        "{{\n  \"advance_connectivity_n\": {n},\n  \"advance_connectivity_baseline_ns_per_round\": {baseline_per_round:.0},\n  \"advance_connectivity_delta_ns_per_round\": {delta_per_round:.0},\n  \"advance_connectivity_speedup\": {speedup:.2},\n  \"flooding\": {{\"n\": {fn_}, \"k\": {fk}, \"ns_per_round\": {:.0}, \"rounds\": {flood_rounds}}},\n  \"single_source\": {{\"n\": {sn}, \"k\": {sk}, \"ns_per_round\": {:.0}, \"rounds\": {single_rounds}}}\n}}\n",
+        "{{\n  \"advance_connectivity_n\": {n},\n  \"advance_connectivity_baseline_ns_per_round\": {baseline_per_round:.0},\n  \"advance_connectivity_delta_ns_per_round\": {delta_per_round:.0},\n  \"advance_connectivity_speedup\": {speedup:.2},\n  \"advance_connectivity_4096\": {{\"n\": {big_n}, \"baseline_ns_per_round\": {big_baseline:.0}, \"delta_ns_per_round\": {big_delta:.0}, \"speedup\": {big_speedup:.2}}},\n  \"flooding\": {{\"n\": {fn_}, \"k\": {fk}, \"ns_per_round\": {:.0}, \"rounds\": {flood_rounds}}},\n  \"single_source\": {{\"n\": {sn}, \"k\": {sk}, \"ns_per_round\": {:.0}, \"rounds\": {single_rounds}}}\n}}\n",
         flood / flood_rounds as f64,
         single / single_rounds as f64,
     );
@@ -102,7 +115,7 @@ fn main() {
     f.write_all(json.as_bytes()).expect("write BENCH_core.json");
     eprintln!("wrote {out_path}");
     assert!(
-        speedup >= 1.0,
+        speedup >= 1.0 && big_speedup >= 1.0,
         "delta data plane slower than the baseline it replaced"
     );
 }

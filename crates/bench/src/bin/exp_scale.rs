@@ -1,0 +1,179 @@
+//! `exp_scale` — the data plane at `n` in the thousands.
+//!
+//! The paper's bounds (`O(d·k)`, `O(n·k)` rounds) only become interesting
+//! to validate empirically well beyond the `n ≤ 512` the older grids run.
+//! This binary sweeps `n ∈ {1024, 2048, 4096, 8192}` over three protocol
+//! arms and records the per-unit costs the scale work optimizes:
+//!
+//! * **flooding** — phased flooding under `BroadcastSim` (the paper's
+//!   synchronous local-broadcast model);
+//! * **single-source** — Algorithm 1 under `UnicastSim` (synchronous
+//!   unicast);
+//! * **async-single-source** — the `AsyncSingleSource` event port under
+//!   `EventSim` with a latency-1 perfect link (the event engine's
+//!   calendar queue and zero-clone fan-out are on this path).
+//!
+//! Every cell is one seeded end-to-end run through `par_map` (parallel
+//! output is byte-identical to serial; `DYNSPREAD_THREADS=1` to check).
+//! Results go to `BENCH_runtime.json` — ns/round and ns/event at each
+//! `n` — alongside `BENCH_core.json`, so the perf trajectory has scale
+//! points. `crates/runtime/README.md` explains how to read the file.
+//!
+//! Usage:
+//!   `cargo run --release -p dynspread-bench --bin exp_scale [--smoke] [OUT.json]`
+//!
+//! `--smoke` runs only the smallest grid column (`n = 1024`) — the CI
+//! guard that keeps the scale path building and running on every PR.
+
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::{
+    default_adversary, derive_seed, par_map, run_phased_flooding, run_single_source,
+};
+use dynspread_graph::NodeId;
+use dynspread_runtime::engine::EventSim;
+use dynspread_runtime::link::{LinkModelExt, PerfectLink};
+use dynspread_runtime::protocol::{AsyncConfig, AsyncSingleSource};
+use dynspread_sim::token::TokenAssignment;
+use std::io::Write as _;
+use std::time::Instant;
+
+const PROTOCOLS: [&str; 3] = ["flooding", "single-source", "async-single-source"];
+
+struct Cell {
+    protocol: &'static str,
+    n: usize,
+    completed: bool,
+    /// Rounds for the synchronous arms, topology epochs for the async arm.
+    rounds: u64,
+    /// Unit of scheduler work: metered messages for the synchronous arms,
+    /// processed events (starts + deliveries + timers) for the async arm.
+    events: u64,
+    wall_ns: u64,
+}
+
+fn run_cell(protocol: &'static str, n: usize, k: usize, seed: u64) -> Cell {
+    let max_rounds = 500_000;
+    let start = Instant::now();
+    let (completed, rounds, events) = match protocol {
+        "flooding" => {
+            let a = TokenAssignment::single_source(n, k, NodeId::new(0));
+            let r = run_phased_flooding(&a, default_adversary(seed), max_rounds);
+            (r.completed, r.rounds, r.total_messages)
+        }
+        "single-source" => {
+            let r = run_single_source(n, k, default_adversary(seed), max_rounds);
+            (r.completed, r.rounds, r.total_messages)
+        }
+        "async-single-source" => {
+            let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+            let mut sim = EventSim::with_tracking(
+                AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+                default_adversary(seed),
+                PerfectLink.with_latency(1),
+                2,
+                derive_seed(seed, 0x5CA1E),
+                &assignment,
+            );
+            let report = sim.run(8 * max_rounds);
+            (
+                sim.tracker().expect("tracking enabled").all_complete(),
+                report.epochs,
+                report.events,
+            )
+        }
+        other => unreachable!("unknown protocol arm {other}"),
+    };
+    Cell {
+        protocol,
+        n,
+        completed,
+        rounds,
+        events,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_runtime.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let sizes: &[usize] = if smoke {
+        &[1024]
+    } else {
+        &[1024, 2048, 4096, 8192]
+    };
+    let k = 4;
+    let base_seed = 20_260_729u64;
+    println!(
+        "Scale grid: n ∈ {sizes:?} × {PROTOCOLS:?}, k = {k}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let jobs: Vec<(usize, &'static str, u64)> = sizes
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &n)| {
+            PROTOCOLS.iter().enumerate().map(move |(pi, &p)| {
+                (
+                    n,
+                    p,
+                    derive_seed(base_seed, (si * PROTOCOLS.len() + pi) as u64),
+                )
+            })
+        })
+        .collect();
+    let cells = par_map(jobs, |(n, p, seed)| run_cell(p, n, k, seed));
+
+    let mut table = Table::new(&[
+        "protocol", "n", "done", "rounds", "events", "wall ms", "ns/round", "ns/event",
+    ]);
+    let mut json_cells = Vec::new();
+    for c in &cells {
+        assert!(
+            c.completed,
+            "{} did not complete at n = {} within the cap",
+            c.protocol, c.n
+        );
+        let ns_per_round = c.wall_ns as f64 / c.rounds.max(1) as f64;
+        let ns_per_event = c.wall_ns as f64 / c.events.max(1) as f64;
+        table.row_owned(vec![
+            c.protocol.to_string(),
+            c.n.to_string(),
+            c.completed.to_string(),
+            c.rounds.to_string(),
+            c.events.to_string(),
+            fmt_f64(c.wall_ns as f64 / 1e6),
+            fmt_f64(ns_per_round),
+            fmt_f64(ns_per_event),
+        ]);
+        json_cells.push(format!(
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"completed\": {}, \"rounds\": {}, \"events\": {}, \"wall_ms\": {:.1}, \"ns_per_round\": {:.0}, \"ns_per_event\": {:.0}}}",
+            c.protocol,
+            c.n,
+            c.completed,
+            c.rounds,
+            c.events,
+            c.wall_ns as f64 / 1e6,
+            ns_per_round,
+            ns_per_event,
+        ));
+    }
+    println!("{}", table.render());
+    println!("rounds = topology epochs for the async arm; events = metered");
+    println!("messages (sync) or processed engine events (async).");
+
+    let json = format!(
+        "{{\n  \"k\": {k},\n  \"smoke\": {smoke},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        json_cells.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_runtime.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_runtime.json");
+    eprintln!("wrote {out_path}");
+}

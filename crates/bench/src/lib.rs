@@ -25,6 +25,8 @@
 //! |---|---|
 //! | `exp_lossy_links` | message-drop sweep: handshake degradation vs drop probability |
 //! | `exp_latency_sweep` | delivery-delay sweep: round stretch vs fixed latency + jitter |
+//! | `exp_async_vs_sync` | retransmission premium of the async ports vs the lossless sync reference |
+//! | `exp_scale` | n ∈ {1k, 2k, 4k, 8k} grid over flooding / single-source / async single-source; writes `BENCH_runtime.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -205,36 +205,59 @@ impl DisseminationCore {
 /// ```
 #[derive(Clone, Debug)]
 pub struct CompletenessLedger {
+    /// Number of nodes the ledger covers.
+    n: usize,
     /// `R_v`: peers informed of (async: that acknowledged) our
-    /// completeness.
-    informed: Vec<bool>,
-    /// `S_v`: peers that announced completeness to us.
-    known_complete: Vec<bool>,
+    /// completeness, word-packed (bit `i % 64` of word `i / 64`).
+    informed: Vec<u64>,
+    /// `S_v`: peers that announced completeness to us, word-packed.
+    known_complete: Vec<u64>,
+}
+
+/// Sets bit `i`; returns `true` iff it was previously clear.
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) -> bool {
+    let mask = 1u64 << (i % 64);
+    let was = words[i / 64] & mask != 0;
+    words[i / 64] |= mask;
+    !was
+}
+
+#[inline]
+fn get_bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 == 1
 }
 
 impl CompletenessLedger {
     /// Creates an empty ledger for an `n`-node network.
+    ///
+    /// Word-packed: a ledger costs `2 ⌈n/64⌉` words per node instead of
+    /// `2n` bytes — the difference between 16 MB and 134 MB of ledger
+    /// state across all nodes at `n = 8192`.
     pub fn new(n: usize) -> Self {
         CompletenessLedger {
-            informed: vec![false; n],
-            known_complete: vec![false; n],
+            n,
+            informed: vec![0; n.div_ceil(64)],
+            known_complete: vec![0; n.div_ceil(64)],
         }
     }
 
     /// Records that `u` announced its completeness. Returns `true` iff
     /// this was news (monotone: never unset).
     pub fn note_peer_complete(&mut self, u: NodeId) -> bool {
-        !std::mem::replace(&mut self.known_complete[u.index()], true)
+        debug_assert!(u.index() < self.n, "{u} out of range");
+        set_bit(&mut self.known_complete, u.index())
     }
 
     /// Whether `u` is known to be complete (`u ∈ S_v`).
     pub fn peer_complete(&self, u: NodeId) -> bool {
-        self.known_complete[u.index()]
+        debug_assert!(u.index() < self.n, "{u} out of range");
+        get_bit(&self.known_complete, u.index())
     }
 
     /// Whether any peer is known complete (`S_v ≠ ∅`).
     pub fn any_peer_complete(&self) -> bool {
-        self.known_complete.iter().any(|&b| b)
+        self.known_complete.iter().any(|&w| w != 0)
     }
 
     /// The peers known complete, in increasing ID order.
@@ -242,25 +265,34 @@ impl CompletenessLedger {
         self.known_complete
             .iter()
             .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| NodeId::new(i as u32))
+            .flat_map(|(wi, &word)| {
+                // Peel set bits low-to-high: `w & (w - 1)` clears the
+                // lowest one.
+                std::iter::successors((word != 0).then_some(word), |&w| {
+                    let rest = w & (w - 1);
+                    (rest != 0).then_some(rest)
+                })
+                .map(move |w| NodeId::new((wi * 64) as u32 + w.trailing_zeros()))
+            })
     }
 
     /// Whether `u` still needs to be informed of our completeness
     /// (`u ∉ R_v`).
     pub fn needs_inform(&self, u: NodeId) -> bool {
-        !self.informed[u.index()]
+        debug_assert!(u.index() < self.n, "{u} out of range");
+        !get_bit(&self.informed, u.index())
     }
 
     /// Records that `u` has been informed (async: has acknowledged).
     /// Returns `true` iff this was news (monotone: never unset).
     pub fn mark_informed(&mut self, u: NodeId) -> bool {
-        !std::mem::replace(&mut self.informed[u.index()], true)
+        debug_assert!(u.index() < self.n, "{u} out of range");
+        set_bit(&mut self.informed, u.index())
     }
 
     /// Number of informed peers — monotone over any execution.
     pub fn informed_count(&self) -> usize {
-        self.informed.iter().filter(|&&b| b).count()
+        self.informed.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -329,6 +361,31 @@ mod tests {
         let core = DisseminationCore::from_assignment(NodeId::new(0), &a);
         assert!(core.is_complete());
         assert_eq!(core.known_tokens().count(), 4);
+    }
+
+    #[test]
+    fn ledger_bit_iteration_crosses_word_boundaries() {
+        let mut ledger = CompletenessLedger::new(200);
+        let peers = [0u32, 63, 64, 127, 128, 199];
+        for &p in peers.iter().rev() {
+            assert!(ledger.note_peer_complete(NodeId::new(p)));
+        }
+        assert_eq!(
+            ledger.complete_peers().collect::<Vec<_>>(),
+            peers.iter().map(|&p| NodeId::new(p)).collect::<Vec<_>>(),
+            "ascending ID order across words"
+        );
+        for &p in &peers {
+            assert!(ledger.peer_complete(NodeId::new(p)));
+            assert!(!ledger.note_peer_complete(NodeId::new(p)));
+        }
+        assert!(!ledger.peer_complete(NodeId::new(65)));
+        assert_eq!(ledger.informed_count(), 0);
+        assert!(ledger.mark_informed(NodeId::new(64)));
+        assert!(ledger.mark_informed(NodeId::new(130)));
+        assert_eq!(ledger.informed_count(), 2);
+        assert!(!ledger.needs_inform(NodeId::new(64)));
+        assert!(ledger.needs_inform(NodeId::new(63)));
     }
 
     #[test]

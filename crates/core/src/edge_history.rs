@@ -9,7 +9,7 @@
 
 use dynspread_graph::{NodeId, Round};
 use dynspread_sim::token::{TokenId, TokenSet};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The per-round category of an adjacent edge (Section 3.1).
 ///
@@ -47,17 +47,26 @@ struct EdgeSlot {
 /// The companion `in_flight` [`TokenSet`] (owned by the caller) mirrors the
 /// union of all pending queues; the tracker keeps it in sync through the
 /// `kill` callbacks.
+///
+/// Storage is **sparse** (an ordered map keyed by neighbor): a node only
+/// ever has state for edges it has actually seen. The dense
+/// `Vec<EdgeSlot>` this replaced cost `O(n)` per node — `O(n²)` across the
+/// network, which at `n = 8192` was ~5 GB of zeroed slots before the first
+/// round ran. A dead edge's entry is dropped outright: its pending
+/// requests are killed on removal and its `new`/`contributive` state is
+/// unconditionally reset on reinsertion, so absence and a default slot are
+/// indistinguishable.
 #[derive(Clone, Debug)]
 pub struct EdgeTracker {
-    slots: Vec<EdgeSlot>,
+    slots: BTreeMap<NodeId, EdgeSlot>,
     prev_neighbors: Vec<NodeId>,
 }
 
 impl EdgeTracker {
     /// Creates a tracker for a node in an `n`-node network.
-    pub fn new(n: usize) -> Self {
+    pub fn new(_n: usize) -> Self {
         EdgeTracker {
-            slots: vec![EdgeSlot::default(); n],
+            slots: BTreeMap::new(),
             prev_neighbors: Vec::new(),
         }
     }
@@ -67,18 +76,18 @@ impl EdgeTracker {
     /// reinserted edges die; each dead request's token is removed from
     /// `in_flight` (it becomes requestable again).
     pub fn refresh(&mut self, round: Round, neighbors: &[NodeId], in_flight: &mut TokenSet) {
-        let prev = std::mem::take(&mut self.prev_neighbors);
-        for u in prev {
+        let mut prev = std::mem::take(&mut self.prev_neighbors);
+        for &u in &prev {
             if neighbors.binary_search(&u).is_err() {
-                let slot = &mut self.slots[u.index()];
-                slot.last_seen = None;
-                for t in slot.pending.drain(..) {
-                    in_flight.remove(t);
+                if let Some(mut slot) = self.slots.remove(&u) {
+                    for t in slot.pending.drain(..) {
+                        in_flight.remove(t);
+                    }
                 }
             }
         }
         for &u in neighbors {
-            let slot = &mut self.slots[u.index()];
+            let slot = self.slots.entry(u).or_default();
             let was_present = slot.last_seen == Some(round.wrapping_sub(1));
             if !was_present {
                 slot.inserted_round = round;
@@ -89,15 +98,20 @@ impl EdgeTracker {
             }
             slot.last_seen = Some(round);
         }
-        self.prev_neighbors = neighbors.to_vec();
+        prev.clear();
+        prev.extend_from_slice(neighbors);
+        self.prev_neighbors = prev;
     }
 
     /// Classifies the edge to current neighbor `u` in round `round`.
     pub fn classify(&self, u: NodeId, round: Round) -> EdgeCategory {
-        let slot = &self.slots[u.index()];
-        if slot.inserted_round + 1 >= round {
+        let (inserted_round, contributive) = self
+            .slots
+            .get(&u)
+            .map_or((0, false), |s| (s.inserted_round, s.contributive));
+        if inserted_round + 1 >= round {
             EdgeCategory::New
-        } else if slot.contributive {
+        } else if contributive {
             EdgeCategory::Contributive
         } else {
             EdgeCategory::Idle
@@ -106,23 +120,25 @@ impl EdgeTracker {
 
     /// Marks the edge to `u` contributive (a token arrived over it).
     pub fn note_token(&mut self, u: NodeId) {
-        self.slots[u.index()].contributive = true;
+        self.slots.entry(u).or_default().contributive = true;
     }
 
     /// Records a request for `t` sent over the edge to `u`.
     pub fn push_pending(&mut self, u: NodeId, t: TokenId) {
-        self.slots[u.index()].pending.push_back(t);
+        self.slots.entry(u).or_default().pending.push_back(t);
     }
 
     /// Whether the edge to `u` has any outstanding request.
     pub fn has_pending(&self, u: NodeId) -> bool {
-        !self.slots[u.index()].pending.is_empty()
+        self.slots.get(&u).is_some_and(|s| !s.pending.is_empty())
     }
 
     /// Retires an outstanding request for `t` on the edge to `u` (the
     /// requested token arrived). Returns `true` if one was found.
     pub fn retire_pending(&mut self, u: NodeId, t: TokenId) -> bool {
-        let slot = &mut self.slots[u.index()];
+        let Some(slot) = self.slots.get_mut(&u) else {
+            return false;
+        };
         if let Some(pos) = slot.pending.iter().position(|p| *p == t) {
             slot.pending.remove(pos);
             true
@@ -134,7 +150,7 @@ impl EdgeTracker {
     /// Drops every outstanding request (used when the node becomes
     /// complete), clearing the matching `in_flight` entries.
     pub fn clear_all_pending(&mut self, in_flight: &mut TokenSet) {
-        for slot in &mut self.slots {
+        for slot in self.slots.values_mut() {
             for t in slot.pending.drain(..) {
                 in_flight.remove(t);
             }

@@ -21,31 +21,41 @@ use rand::Rng;
 /// Not exactly uniform over all trees (that would need Wilson's algorithm),
 /// but produces well-varied trees, which is what the adversaries need.
 pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
-    let mut g = Graph::empty(n);
+    // Collect the edge list first and build in bulk: one CSR fill instead
+    // of n-1 incremental adjacency shifts — the difference between
+    // milliseconds and tens of milliseconds per rewiring epoch at n ≥ 4k.
+    Graph::from_edges(n, random_tree_edges(n, rng))
+}
+
+/// The edge list of [`random_tree`], for callers that keep accumulating
+/// edges before building the graph.
+fn random_tree_edges<R: Rng>(n: usize, rng: &mut R) -> Vec<Edge> {
     if n <= 1 {
-        return g;
+        return Vec::new();
     }
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
-    for i in 1..n {
-        let parent = order[rng.gen_range(0..i)];
-        g.insert_edge(Edge::new(NodeId::new(order[i]), NodeId::new(parent)));
-    }
-    g
+    (1..n)
+        .map(|i| {
+            let parent = order[rng.gen_range(0..i)];
+            Edge::new(NodeId::new(order[i]), NodeId::new(parent))
+        })
+        .collect()
 }
 
 /// An Erdős–Rényi `G(n, p)` sample, made connected by adding a minimal set
 /// of repair edges between components.
 pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
-    let mut g = Graph::empty(n);
+    let mut edges = Vec::new();
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
             if rng.gen_bool(p) {
-                g.insert_edge(Edge::new(NodeId::new(u), NodeId::new(v)));
+                edges.push(Edge::new(NodeId::new(u), NodeId::new(v)));
             }
         }
     }
+    let mut g = Graph::from_edges(n, edges);
     connect_components(&mut g, rng);
     g
 }
@@ -56,23 +66,30 @@ pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// The result has `max(n-1, min(target_edges, n(n-1)/2))` edges up to
 /// collision slack (duplicate picks are retried a bounded number of times).
 pub fn random_connected_with_edges<R: Rng>(n: usize, target_edges: usize, rng: &mut R) -> Graph {
-    let mut g = random_tree(n, rng);
     if n < 2 {
-        return g;
+        return random_tree(n, rng);
     }
+    // Accumulate into an edge list with a hash-set membership check, then
+    // build once — the set is only ever probed, never iterated, so the
+    // unordered container cannot leak nondeterminism into the result.
+    let mut edges = random_tree_edges(n, rng);
+    let mut seen: std::collections::HashSet<Edge> = edges.iter().copied().collect();
     let max_edges = n * (n - 1) / 2;
-    let want = target_edges.clamp(g.edge_count(), max_edges);
+    let want = target_edges.clamp(edges.len(), max_edges);
     let mut attempts = 0usize;
     let attempt_cap = 20 * max_edges + 100;
-    while g.edge_count() < want && attempts < attempt_cap {
+    while edges.len() < want && attempts < attempt_cap {
         attempts += 1;
         let u = rng.gen_range(0..n as u32);
         let v = rng.gen_range(0..n as u32);
         if u != v {
-            g.insert_edge(Edge::new(NodeId::new(u), NodeId::new(v)));
+            let e = Edge::new(NodeId::new(u), NodeId::new(v));
+            if seen.insert(e) {
+                edges.push(e);
+            }
         }
     }
-    g
+    Graph::from_edges(n, edges)
 }
 
 /// A connected near-`d`-regular graph: starts from a random cycle (so the
@@ -91,32 +108,35 @@ pub fn near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
     // Random cycle.
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
-    let mut g = Graph::empty(n);
-    for i in 0..n {
-        let u = NodeId::new(order[i]);
-        let v = NodeId::new(order[(i + 1) % n]);
-        g.insert_edge(Edge::new(u, v));
-    }
+    let mut edges: Vec<Edge> = (0..n)
+        .map(|i| Edge::new(NodeId::new(order[i]), NodeId::new(order[(i + 1) % n])))
+        .collect();
     if d == 2 {
-        return g;
+        return Graph::from_edges(n, edges);
     }
-    // Greedy pairing of deficient nodes.
+    // Greedy pairing of deficient nodes, against local degree/membership
+    // state so the graph is built once in bulk at the end (a per-pair
+    // `insert_edge` would shift the flat CSR arrays O(n + m) per edge).
+    let mut deg = vec![2usize; n];
+    let mut seen: std::collections::HashSet<Edge> = edges.iter().copied().collect();
     let mut stall = 0usize;
     while stall < 50 {
-        let deficient: Vec<NodeId> = g.nodes().filter(|&v| g.degree(v) < d).collect();
+        let deficient: Vec<NodeId> = NodeId::all(n).filter(|&v| deg[v.index()] < d).collect();
         if deficient.len() < 2 {
             break;
         }
         let a = *deficient.choose(rng).expect("nonempty");
         let b = *deficient.choose(rng).expect("nonempty");
-        if a != b && !g.has_edge(a, b) {
-            g.insert_edge(Edge::new(a, b));
+        if a != b && seen.insert(Edge::new(a, b)) {
+            edges.push(Edge::new(a, b));
+            deg[a.index()] += 1;
+            deg[b.index()] += 1;
             stall = 0;
         } else {
             stall += 1;
         }
     }
-    g
+    Graph::from_edges(n, edges)
 }
 
 /// Deterministic and random topology families, as a configuration value.

@@ -1,13 +1,14 @@
 //! Property-based tests of the dynamic-graph substrate.
 
 use dynspread_graph::connectivity::{bridges, connect_components};
-use dynspread_graph::dynamic::topological_changes;
+use dynspread_graph::dynamic::{topological_changes, GraphUpdate, RoundDelta};
 use dynspread_graph::generators::Topology;
 use dynspread_graph::stability::{check_schedule, StabilityEnforcer};
 use dynspread_graph::{DynamicGraph, Edge, Graph, NodeId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 fn topology_strategy() -> impl Strategy<Value = Topology> {
     prop_oneof![
@@ -146,6 +147,89 @@ proptest! {
             schedule.push(clamped);
         }
         prop_assert!(check_schedule(sigma, &schedule).is_ok());
+    }
+
+    /// CSR equivalence: random delta sequences applied to the CSR-backed
+    /// `DynamicGraph` must agree with a naive `BTreeSet`-of-edges model on
+    /// `neighbors`, `degree`, `has_edge`, and connectivity at every round.
+    #[test]
+    fn csr_delta_application_matches_btreeset_model(
+        n in 4usize..28,
+        steps in prop::collection::vec((0u64..10_000, 0usize..10, 0usize..6), 1..12),
+    ) {
+        let mut dg = DynamicGraph::new(n);
+        let mut model: BTreeSet<Edge> = BTreeSet::new();
+        for (seed, ins_draws, rm_draws) in steps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Removals: sampled from the model's current edges.
+            let current: Vec<Edge> = model.iter().copied().collect();
+            let mut removed: BTreeSet<Edge> = BTreeSet::new();
+            if !current.is_empty() {
+                for _ in 0..rm_draws {
+                    removed.insert(current[rng.gen_range(0..current.len())]);
+                }
+            }
+            // Insertions: sampled from the complement (disjoint from
+            // `removed` by construction, as the delta contract requires).
+            let mut inserted: BTreeSet<Edge> = BTreeSet::new();
+            for _ in 0..ins_draws {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v {
+                    let e = Edge::new(NodeId::new(u), NodeId::new(v));
+                    if !model.contains(&e) {
+                        inserted.insert(e);
+                    }
+                }
+            }
+            for &e in &removed {
+                model.remove(&e);
+            }
+            for &e in &inserted {
+                model.insert(e);
+            }
+            dg.apply(GraphUpdate::Delta(RoundDelta {
+                inserted: inserted.into_iter().collect(),
+                removed: removed.into_iter().collect(),
+            }));
+
+            let g = dg.current();
+            prop_assert_eq!(g.edge_count(), model.len());
+            for u in 0..n as u32 {
+                let uid = NodeId::new(u);
+                let mut expect: Vec<NodeId> = model
+                    .iter()
+                    .filter(|e| e.touches(uid))
+                    .map(|e| e.other(uid))
+                    .collect();
+                expect.sort_unstable();
+                prop_assert_eq!(g.neighbors(uid), expect.as_slice(), "row {}", uid);
+                prop_assert_eq!(g.degree(uid), expect.len());
+                for v in (u + 1)..n as u32 {
+                    let vid = NodeId::new(v);
+                    prop_assert_eq!(
+                        g.has_edge(uid, vid),
+                        model.contains(&Edge::new(uid, vid))
+                    );
+                }
+            }
+            // Connectivity vs a BFS over the model's adjacency.
+            let mut seen = vec![false; n];
+            let mut stack = vec![NodeId::new(0)];
+            seen[0] = true;
+            let mut reached = 1;
+            while let Some(u) = stack.pop() {
+                for e in model.iter().filter(|e| e.touches(u)) {
+                    let w = e.other(u);
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        reached += 1;
+                        stack.push(w);
+                    }
+                }
+            }
+            prop_assert_eq!(g.is_connected(), reached == n || n <= 1);
+        }
     }
 
     #[test]

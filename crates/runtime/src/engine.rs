@@ -6,8 +6,8 @@
 //! [`on_message`](EventProtocol::on_message) per consumed mailbox envelope,
 //! and [`on_timer`](EventProtocol::on_timer) for timers it armed itself —
 //! and may send messages or arm new timers from any of them through the
-//! [`EventCtx`]. The engine pops events from the seeded queue in `(time,
-//! seq)` order, routes sends through the configured
+//! [`EventCtx`]. The engine pops events from the seeded calendar queue in
+//! `(time, scheduling order)` order, routes sends through the configured
 //! [`LinkModel`](crate::link::LinkModel), and evolves the adversarial
 //! topology every `ticks_per_round` ticks, so the paper's dynamic-graph
 //! adversaries keep working unchanged underneath a fully asynchronous
@@ -37,12 +37,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
+/// One queued send: a payload plus a range of destinations in the
+/// context's flat destination buffer. Storing the payload **once** per
+/// logical send — not once per destination — is what makes the fan-out
+/// path zero-clone: the engine clones it only per *surviving delivery
+/// copy*, moving the original into the last one.
+struct SendOp<M> {
+    msg: M,
+    first: u32,
+    count: u32,
+}
+
 /// What a node may do while handling an event.
 pub struct EventCtx<'a, M> {
     now: VirtualTime,
     me: NodeId,
     neighbors: &'a [NodeId],
-    sends: &'a mut Vec<(NodeId, M)>,
+    ops: &'a mut Vec<SendOp<M>>,
+    dests: &'a mut Vec<NodeId>,
     timers: &'a mut Vec<(VirtualTime, u64)>,
 }
 
@@ -72,16 +84,35 @@ impl<M: Clone> EventCtx<'_, M> {
     /// is not a panic — replying to a sender whose edge has since churned
     /// away is a normal hazard of the asynchronous model, not a protocol
     /// bug.
+    ///
+    /// The payload is moved, not cloned: when the link schedules exactly
+    /// one delivery copy (the perfect-link common case), it is the
+    /// original that arrives.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.sends.push((to, msg));
+        self.dests.push(to);
+        self.ops.push(SendOp {
+            msg,
+            first: self.dests.len() as u32 - 1,
+            count: 1,
+        });
     }
 
     /// Queues one copy of `msg` to every current neighbor. Each link plans
     /// its fate independently.
-    pub fn broadcast(&mut self, msg: &M) {
-        for &w in self.neighbors {
-            self.sends.push((w, msg.clone()));
-        }
+    ///
+    /// The payload is stored once and cloned only per surviving delivery
+    /// copy, minus one for the move of the original — at most
+    /// `fanout - 1` clones under a non-duplicating link, and none at all
+    /// in allocation terms for `Copy` payloads (their `clone` is a
+    /// bitwise copy).
+    pub fn broadcast(&mut self, msg: M) {
+        let first = self.dests.len() as u32;
+        self.dests.extend_from_slice(self.neighbors);
+        self.ops.push(SendOp {
+            msg,
+            first,
+            count: self.neighbors.len() as u32,
+        });
     }
 
     /// Arms a timer to fire at `now + delay` with the given caller-chosen
@@ -191,9 +222,11 @@ pub struct EventSim<P: EventProtocol, A: Adversary, L: LinkModel> {
     clock: VirtualTime,
     tracker: Option<TokenTracker>,
     // Scratch reused across dispatches.
-    sends: Vec<(NodeId, P::Msg)>,
+    ops: Vec<SendOp<P::Msg>>,
+    dests: Vec<NodeId>,
     timers: Vec<(VirtualTime, u64)>,
     fates: Vec<VirtualTime>,
+    plan: Vec<(NodeId, VirtualTime)>,
     events: u64,
     transmissions: u64,
     unroutable: u64,
@@ -233,13 +266,15 @@ where
             dg: DynamicGraph::new(n),
             ticks_per_round,
             queue: EventQueue::new(),
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..n).map(|_| Mailbox::with_capacity(4)).collect(),
             rng: StdRng::seed_from_u64(seed),
             clock: 0,
             tracker: None,
-            sends: Vec::new(),
+            ops: Vec::new(),
+            dests: Vec::new(),
             timers: Vec::new(),
             fates: Vec::new(),
+            plan: Vec::new(),
             events: 0,
             transmissions: 0,
             unroutable: 0,
@@ -355,14 +390,16 @@ where
     /// Dispatches one event to node `v` and flushes the context's effects
     /// (link-planned sends, armed timers) back into the queue.
     fn dispatch(&mut self, v: NodeId, event: Event<P::Msg>) {
-        self.sends.clear();
+        self.ops.clear();
+        self.dests.clear();
         self.timers.clear();
         {
             let mut ctx = EventCtx {
                 now: self.clock,
                 me: v,
                 neighbors: self.dg.current().neighbors(v),
-                sends: &mut self.sends,
+                ops: &mut self.ops,
+                dests: &mut self.dests,
                 timers: &mut self.timers,
             };
             let node = &mut self.nodes[v.index()];
@@ -372,35 +409,47 @@ where
                 Event::Timer { id, .. } => node.on_timer(id, &mut ctx),
             }
         }
-        let mut sends = std::mem::take(&mut self.sends);
-        for (to, msg) in sends.drain(..) {
-            assert!(
-                to.index() < self.nodes.len(),
-                "{v} sent to out-of-range node {to}"
-            );
-            self.transmissions += 1;
-            if !self.dg.current().has_edge(v, to) {
-                // No edge, no channel: dropped at the source (see
-                // `EventCtx::send`).
-                self.unroutable += 1;
-                continue;
-            }
-            self.fates.clear();
-            self.link
-                .plan(v, to, self.clock, &mut self.rng, &mut self.fates);
-            self.copies_scheduled += self.fates.len() as u64;
-            for &delay in &self.fates {
-                self.queue.schedule(
-                    self.clock + delay,
-                    Event::Deliver {
-                        to,
-                        from: v,
-                        msg: msg.clone(),
-                    },
+        let mut ops = std::mem::take(&mut self.ops);
+        let dests = std::mem::take(&mut self.dests);
+        for op in ops.drain(..) {
+            // Plan every destination's fate first, then materialize the
+            // copies: all but the last clone the payload, the last takes
+            // the original (`fanout - 1` clones; zero when everything is
+            // dropped or the op is a single perfect-link send).
+            self.plan.clear();
+            for &to in &dests[op.first as usize..(op.first + op.count) as usize] {
+                assert!(
+                    to.index() < self.nodes.len(),
+                    "{v} sent to out-of-range node {to}"
                 );
+                self.transmissions += 1;
+                if !self.dg.current().has_edge(v, to) {
+                    // No edge, no channel: dropped at the source (see
+                    // `EventCtx::send`).
+                    self.unroutable += 1;
+                    continue;
+                }
+                self.fates.clear();
+                self.link
+                    .plan(v, to, self.clock, &mut self.rng, &mut self.fates);
+                for &delay in &self.fates {
+                    self.plan.push((to, self.clock + delay));
+                }
+            }
+            self.copies_scheduled += self.plan.len() as u64;
+            let mut payload = Some(op.msg);
+            let last = self.plan.len().wrapping_sub(1);
+            for (i, &(to, at)) in self.plan.iter().enumerate() {
+                let msg = if i == last {
+                    payload.take().expect("moved only once, at the end")
+                } else {
+                    payload.as_ref().expect("present until the end").clone()
+                };
+                self.queue.schedule(at, Event::Deliver { to, from: v, msg });
             }
         }
-        self.sends = sends;
+        self.ops = ops;
+        self.dests = dests;
         for &(delay, id) in &self.timers {
             self.queue
                 .schedule(self.clock + delay, Event::Timer { node: v, id });

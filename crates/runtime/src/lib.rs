@@ -8,9 +8,9 @@
 //! messages. This crate supplies the missing execution model as a
 //! **deterministic discrete-event runtime**:
 //!
-//! * a virtual clock and a seeded [`event::EventQueue`] ordered by
-//!   `(time, seq)` — scheduling order breaks ties, so executions are
-//!   replay-identical from a seed;
+//! * a virtual clock and a seeded [`event::EventQueue`] — a calendar
+//!   queue ordered by `(time, scheduling order)`, so ties break
+//!   deterministically and executions are replay-identical from a seed;
 //! * per-node [`mailbox::Mailbox`]es decoupling message *arrival* from
 //!   *consumption*;
 //! * composable [`link::LinkModel`]s (fixed/seeded-random latency, drop

@@ -55,6 +55,21 @@ impl<M> Mailbox<M> {
         }
     }
 
+    /// Creates an empty mailbox with pre-allocated envelope storage.
+    ///
+    /// The ring buffer is the envelope pool: popped envelopes hand their
+    /// slot straight back, and the buffer only ever grows to the node's
+    /// high-water backlog — engines that create thousands of mailboxes
+    /// seed each with a small capacity so steady-state delivery never
+    /// allocates.
+    pub fn with_capacity(cap: usize) -> Self {
+        Mailbox {
+            queue: VecDeque::with_capacity(cap),
+            delivered_total: 0,
+            high_water: 0,
+        }
+    }
+
     /// Records the arrival of one message copy.
     pub fn deliver(&mut self, at: VirtualTime, from: NodeId, msg: M) {
         self.queue.push_back(Envelope { at, from, msg });

@@ -166,34 +166,42 @@ impl Retransmitter {
 /// same discipline per neighbor, with the window entry doubling as the
 /// retransmission record: an open window is re-sent on every heartbeat
 /// until the token arrives or the neighbor churns away.
+///
+/// Stored sparsely (an ordered map keyed by neighbor): a node never holds
+/// more open windows than it has neighbors, so the dense
+/// `Vec<Option<TokenId>>` it replaced cost `O(n)` memory per node and
+/// `O(n)` per heartbeat sweep — `O(n²)` across the network, which is what
+/// capped the async grids below `n` in the thousands. Iteration order
+/// (ascending neighbor ID) is identical to the dense layout's, so release
+/// order — and with it replay identity — is unchanged.
 #[derive(Clone, Debug)]
 pub(crate) struct RequestWindow {
-    slots: Vec<Option<TokenId>>,
+    slots: std::collections::BTreeMap<NodeId, TokenId>,
 }
 
 impl RequestWindow {
-    pub(crate) fn new(n: usize) -> Self {
+    pub(crate) fn new(_n: usize) -> Self {
         RequestWindow {
-            slots: vec![None; n],
+            slots: std::collections::BTreeMap::new(),
         }
     }
 
     /// The token currently requested from `u`, if any.
     pub(crate) fn outstanding(&self, u: NodeId) -> Option<TokenId> {
-        self.slots[u.index()]
+        self.slots.get(&u).copied()
     }
 
     /// Opens the window to `u` with a request for `t`.
     pub(crate) fn open(&mut self, u: NodeId, t: TokenId) {
-        debug_assert!(self.slots[u.index()].is_none(), "window already open");
-        self.slots[u.index()] = Some(t);
+        let prev = self.slots.insert(u, t);
+        debug_assert!(prev.is_none(), "window already open");
     }
 
     /// Closes the window to `u` if it holds exactly `t`; returns whether
     /// it did.
     pub(crate) fn close(&mut self, u: NodeId, t: TokenId) -> bool {
-        if self.slots[u.index()] == Some(t) {
-            self.slots[u.index()] = None;
+        if self.slots.get(&u) == Some(&t) {
+            self.slots.remove(&u);
             true
         } else {
             false
@@ -202,21 +210,24 @@ impl RequestWindow {
 
     /// Drops every window whose neighbor is not in the (sorted) current
     /// neighbor list, handing each abandoned token to `release` so it
-    /// becomes assignable to live channels again.
+    /// becomes assignable to live channels again. Releases in ascending
+    /// neighbor ID order.
     pub(crate) fn sweep_stale(&mut self, neighbors: &[NodeId], mut release: impl FnMut(TokenId)) {
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if slot.is_some() && neighbors.binary_search(&NodeId::new(i as u32)).is_err() {
-                release(slot.take().expect("checked is_some"));
+        self.slots.retain(|u, t| {
+            if neighbors.binary_search(u).is_ok() {
+                true
+            } else {
+                release(*t);
+                false
             }
-        }
+        });
     }
 
-    /// Drops every window (the node completed), releasing the tokens.
+    /// Drops every window (the node completed), releasing the tokens in
+    /// ascending neighbor ID order.
     pub(crate) fn clear_all(&mut self, mut release: impl FnMut(TokenId)) {
-        for slot in self.slots.iter_mut() {
-            if let Some(t) = slot.take() {
-                release(t);
-            }
+        for (_, t) in std::mem::take(&mut self.slots) {
+            release(t);
         }
     }
 }

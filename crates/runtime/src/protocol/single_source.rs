@@ -179,7 +179,7 @@ impl EventProtocol for AsyncSingleSource {
         if self.is_complete() {
             self.announce_everywhere(ctx);
         } else {
-            ctx.broadcast(&AsyncSsMsg::Probe);
+            ctx.broadcast(AsyncSsMsg::Probe);
         }
         ctx.set_timer(self.pacer.current(), 0);
     }

@@ -24,7 +24,7 @@
 //! * **In-flight messages are not tied to the edge** that carried them:
 //!   once the link model schedules a copy, it arrives at its time even if
 //!   the adversary has since removed the edge (the copy is "in the air").
-//!   Within a node, arrivals are consumed in `(time, seq)` FIFO order.
+//!   Within a node, arrivals are consumed in `(time, scheduling order)` FIFO order.
 
 use crate::event::{EventQueue, VirtualTime};
 use crate::link::LinkModel;
@@ -64,6 +64,10 @@ struct RoundCore<M> {
     mailboxes: Vec<Mailbox<M>>,
     rng: StdRng,
     fates: Vec<VirtualTime>,
+    /// Per-broadcast fan-out plan `(destination, arrival time)`, reused
+    /// across broadcasters so the payload can be cloned per surviving
+    /// copy (move-last) instead of per neighbor.
+    plan: Vec<(NodeId, VirtualTime)>,
     transmissions: u64,
     copies_scheduled: u64,
     copies_delivered: u64,
@@ -93,9 +97,10 @@ impl<M> RoundCore<M> {
             cfg,
             stability,
             queue: EventQueue::new(),
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..n).map(|_| Mailbox::with_capacity(4)).collect(),
             rng: StdRng::seed_from_u64(link_seed),
             fates: Vec::new(),
+            plan: Vec::new(),
             transmissions: 0,
             copies_scheduled: 0,
             copies_delivered: 0,
@@ -513,17 +518,52 @@ where
             .evolve(round, self.core.dg.current(), &choices);
         self.core.install_round(round, update, n);
         // 3. Metering + link planning: one metered message per
-        //    broadcaster, one link plan per current neighbor.
-        for (i, choice) in choices.iter().enumerate() {
+        //    broadcaster, one link plan per current neighbor. The link
+        //    state is split from the graph borrow so the neighbor slice
+        //    is borrowed once per broadcaster, and the owned payload is
+        //    cloned only per surviving copy (the last copy moves it).
+        for (i, choice) in choices.into_iter().enumerate() {
             if let Some(msg) = choice {
                 let v = NodeId::new(i as u32);
-                self.core.meter.record_broadcast(msg.class());
-                let neighbors = self.core.dg.current().neighbors(v);
-                // `transmit` needs `&mut core`; iterate over a counter to
-                // keep the neighbor slice borrow short.
-                for ni in 0..neighbors.len() {
-                    let w = self.core.dg.current().neighbors(v)[ni];
-                    self.core.transmit(&self.link, round, v, w, msg);
+                let RoundCore {
+                    dg,
+                    meter,
+                    queue,
+                    rng,
+                    fates,
+                    plan,
+                    transmissions,
+                    copies_scheduled,
+                    ..
+                } = &mut self.core;
+                meter.record_broadcast(msg.class());
+                let neighbors = dg.current().neighbors(v);
+                plan.clear();
+                for &w in neighbors {
+                    *transmissions += 1;
+                    fates.clear();
+                    self.link.plan(v, w, round, rng, fates);
+                    for &delay in fates.iter() {
+                        plan.push((w, round + delay));
+                    }
+                }
+                *copies_scheduled += plan.len() as u64;
+                let mut payload = Some(msg);
+                let last = plan.len().wrapping_sub(1);
+                for (pi, &(to, at)) in plan.iter().enumerate() {
+                    let m = if pi == last {
+                        payload.take().expect("moved only once, at the end")
+                    } else {
+                        payload.as_ref().expect("present until the end").clone()
+                    };
+                    queue.schedule(
+                        at,
+                        Flight {
+                            to,
+                            from: v,
+                            msg: m,
+                        },
+                    );
                 }
             }
         }

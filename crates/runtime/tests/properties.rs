@@ -42,7 +42,7 @@ impl EventProtocol for Announcer {
 
     fn on_start(&mut self, ctx: &mut EventCtx<'_, u32>) {
         let me = ctx.me().value();
-        ctx.broadcast(&me);
+        ctx.broadcast(me);
         if self.max_retries > 0 {
             ctx.set_timer(2, 0);
         }
@@ -56,7 +56,7 @@ impl EventProtocol for Announcer {
         if self.retries < self.max_retries {
             self.retries += 1;
             let me = ctx.me().value();
-            ctx.broadcast(&me);
+            ctx.broadcast(me);
             ctx.set_timer(2, 0);
         }
     }

@@ -45,7 +45,7 @@ impl EventProtocol for GossipNode {
 
     fn on_start(&mut self, ctx: &mut EventCtx<'_, TokenId>) {
         let t = self.next_token();
-        ctx.broadcast(&t);
+        ctx.broadcast(t);
         ctx.set_timer(2, 0);
     }
 
@@ -55,7 +55,7 @@ impl EventProtocol for GossipNode {
 
     fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, TokenId>) {
         let t = self.next_token();
-        ctx.broadcast(&t);
+        ctx.broadcast(t);
         ctx.set_timer(2, 0);
     }
 

@@ -1,0 +1,129 @@
+//! `bench_check` — the CI perf-regression gate.
+//!
+//! Compares freshly measured bench artifacts against the committed
+//! baselines and fails (exit 1) if any gated metric regressed beyond the
+//! tolerance, printing the full delta table either way. CI runs it after
+//! regenerating the fresh side:
+//!
+//! ```text
+//! cargo run --release -p dynspread-bench --bin exp_scale -- --smoke BENCH_runtime.fresh.json
+//! cargo run --release -p dynspread-bench --bin bench_core -- BENCH_core.fresh.json
+//! cargo run --release -p dynspread-bench --bin bench_check -- \
+//!     --tolerance 0.30 --min-wall-ms 40 \
+//!     --runtime BENCH_runtime.json BENCH_runtime.fresh.json \
+//!     --core BENCH_core.json BENCH_core.fresh.json
+//! ```
+//!
+//! The default 30% tolerance absorbs shared-runner noise, and grid
+//! cells whose baseline wall time is under `--min-wall-ms` (default
+//! 40 ms) are not gated at all — a single sub-50 ms run jitters past
+//! any tolerance on a shared runner. What the gate catches is the
+//! step-function regressions (an accidental O(n) in the event loop, a
+//! lost batching path) that used to be able to land silently because
+//! nothing ever *read* the perf artifacts in CI. When a legitimate
+//! change moves a metric past the tolerance, refresh the committed
+//! baselines in the same PR — the gate then documents the new level
+//! instead of blocking it.
+
+use dynspread_bench::check::{core_deltas, runtime_deltas, Delta, Json};
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("bench_check: cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.30f64;
+    // Cells whose baseline wall time is under this are not gated: a
+    // single sub-50 ms run jitters past any tolerance on a shared
+    // runner. --runtime arguments are gathered first so the floor flag
+    // works in any position.
+    let mut min_wall_ms = 40.0f64;
+    let mut runtime_files: Vec<(String, String)> = Vec::new();
+    let mut deltas: Vec<Delta> = Vec::new();
+    let mut compared_files = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a number, e.g. 0.30");
+                i += 2;
+            }
+            "--min-wall-ms" => {
+                min_wall_ms = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--min-wall-ms needs a number, e.g. 40");
+                i += 2;
+            }
+            "--runtime" => {
+                runtime_files.push((args[i + 1].clone(), args[i + 2].clone()));
+                compared_files += 1;
+                i += 3;
+            }
+            "--core" => {
+                let (base, fresh) = (&args[i + 1], &args[i + 2]);
+                deltas.extend(core_deltas(&load(base), &load(fresh)));
+                compared_files += 1;
+                i += 3;
+            }
+            other => panic!("bench_check: unknown argument {other}"),
+        }
+    }
+    for (base, fresh) in &runtime_files {
+        deltas.extend(runtime_deltas(&load(base), &load(fresh), min_wall_ms));
+    }
+    assert!(
+        compared_files > 0,
+        "bench_check: nothing to compare; pass --runtime and/or --core BASE FRESH"
+    );
+    assert!(
+        !deltas.is_empty(),
+        "bench_check: no comparable metrics found — baseline and fresh artifacts share no cells"
+    );
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}   (tolerance +{:.0}%)",
+        "metric",
+        "baseline",
+        "fresh",
+        "delta",
+        tolerance * 100.0
+    );
+    println!("{}", "-".repeat(84));
+    let mut regressions = Vec::new();
+    for d in &deltas {
+        let verdict = if d.regressed(tolerance) {
+            regressions.push(d.key.clone());
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!("{d}{verdict}");
+    }
+    println!("{}", "-".repeat(84));
+    if regressions.is_empty() {
+        println!(
+            "bench_check: OK — {} metrics within +{:.0}% of baseline",
+            deltas.len(),
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!(
+            "bench_check: FAILED — {}/{} metrics regressed beyond +{:.0}%:",
+            regressions.len(),
+            deltas.len(),
+            tolerance * 100.0
+        );
+        for key in &regressions {
+            eprintln!("  {key}");
+        }
+        eprintln!("(legitimate change? refresh the committed baselines in this PR)");
+        std::process::exit(1);
+    }
+}

@@ -2,16 +2,26 @@
 //!
 //! The paper's bounds (`O(d·k)`, `O(n·k)` rounds) only become interesting
 //! to validate empirically well beyond the `n ≤ 512` the older grids run.
-//! This binary sweeps `n ∈ {1024, 2048, 4096, 8192}` over three protocol
+//! This binary sweeps `n ∈ {1024, 2048, 4096, 8192}` over five protocol
 //! arms and records the per-unit costs the scale work optimizes:
 //!
 //! * **flooding** — phased flooding under `BroadcastSim` (the paper's
-//!   synchronous local-broadcast model);
+//!   synchronous local-broadcast model), metered with the deterministic
+//!   ×64 sampling factor (`SimConfig::meter_sampling`) so the cell
+//!   measures the data plane rather than 200 M meter updates;
 //! * **single-source** — Algorithm 1 under `UnicastSim` (synchronous
 //!   unicast);
+//! * **multi-source** — Section 3.2.1 under `UnicastSim`, `s = 4`
+//!   sources;
 //! * **async-single-source** — the `AsyncSingleSource` event port under
 //!   `EventSim` with a latency-1 perfect link (the event engine's
-//!   calendar queue and zero-clone fan-out are on this path).
+//!   calendar queue and zero-clone fan-out are on this path);
+//! * **async-oblivious** — the full two-phase `run_async_oblivious`
+//!   pipeline (random-walk center reduction, then `AsyncMultiSource`)
+//!   with `k = 16` tokens, ~4 expected centers, and a denser
+//!   `SparseConnected(8)` phase-1 topology so center hand-offs happen at
+//!   tree-sparse `n`; the deadline fallback guarantees the cell
+//!   terminates even when some walks don't converge.
 //!
 //! Every cell is one seeded end-to-end run through `par_map` (parallel
 //! output is byte-identical to serial; `DYNSPREAD_THREADS=1` to check).
@@ -23,25 +33,48 @@
 //!   `cargo run --release -p dynspread-bench --bin exp_scale [--smoke] [OUT.json]`
 //!
 //! `--smoke` runs only the smallest grid column (`n = 1024`) — the CI
-//! guard that keeps the scale path building and running on every PR.
+//! guard that keeps the scale path building and running on every PR, and
+//! the fresh side of the `bench_check` perf-regression gate.
 
 use dynspread_analysis::table::{fmt_f64, Table};
 use dynspread_bench::{
-    default_adversary, derive_seed, par_map, run_phased_flooding, run_single_source,
+    default_adversary, derive_seed, par_map, run_multi_source, run_phased_flooding_cfg,
+    run_single_source,
 };
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
 use dynspread_graph::NodeId;
 use dynspread_runtime::engine::EventSim;
 use dynspread_runtime::link::{LinkModelExt, PerfectLink};
-use dynspread_runtime::protocol::{AsyncConfig, AsyncSingleSource};
+use dynspread_runtime::protocol::{
+    run_async_oblivious, AsyncConfig, AsyncObliviousConfig, AsyncSingleSource,
+};
+use dynspread_sim::sim::SimConfig;
 use dynspread_sim::token::TokenAssignment;
 use std::io::Write as _;
 use std::time::Instant;
 
-const PROTOCOLS: [&str; 3] = ["flooding", "single-source", "async-single-source"];
+const PROTOCOLS: [&str; 5] = [
+    "flooding",
+    "single-source",
+    "multi-source",
+    "async-single-source",
+    "async-oblivious",
+];
+
+/// Deterministic meter-attribution sampling for the flooding arm.
+const FLOOD_METER_SAMPLING: u64 = 64;
+
+/// Token count of the async-oblivious arm (needs enough tokens/sources
+/// for the two-phase pipeline to be meaningful; recorded per cell).
+const OBLIVIOUS_K: usize = 16;
 
 struct Cell {
     protocol: &'static str,
     n: usize,
+    /// Tokens the cell actually ran with (the async-oblivious arm
+    /// overrides the grid default).
+    k: usize,
     completed: bool,
     /// Rounds for the synchronous arms, topology epochs for the async arm.
     rounds: u64,
@@ -54,15 +87,60 @@ struct Cell {
 fn run_cell(protocol: &'static str, n: usize, k: usize, seed: u64) -> Cell {
     let max_rounds = 500_000;
     let start = Instant::now();
+    // The async-oblivious arm overrides k; every cell records the k it
+    // actually ran with.
+    let k = if protocol == "async-oblivious" {
+        OBLIVIOUS_K
+    } else {
+        k
+    };
     let (completed, rounds, events) = match protocol {
         "flooding" => {
             let a = TokenAssignment::single_source(n, k, NodeId::new(0));
-            let r = run_phased_flooding(&a, default_adversary(seed), max_rounds);
+            let cfg = SimConfig {
+                max_rounds,
+                meter_sampling: FLOOD_METER_SAMPLING,
+                ..SimConfig::default()
+            };
+            let r = run_phased_flooding_cfg(&a, default_adversary(seed), cfg);
             (r.completed, r.rounds, r.total_messages)
         }
         "single-source" => {
             let r = run_single_source(n, k, default_adversary(seed), max_rounds);
             (r.completed, r.rounds, r.total_messages)
+        }
+        "multi-source" => {
+            let a = TokenAssignment::round_robin_sources(n, k, k.min(4));
+            let r = run_multi_source(&a, default_adversary(seed), max_rounds);
+            (r.completed, r.rounds, r.total_messages)
+        }
+        "async-oblivious" => {
+            // Two-phase pipeline: k tokens spread over k sources, ~4
+            // expected centers regardless of n, everyone high-degree
+            // (γ = 1) so tokens hand off to discovered centers. The
+            // deadline fallback (stranded owners become phase-2 sources)
+            // bounds phase 1 even if some walks don't converge.
+            let a = TokenAssignment::round_robin_sources(n, k, k);
+            let cfg = AsyncObliviousConfig {
+                seed: derive_seed(seed, 0x0B1),
+                source_threshold: Some(1.0),
+                center_probability: Some(4.0 / n as f64),
+                degree_threshold: Some(1.0),
+                ticks_per_round: 2,
+                phase1_deadline: 2_048,
+                phase1_max_time: 4_096,
+                phase2_max_time: 8 * max_rounds,
+                ..AsyncObliviousConfig::default()
+            };
+            let out = run_async_oblivious(
+                &a,
+                PeriodicRewiring::new(Topology::SparseConnected(8.0), 3, seed),
+                default_adversary(derive_seed(seed, 0x0B2)),
+                PerfectLink.with_latency(1),
+                PerfectLink.with_latency(1),
+                &cfg,
+            );
+            (out.completed, out.total_epochs(), out.total_events())
         }
         "async-single-source" => {
             let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
@@ -86,6 +164,7 @@ fn run_cell(protocol: &'static str, n: usize, k: usize, seed: u64) -> Cell {
     Cell {
         protocol,
         n,
+        k,
         completed,
         rounds,
         events,
@@ -111,7 +190,7 @@ fn main() {
     let k = 4;
     let base_seed = 20_260_729u64;
     println!(
-        "Scale grid: n ∈ {sizes:?} × {PROTOCOLS:?}, k = {k}{}",
+        "Scale grid: n ∈ {sizes:?} × {PROTOCOLS:?}, k = {k} (async-oblivious: k = {OBLIVIOUS_K}){}",
         if smoke { " (smoke)" } else { "" }
     );
 
@@ -153,9 +232,10 @@ fn main() {
             fmt_f64(ns_per_event),
         ]);
         json_cells.push(format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"completed\": {}, \"rounds\": {}, \"events\": {}, \"wall_ms\": {:.1}, \"ns_per_round\": {:.0}, \"ns_per_event\": {:.0}}}",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"k\": {}, \"completed\": {}, \"rounds\": {}, \"events\": {}, \"wall_ms\": {:.1}, \"ns_per_round\": {:.0}, \"ns_per_event\": {:.0}}}",
             c.protocol,
             c.n,
+            c.k,
             c.completed,
             c.rounds,
             c.events,
@@ -168,6 +248,8 @@ fn main() {
     println!("rounds = topology epochs for the async arm; events = metered");
     println!("messages (sync) or processed engine events (async).");
 
+    // Top-level k is the grid default; each cell records the k it
+    // actually ran with (the async-oblivious arm overrides it).
     let json = format!(
         "{{\n  \"k\": {k},\n  \"smoke\": {smoke},\n  \"cells\": [\n{}\n  ]\n}}\n",
         json_cells.join(",\n")

@@ -26,12 +26,15 @@
 //! | `exp_lossy_links` | message-drop sweep: handshake degradation vs drop probability |
 //! | `exp_latency_sweep` | delivery-delay sweep: round stretch vs fixed latency + jitter |
 //! | `exp_async_vs_sync` | retransmission premium of the async ports vs the lossless sync reference |
-//! | `exp_scale` | n ∈ {1k, 2k, 4k, 8k} grid over flooding / single-source / async single-source; writes `BENCH_runtime.json` |
+//! | `exp_scale` | n ∈ {1k, 2k, 4k, 8k} grid over flooding / single-source / multi-source / async single-source / async oblivious; writes `BENCH_runtime.json` |
+//! | `exp_oblivious_async` | drop × jitter sweep of the asynchronous two-phase oblivious pipeline |
+//! | `bench_check` | CI perf-regression gate: fresh `exp_scale --smoke` + `bench_core` vs the committed baselines (see [`check`]) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod check;
 pub mod parallel;
 pub mod perf;
 
@@ -120,14 +123,27 @@ pub fn run_phased_flooding<A>(
 where
     A: BroadcastAdversary<dynspread_core::flooding::BcastMsg>,
 {
-    let nodes = PhasedFlooding::nodes(assignment);
-    let mut sim = BroadcastSim::new(
-        "phased-flooding",
-        nodes,
-        adversary,
+    run_phased_flooding_cfg(
         assignment,
+        adversary,
         SimConfig::with_max_rounds(max_rounds),
-    );
+    )
+}
+
+/// Runs phased flooding with an explicit engine configuration — the scale
+/// grid uses this to enable sampled metering
+/// (`SimConfig::meter_sampling`), which keeps the `n = 8192` flooding
+/// cell from being dominated by ~200 M per-message meter updates.
+pub fn run_phased_flooding_cfg<A>(
+    assignment: &TokenAssignment,
+    adversary: A,
+    cfg: SimConfig,
+) -> RunReport
+where
+    A: BroadcastAdversary<dynspread_core::flooding::BcastMsg>,
+{
+    let nodes = PhasedFlooding::nodes(assignment);
+    let mut sim = BroadcastSim::new("phased-flooding", nodes, adversary, assignment, cfg);
     sim.run_to_completion()
 }
 

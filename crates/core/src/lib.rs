@@ -33,6 +33,10 @@
 //!   [`dissemination::CompletenessLedger`]) shared by the round-based
 //!   nodes here and the asynchronous `EventProtocol` ports in
 //!   `dynspread-runtime`.
+//! * [`walk`] — the transport-agnostic random-walk phase core
+//!   ([`walk::WalkCore`], [`walk::elect_centers`]) shared by the
+//!   round-based [`oblivious::WalkNode`] and the asynchronous
+//!   `AsyncOblivious` port in `dynspread-runtime`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +54,7 @@ pub mod network_coding;
 pub mod oblivious;
 pub mod random_walk;
 pub mod single_source;
+pub mod walk;
 
 pub use adaptive::{RequestCuttingAdversary, StableRequestCutter};
 pub use baselines::{TreeBroadcastStatic, UnicastFlooding};
@@ -62,3 +67,4 @@ pub use multi_source::{MsMsg, MultiSourceNode, SourceMap};
 pub use network_coding::RlncNode;
 pub use oblivious::{run_oblivious_multi_source, ObliviousConfig, ObliviousOutcome, WalkNode};
 pub use single_source::{RequestPolicy, SingleSourceNode, SsMsg};
+pub use walk::{elect_centers, WalkCore};

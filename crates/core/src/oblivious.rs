@@ -36,6 +36,7 @@
 //!   center-election probability so experiments can sweep it.
 
 use crate::multi_source::{MultiSourceNode, SourceMap};
+use crate::walk::{elect_centers, WalkCore};
 use dynspread_graph::adversary::Adversary;
 use dynspread_graph::{NodeId, Round};
 use dynspread_sim::message::{MessageClass, MessagePayload};
@@ -43,9 +44,6 @@ use dynspread_sim::protocol::{Outbox, UnicastProtocol};
 use dynspread_sim::sim::{SimConfig, UnicastSim};
 use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
 use dynspread_sim::RunReport;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// The paper's source-count threshold `n^{2/3} log^{5/3} n` below which
@@ -96,25 +94,20 @@ impl MessagePayload for WalkMsg {
 /// Per-node protocol of phase 1.
 ///
 /// Non-center nodes forward their owned tokens as lazy random-walk steps;
-/// centers collect every token they receive and never forward.
+/// centers collect every token they receive and never forward. The
+/// decisions live in the transport-agnostic [`WalkCore`] (shared with the
+/// asynchronous `AsyncOblivious` port in `dynspread-runtime`); this type
+/// adds the round-model carriage: steps are sent and delivered within the
+/// round, so every planned transfer detaches ownership immediately.
 #[derive(Clone, Debug)]
 pub struct WalkNode {
-    id: NodeId,
-    is_center: bool,
-    n: usize,
-    gamma: f64,
-    know: TokenSet,
-    /// Tokens currently owned by this node. For centers these are
-    /// collected permanently; for others they are in transit.
-    owned: VecDeque<TokenId>,
-    known_centers: Vec<bool>,
+    core: WalkCore,
     prev_neighbors: Vec<NodeId>,
-    rng: StdRng,
 }
 
 impl WalkNode {
-    /// Creates node `v`. `gamma` is the high-degree threshold; `seed`
-    /// derives the node's private walk randomness.
+    /// Creates node `v`. `gamma` is the high-degree threshold; `seed` is
+    /// the shared seed the node's private walk randomness is split from.
     pub fn new(
         v: NodeId,
         assignment: &TokenAssignment,
@@ -122,46 +115,38 @@ impl WalkNode {
         gamma: f64,
         seed: u64,
     ) -> Self {
-        let know = assignment.initial_knowledge(v);
-        let owned = know.iter().collect();
         WalkNode {
-            id: v,
-            is_center,
-            n: assignment.node_count(),
-            gamma,
-            know,
-            owned,
-            known_centers: vec![false; assignment.node_count()],
-            prev_neighbors: Vec::new(),
-            rng: StdRng::seed_from_u64(
-                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v.value() as u64 + 1)),
+            core: WalkCore::new(
+                v,
+                assignment.initial_knowledge(v),
+                is_center,
+                assignment.node_count(),
+                gamma,
+                seed,
             ),
+            prev_neighbors: Vec::new(),
         }
     }
 
     /// Whether this node is a center.
     pub fn is_center(&self) -> bool {
-        self.is_center
+        self.core.is_center()
     }
 
     /// This node's ID.
     pub fn id(&self) -> NodeId {
-        self.id
+        self.core.id()
     }
 
     /// Number of tokens owned and still *in transit* (0 for centers, whose
     /// holdings are final).
     pub fn tokens_in_transit(&self) -> usize {
-        if self.is_center {
-            0
-        } else {
-            self.owned.len()
-        }
+        self.core.tokens_in_transit()
     }
 
     /// The tokens this node currently owns.
     pub fn owned_tokens(&self) -> impl Iterator<Item = TokenId> + '_ {
-        self.owned.iter().copied()
+        self.core.responsible_tokens()
     }
 }
 
@@ -170,7 +155,7 @@ impl UnicastProtocol for WalkNode {
 
     fn send(&mut self, _round: Round, neighbors: &[NodeId], out: &mut Outbox<WalkMsg>) {
         // Center self-announcement, once per inserted adjacent edge.
-        if self.is_center {
+        if self.core.is_center() {
             for &u in neighbors {
                 if self.prev_neighbors.binary_search(&u).is_err() {
                     out.send(u, WalkMsg::CenterAnnounce);
@@ -178,59 +163,27 @@ impl UnicastProtocol for WalkNode {
             }
         }
         self.prev_neighbors = neighbors.to_vec();
-        if self.is_center || self.owned.is_empty() || neighbors.is_empty() {
-            return;
-        }
-        let d = neighbors.len();
-        if (d as f64) >= self.gamma {
-            // High-degree: hand one owned token to each neighboring center.
-            for &c in neighbors {
-                if self.known_centers[c.index()] {
-                    match self.owned.pop_front() {
-                        Some(t) => out.send(c, WalkMsg::Walk(t)),
-                        None => break,
-                    }
-                }
-            }
-        } else {
-            // Low-degree: lazy walk steps on the virtual n-regular
-            // multigraph, at most one token per actual edge per round.
-            let mut edge_used = vec![false; d];
-            let step_prob = (d as f64 / self.n as f64).min(1.0);
-            for _ in 0..self.owned.len() {
-                let t = self.owned.pop_front().expect("owned nonempty");
-                let mut moved = false;
-                if self.rng.gen_bool(step_prob) {
-                    let idx = self.rng.gen_range(0..d);
-                    if !edge_used[idx] {
-                        edge_used[idx] = true;
-                        out.send(neighbors[idx], WalkMsg::Walk(t));
-                        moved = true;
-                    }
-                }
-                if !moved {
-                    // Self-loop (virtual edge) or congestion: token stays,
-                    // costing time but no messages.
-                    self.owned.push_back(t);
-                }
-            }
-        }
+        // Round model: delivery is certain, so every planned step is sent
+        // and ownership detaches with it.
+        self.core.plan(neighbors, true, |u, t| {
+            out.send(u, WalkMsg::Walk(t));
+            true
+        });
     }
 
     fn receive(&mut self, _round: Round, from: NodeId, msg: &WalkMsg) {
         match msg {
             WalkMsg::CenterAnnounce => {
-                self.known_centers[from.index()] = true;
+                self.core.note_center(from);
             }
             WalkMsg::Walk(t) => {
-                self.know.insert(*t);
-                self.owned.push_back(*t);
+                self.core.accept(*t);
             }
         }
     }
 
     fn known_tokens(&self) -> &TokenSet {
-        &self.know
+        self.core.known_tokens()
     }
 }
 
@@ -387,12 +340,7 @@ where
     let gamma = cfg
         .degree_threshold
         .unwrap_or_else(|| degree_threshold(n, f));
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut is_center: Vec<bool> = (0..n).map(|_| rng.gen_bool(p_center)).collect();
-    if !is_center.iter().any(|&c| c) {
-        // W.h.p. there is a center; force one to cover the tail.
-        is_center[rng.gen_range(0..n)] = true;
-    }
+    let is_center = elect_centers(n, p_center, cfg.seed);
     let nodes: Vec<WalkNode> = NodeId::all(n)
         .map(|v| WalkNode::new(v, assignment, is_center[v.index()], gamma, cfg.seed))
         .collect();

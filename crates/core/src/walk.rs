@@ -1,0 +1,403 @@
+//! Transport-agnostic decision state of the random-walk phase of the
+//! Oblivious-Multi-Source-Unicast algorithm (Algorithm 2, phase 1).
+//!
+//! Phase 1's *decisions* — who elects itself a center, which owned token
+//! takes a lazy walk step over which edge, when a high-degree node hands a
+//! token to a neighboring center — do not depend on the round structure,
+//! only on the current neighborhood and the node's private randomness.
+//! This module extracts that state (the walk analogue of what
+//! [`dissemination`](crate::dissemination) did for Algorithm 1) so the
+//! same logic drives both execution models:
+//!
+//! * the round-based [`WalkNode`](crate::oblivious::WalkNode), where a
+//!   planned step is sent and delivered within the round and ownership
+//!   moves atomically with the message;
+//! * the asynchronous `AsyncOblivious` port in `dynspread-runtime`, where
+//!   a planned step opens a retransmitted *ownership transfer* that is
+//!   only confirmed by an acknowledgment — the token stays this node's
+//!   responsibility until then ([`WalkCore::confirm_transfer`]), and is
+//!   reclaimed if the channel churns away ([`WalkCore::reclaim`]).
+//!
+//! The ownership ledger is the piece that makes the asynchronous port's
+//! exactly-once guarantee checkable: at every instant each token is the
+//! *responsibility* of at least one node, [`WalkCore::accept`] is
+//! idempotent (a duplicated delivery never yields a second responsibility
+//! entry on the same node), and responsibility is only released by an
+//! explicit confirmation.
+
+use dynspread_graph::NodeId;
+use dynspread_sim::token::{TokenId, TokenSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Seeded center self-election: each node is a center with probability
+/// `p`, with one forced center if the coin flips all come up tails
+/// (covering the w.h.p. tail at small `n`).
+///
+/// Both the round-based and the asynchronous drivers elect from the same
+/// shared seed, so the same `(seed, p, n)` always yields the same center
+/// set — the election is common randomness, consistent with the paper's
+/// oblivious-adversary setting.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_core::walk::elect_centers;
+///
+/// let centers = elect_centers(32, 0.25, 7);
+/// assert_eq!(centers.len(), 32);
+/// assert!(centers.iter().any(|&c| c), "at least one center is forced");
+/// assert_eq!(centers, elect_centers(32, 0.25, 7), "seed-deterministic");
+/// ```
+pub fn elect_centers(n: usize, p: f64, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut is_center: Vec<bool> = (0..n).map(|_| rng.gen_bool(p.clamp(0.0, 1.0))).collect();
+    if !is_center.iter().any(|&c| c) {
+        // W.h.p. there is a center; force one to cover the tail.
+        is_center[rng.gen_range(0..n)] = true;
+    }
+    is_center
+}
+
+/// Derives node `v`'s private walk-randomness seed from the shared seed —
+/// the same split both execution models use, so their walk decisions are
+/// drawn from identical per-node streams.
+pub fn walk_seed(seed: u64, v: NodeId) -> u64 {
+    seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v.value() as u64 + 1))
+}
+
+/// Per-node decision state of the random-walk phase: token knowledge, the
+/// ownership ledger, known neighboring centers, and the lazy-walk
+/// randomness.
+///
+/// Ownership has two layers:
+///
+/// * the **queue** — tokens currently here and eligible for a walk step
+///   (for centers this is the permanent collection; they never plan);
+/// * the **responsibility set** — queue plus any tokens in an open
+///   (unconfirmed) transfer. The synchronous model confirms transfers
+///   immediately (`detach = true` in [`WalkCore::plan`]); the
+///   asynchronous port confirms on acknowledgment and reclaims on channel
+///   loss, so the set is what "this node still owns the token" means
+///   under retransmission.
+#[derive(Clone, Debug)]
+pub struct WalkCore {
+    id: NodeId,
+    is_center: bool,
+    n: usize,
+    gamma: f64,
+    know: TokenSet,
+    /// Tokens here and eligible to move, front first.
+    queue: VecDeque<TokenId>,
+    /// Queue ∪ open transfers: everything this node is answerable for.
+    responsible: TokenSet,
+    /// Neighboring (or once-neighboring) centers learned so far — monotone.
+    known_centers: BTreeSet<NodeId>,
+    rng: StdRng,
+    /// Per-plan congestion scratch: at most one walk step per edge.
+    edge_used: Vec<bool>,
+}
+
+impl WalkCore {
+    /// Creates the core for node `v` with initial knowledge `know` (the
+    /// node's initially held tokens are its initial responsibility).
+    /// `gamma` is the high-degree threshold γ; `seed` is the *shared*
+    /// seed, split per node via [`walk_seed`].
+    pub fn new(
+        v: NodeId,
+        know: TokenSet,
+        is_center: bool,
+        n: usize,
+        gamma: f64,
+        seed: u64,
+    ) -> Self {
+        let queue: VecDeque<TokenId> = know.iter().collect();
+        let mut responsible = TokenSet::new(know.universe());
+        for &t in &queue {
+            responsible.insert(t);
+        }
+        WalkCore {
+            id: v,
+            is_center,
+            n,
+            gamma,
+            know,
+            queue,
+            responsible,
+            known_centers: BTreeSet::new(),
+            rng: StdRng::seed_from_u64(walk_seed(seed, v)),
+            edge_used: Vec::new(),
+        }
+    }
+
+    /// This node's ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node elected itself a center.
+    pub fn is_center(&self) -> bool {
+        self.is_center
+    }
+
+    /// The node's token knowledge (monotone; tokens seen in transit are
+    /// remembered even after being passed on).
+    pub fn known_tokens(&self) -> &TokenSet {
+        &self.know
+    }
+
+    /// Records that `u` announced itself a center; returns whether this
+    /// was news.
+    pub fn note_center(&mut self, u: NodeId) -> bool {
+        self.known_centers.insert(u)
+    }
+
+    /// Whether `u` is a known center.
+    pub fn knows_center(&self, u: NodeId) -> bool {
+        self.known_centers.contains(&u)
+    }
+
+    /// Whether a node of degree `d` is high-degree (`d ≥ γ`), i.e. hands
+    /// tokens to neighboring centers instead of walking them.
+    pub fn high_degree(&self, d: usize) -> bool {
+        (d as f64) >= self.gamma
+    }
+
+    /// Accepts an arriving token: inserts it into the knowledge set and,
+    /// if this node is not already responsible for it, takes ownership
+    /// (pushing it onto the queue). Returns whether ownership was newly
+    /// taken — duplicated deliveries and re-deliveries of a token already
+    /// owned return `false` and change nothing, which is the receiver half
+    /// of the exactly-once transfer guarantee.
+    pub fn accept(&mut self, t: TokenId) -> bool {
+        self.know.insert(t);
+        if self.responsible.insert(t) {
+            self.queue.push_back(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Confirms a transfer of `t` planned with `detach = false`: the
+    /// receiver acknowledged ownership, so this node is no longer
+    /// responsible.
+    pub fn confirm_transfer(&mut self, t: TokenId) {
+        let was = self.responsible.remove(t);
+        debug_assert!(was, "confirming a transfer of unowned {t}");
+    }
+
+    /// Reclaims a transfer of `t` planned with `detach = false`: the
+    /// channel died before the acknowledgment, so the token goes back on
+    /// the queue (it never left this node's responsibility).
+    pub fn reclaim(&mut self, t: TokenId) {
+        debug_assert!(self.responsible.contains(t), "reclaiming unowned {t}");
+        self.queue.push_back(t);
+    }
+
+    /// Tokens still this node's responsibility and *in transit* — 0 for
+    /// centers, whose holdings are final.
+    pub fn tokens_in_transit(&self) -> usize {
+        if self.is_center {
+            0
+        } else {
+            self.responsible.count()
+        }
+    }
+
+    /// Whether the queue has tokens eligible for a step right now (open
+    /// transfers are not re-plannable until confirmed or reclaimed).
+    pub fn has_queued(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Every token this node is responsible for (queued or in an open
+    /// transfer), in increasing token order.
+    pub fn responsible_tokens(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.responsible.iter()
+    }
+
+    /// One planning pass: decide which queued tokens step where, calling
+    /// `try_send(target, token)` for each decision. A `true` return means
+    /// the step was carried (the token leaves the queue); `false` means
+    /// the channel refused (asynchronous transfer window busy) and the
+    /// token stays queued. With `detach = true` a carried step also leaves
+    /// the responsibility set immediately (the synchronous model, where
+    /// delivery is certain); with `detach = false` it stays until
+    /// [`WalkCore::confirm_transfer`].
+    ///
+    /// The decisions are the paper's: high-degree nodes (`d ≥ γ`) hand
+    /// one owned token to each known neighboring center; low-degree nodes
+    /// take lazy random-walk steps on the virtual `n`-regular multigraph
+    /// (step with probability `d/n`, uniform edge, at most one token per
+    /// actual edge per pass — congested tokens stay put). Centers never
+    /// plan.
+    pub fn plan(
+        &mut self,
+        neighbors: &[NodeId],
+        detach: bool,
+        mut try_send: impl FnMut(NodeId, TokenId) -> bool,
+    ) {
+        if self.is_center || self.queue.is_empty() || neighbors.is_empty() {
+            return;
+        }
+        let d = neighbors.len();
+        if self.high_degree(d) {
+            // High-degree: hand one owned token to each neighboring center.
+            for &c in neighbors {
+                if self.known_centers.contains(&c) {
+                    match self.queue.pop_front() {
+                        Some(t) => {
+                            if try_send(c, t) {
+                                if detach {
+                                    self.responsible.remove(t);
+                                }
+                            } else {
+                                self.queue.push_front(t);
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+        } else {
+            // Low-degree: lazy walk steps on the virtual n-regular
+            // multigraph, at most one token per actual edge per pass.
+            self.edge_used.clear();
+            self.edge_used.resize(d, false);
+            let step_prob = (d as f64 / self.n as f64).min(1.0);
+            for _ in 0..self.queue.len() {
+                let t = self.queue.pop_front().expect("queue nonempty");
+                let mut moved = false;
+                if self.rng.gen_bool(step_prob) {
+                    let idx = self.rng.gen_range(0..d);
+                    if !self.edge_used[idx] && try_send(neighbors[idx], t) {
+                        self.edge_used[idx] = true;
+                        moved = true;
+                        if detach {
+                            self.responsible.remove(t);
+                        }
+                    }
+                }
+                if !moved {
+                    // Self-loop (virtual edge), congestion, or a busy
+                    // channel: the token stays, costing time but no
+                    // messages.
+                    self.queue.push_back(t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn know_of(k: usize, held: &[u32]) -> TokenSet {
+        let mut s = TokenSet::new(k);
+        for &t in held {
+            s.insert(TokenId::new(t));
+        }
+        s
+    }
+
+    #[test]
+    fn election_is_deterministic_and_nonempty() {
+        let a = elect_centers(50, 0.1, 3);
+        assert_eq!(a, elect_centers(50, 0.1, 3));
+        assert!(a.iter().any(|&c| c));
+        // p = 0 still forces one center.
+        let forced = elect_centers(10, 0.0, 9);
+        assert_eq!(forced.iter().filter(|&&c| c).count(), 1);
+    }
+
+    #[test]
+    fn accept_is_idempotent_on_responsibility() {
+        let mut core = WalkCore::new(NodeId::new(1), know_of(4, &[]), false, 8, 100.0, 5);
+        assert!(core.accept(TokenId::new(2)));
+        assert!(!core.accept(TokenId::new(2)), "duplicate delivery");
+        assert_eq!(core.tokens_in_transit(), 1);
+        assert!(core.known_tokens().contains(TokenId::new(2)));
+    }
+
+    #[test]
+    fn transfer_lifecycle_confirm_and_reclaim() {
+        let mut core = WalkCore::new(NodeId::new(0), know_of(4, &[0, 1]), false, 8, 1.0, 5);
+        core.note_center(NodeId::new(3));
+        let mut sent = Vec::new();
+        core.plan(&[NodeId::new(3)], false, |u, t| {
+            sent.push((u, t));
+            true
+        });
+        assert_eq!(sent.len(), 1, "one token per neighboring center");
+        let (_, t) = sent[0];
+        // Open transfer: still responsible, but not re-plannable.
+        assert_eq!(core.tokens_in_transit(), 2);
+        core.plan(&[NodeId::new(3)], false, |_, moved| {
+            assert_ne!(moved, t, "open transfer must not be re-planned");
+            true
+        });
+        // Reclaim puts it back on the queue; confirm releases it.
+        core.reclaim(t);
+        assert_eq!(core.tokens_in_transit(), 2);
+        core.confirm_transfer(t);
+        assert_eq!(core.tokens_in_transit(), 1);
+        assert!(core.known_tokens().contains(t), "knowledge is monotone");
+    }
+
+    #[test]
+    fn detached_plan_releases_immediately() {
+        let mut core = WalkCore::new(NodeId::new(0), know_of(2, &[0]), false, 4, 1.0, 5);
+        core.note_center(NodeId::new(1));
+        core.plan(&[NodeId::new(1)], true, |_, _| true);
+        assert_eq!(core.tokens_in_transit(), 0);
+    }
+
+    #[test]
+    fn refused_channel_keeps_token_queued() {
+        let mut core = WalkCore::new(NodeId::new(0), know_of(2, &[0]), false, 4, 1.0, 5);
+        core.note_center(NodeId::new(1));
+        core.plan(&[NodeId::new(1)], false, |_, _| false);
+        assert_eq!(core.tokens_in_transit(), 1);
+        assert!(core.has_queued(), "refused token is re-plannable");
+    }
+
+    #[test]
+    fn low_degree_pass_uses_each_edge_at_most_once() {
+        // A node with many tokens and one neighbor moves at most one per
+        // pass, and eventually moves some (the lazy walk is live).
+        let mut core = WalkCore::new(
+            NodeId::new(0),
+            know_of(6, &[0, 1, 2, 3, 4, 5]),
+            false,
+            4,
+            f64::INFINITY,
+            5,
+        );
+        let mut total_moved = 0usize;
+        for _ in 0..200 {
+            let mut sent = 0;
+            core.plan(&[NodeId::new(1)], true, |_, _| {
+                sent += 1;
+                true
+            });
+            assert!(sent <= 1, "more than one walk step on one edge");
+            total_moved += sent;
+        }
+        assert!(total_moved > 0, "lazy walk should eventually move tokens");
+    }
+
+    #[test]
+    fn centers_collect_and_never_plan() {
+        let mut core = WalkCore::new(NodeId::new(0), know_of(3, &[]), true, 4, 1.0, 5);
+        assert!(core.accept(TokenId::new(0)));
+        assert!(core.accept(TokenId::new(2)));
+        assert_eq!(core.tokens_in_transit(), 0, "center holdings are final");
+        assert_eq!(core.responsible_tokens().count(), 2);
+        core.plan(&[NodeId::new(1)], true, |_, _| {
+            panic!("centers never forward")
+        });
+    }
+}

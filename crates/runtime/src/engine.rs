@@ -8,7 +8,7 @@
 //! and may send messages or arm new timers from any of them through the
 //! [`EventCtx`]. The engine pops events from the seeded calendar queue in
 //! `(time, scheduling order)` order, routes sends through the configured
-//! [`LinkModel`](crate::link::LinkModel), and evolves the adversarial
+//! [`LinkModel`], and evolves the adversarial
 //! topology every `ticks_per_round` ticks, so the paper's dynamic-graph
 //! adversaries keep working unchanged underneath a fully asynchronous
 //! execution.
@@ -374,6 +374,7 @@ where
                 .as_ref()
                 .map_or(0, TokenTracker::total_learnings),
             unroutable: self.unroutable,
+            meter_sampling: 1,
         }
     }
 

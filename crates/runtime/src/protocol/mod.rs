@@ -31,8 +31,8 @@
 //! here: it is the same
 //! [`DisseminationCore`](dynspread_core::dissemination::DisseminationCore)
 //! that drives the round-based nodes, fed from per-neighbor
-//! retransmission windows ([`RequestWindow`]) instead of per-round edge
-//! sweeps.
+//! retransmission windows (the crate-private `RequestWindow`) instead of
+//! per-round edge sweeps.
 //!
 //! # Conformance contract
 //!
@@ -48,9 +48,13 @@
 //! contract.
 
 mod multi_source;
+mod oblivious;
 mod single_source;
 
 pub use multi_source::{AsyncMsMsg, AsyncMultiSource};
+pub use oblivious::{
+    run_async_oblivious, AsyncOblMsg, AsyncOblivious, AsyncObliviousConfig, AsyncObliviousOutcome,
+};
 pub use single_source::{AsyncSingleSource, AsyncSsMsg};
 
 use crate::event::VirtualTime;

@@ -1,0 +1,874 @@
+//! The asynchronous port of Oblivious-Multi-Source-Unicast (Algorithm 2).
+//!
+//! Same decisions as the round-based pipeline in
+//! `dynspread_core::oblivious` — seeded center self-election, lazy
+//! random-walk token steps with high-degree center hand-offs (phase 1),
+//! then Multi-Source-Unicast from the token owners (phase 2) — carried by
+//! the event runtime's reliability machinery instead of the synchronous
+//! model's:
+//!
+//! * **Walk steps are ownership transfers, not fire-and-forget sends.**
+//!   A planned step opens a per-neighbor transfer window (the PR 3
+//!   `RequestWindow` discipline: one outstanding transfer per edge,
+//!   re-sent on an adaptive-backoff heartbeat) tagged
+//!   with a per-sender sequence number. The sender stays *responsible*
+//!   for the token until the matching [`AsyncOblMsg::WalkAck`] arrives;
+//!   the receiver applies a transfer at most once (sequence dedup on top
+//!   of the idempotent
+//!   [`WalkCore::accept`](dynspread_core::walk::WalkCore::accept)) and
+//!   re-acks duplicates. Under drops and duplication, ownership of each
+//!   step therefore moves **exactly once**: a lost `Walk` is
+//!   retransmitted, a lost `WalkAck` is re-elicited by the
+//!   retransmission, and duplicated copies are absorbed. If the adversary
+//!   removes the edge mid-transfer the sender reclaims the token
+//!   (conservative: responsibility is never destroyed), so a token can
+//!   transiently gain a second claimant — never lose its last — and the
+//!   phase hand-off resolves claimants deterministically.
+//! * **The phase-1 → phase-2 transition is distributed.** The synchronous
+//!   pipeline stops phase 1 by *global observation* (the harness checks
+//!   every node's transit count each round). Here each node detects its
+//!   own quiescence — no queued tokens and no open transfers means no
+//!   re-armed heartbeat — so the phase ends when the event queue drains,
+//!   an emergent property of local decisions. The conservative fallback
+//!   is a per-node deadline on the virtual clock
+//!   ([`AsyncObliviousConfig::phase1_deadline`]): a node still holding
+//!   tokens at its deadline freezes (keeps ownership, stops walking) and
+//!   becomes a fallback phase-2 source, exactly like the sync version's
+//!   round-cap stranding.
+//! * **Center discovery is pull-based.** Centers answer
+//!   [`AsyncOblMsg::Probe`]s from token owners instead of relying on
+//!   one-shot announcements, so discovery survives drops and topology
+//!   churn without centers having to keep timers alive.
+//!
+//! Phase 2 is the existing [`AsyncMultiSource`] core, fed with the
+//! harvested ownership map (owners = sources) and knowledge snapshot by
+//! [`run_async_oblivious`] — the same hand-off the synchronous
+//! `run_oblivious_multi_source` performs, against the asynchronous
+//! engine.
+
+use super::{AsyncConfig, AsyncMultiSource, RequestWindow, Retransmitter};
+use crate::engine::{EventCtx, EventProtocol, EventReport, EventSim, StopReason};
+use crate::event::VirtualTime;
+use crate::link::LinkModel;
+use dynspread_core::multi_source::SourceMap;
+use dynspread_core::oblivious::{center_count, degree_threshold, source_threshold};
+use dynspread_core::walk::{elect_centers, WalkCore};
+use dynspread_graph::adversary::Adversary;
+use dynspread_graph::NodeId;
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Messages of the asynchronous random-walk phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsyncOblMsg {
+    /// "Are you a center?" — pull-based discovery from token owners.
+    Probe,
+    /// "I am a center" — answers probes (and one best-effort broadcast at
+    /// start); idempotent, so it needs no acknowledgment.
+    CenterAnnounce,
+    /// One random-walk ownership transfer, retransmitted until
+    /// acknowledged. `seq` is unique per sender and strictly increasing,
+    /// which is what lets the receiver tell a retransmission from a new
+    /// transfer of the same token.
+    Walk {
+        /// The token whose ownership is being transferred.
+        token: TokenId,
+        /// The sender's transfer sequence number.
+        seq: u64,
+    },
+    /// Acknowledges a `Walk` transfer (sent on every receipt, including
+    /// duplicates, so a lost ack is re-elicited by the retransmission).
+    WalkAck {
+        /// The transferred token.
+        token: TokenId,
+        /// The acknowledged transfer's sequence number.
+        seq: u64,
+    },
+}
+
+/// Timer id of the walk heartbeat (the only timer this protocol arms).
+const HEARTBEAT: u64 = 0;
+
+/// Per-node state of the asynchronous random-walk phase (phase 1 of the
+/// oblivious algorithm).
+///
+/// Drive it with [`run_async_oblivious`] for the full two-phase pipeline,
+/// or directly under an [`EventSim`] (no tracking: the phase's goal is
+/// center ownership, not dissemination — the run ends at quiescence):
+///
+/// ```
+/// use dynspread_graph::{oblivious::StaticAdversary, Graph};
+/// use dynspread_runtime::engine::{EventSim, StopReason};
+/// use dynspread_runtime::link::DropLink;
+/// use dynspread_runtime::protocol::{AsyncConfig, AsyncOblivious};
+/// use dynspread_sim::token::TokenAssignment;
+///
+/// let assignment = TokenAssignment::n_gossip(8);
+/// let nodes = AsyncOblivious::nodes(&assignment, 0.25, 1.0, 7, AsyncConfig::default(), 5_000);
+/// let mut sim = EventSim::new(
+///     nodes,
+///     StaticAdversary::new(Graph::complete(8)),
+///     DropLink::new(0.3),
+///     2,
+///     11,
+/// );
+/// // Local quiescence: every node sheds or freezes its tokens, the queue
+/// // drains, and the run stops on its own.
+/// assert_eq!(sim.run(20_000).stopped, StopReason::Quiescent);
+/// let claimants: usize = (0..8)
+///     .map(|v| sim.node(dynspread_graph::NodeId::new(v)).responsible_tokens().count())
+///     .sum();
+/// assert!(claimants >= 8, "responsibility is never destroyed");
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsyncOblivious {
+    /// Shared transport-agnostic decision state (same type the
+    /// round-based node uses).
+    walk: WalkCore,
+    /// One outstanding ownership transfer per neighbor.
+    window: RequestWindow,
+    /// Sequence number of each open transfer, parallel to `window`.
+    transfer_seq: BTreeMap<NodeId, u64>,
+    /// Next transfer sequence number (unique per sender, starts at 1).
+    next_seq: u64,
+    /// Per-sender highest applied transfer sequence — the receiver half
+    /// of exactly-once: a transfer at or below it is a duplicate.
+    seen: BTreeMap<NodeId, u64>,
+    /// Heartbeat pacing with adaptive backoff.
+    pacer: Retransmitter,
+    /// Virtual time at which this node freezes (conservative fallback).
+    deadline: VirtualTime,
+    /// Frozen: past the deadline; keeps ownership, stops walking.
+    frozen: bool,
+    /// Whether a heartbeat is currently armed (avoid double-arming).
+    timer_armed: bool,
+    /// Duplicate transfer deliveries absorbed (observability).
+    duplicate_transfers: u64,
+    /// Reusable neighbor snapshot for the planning pass.
+    nbrs: Vec<NodeId>,
+}
+
+impl AsyncOblivious {
+    /// Creates node `v`. `gamma` is the high-degree threshold γ; `seed`
+    /// is the shared phase seed; `deadline` is the virtual time at which
+    /// the node freezes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the retransmission configuration
+    /// is invalid.
+    pub fn new(
+        v: NodeId,
+        assignment: &TokenAssignment,
+        is_center: bool,
+        gamma: f64,
+        seed: u64,
+        cfg: AsyncConfig,
+        deadline: VirtualTime,
+    ) -> Self {
+        let n = assignment.node_count();
+        assert!(v.index() < n, "node out of range");
+        AsyncOblivious {
+            walk: WalkCore::new(
+                v,
+                assignment.initial_knowledge(v),
+                is_center,
+                n,
+                gamma,
+                seed,
+            ),
+            window: RequestWindow::new(n),
+            transfer_seq: BTreeMap::new(),
+            next_seq: 1,
+            seen: BTreeMap::new(),
+            pacer: Retransmitter::new(cfg),
+            deadline,
+            frozen: false,
+            timer_armed: false,
+            duplicate_transfers: 0,
+            nbrs: Vec::new(),
+        }
+    }
+
+    /// Builds all `n` node protocols, electing centers with probability
+    /// `p_center` from the shared `seed` (same election as the
+    /// synchronous pipeline under the same seed).
+    pub fn nodes(
+        assignment: &TokenAssignment,
+        p_center: f64,
+        gamma: f64,
+        seed: u64,
+        cfg: AsyncConfig,
+        deadline: VirtualTime,
+    ) -> Vec<AsyncOblivious> {
+        let is_center = elect_centers(assignment.node_count(), p_center, seed);
+        NodeId::all(assignment.node_count())
+            .map(|v| {
+                AsyncOblivious::new(
+                    v,
+                    assignment,
+                    is_center[v.index()],
+                    gamma,
+                    seed,
+                    cfg,
+                    deadline,
+                )
+            })
+            .collect()
+    }
+
+    /// This node's ID.
+    pub fn id(&self) -> NodeId {
+        self.walk.id()
+    }
+
+    /// Whether this node elected itself a center.
+    pub fn is_center(&self) -> bool {
+        self.walk.is_center()
+    }
+
+    /// Whether the node froze at its deadline with tokens still in
+    /// transit (it will be a fallback phase-2 source for them).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Tokens this node is still responsible for (queued, in an open
+    /// transfer, or collected if a center), in increasing token order.
+    pub fn responsible_tokens(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.walk.responsible_tokens()
+    }
+
+    /// Tokens owned and still in transit (0 for centers).
+    pub fn tokens_in_transit(&self) -> usize {
+        self.walk.tokens_in_transit()
+    }
+
+    /// Duplicate transfer deliveries absorbed by the sequence dedup.
+    pub fn duplicate_transfers(&self) -> u64 {
+        self.duplicate_transfers
+    }
+
+    /// Whether any walk work remains: queued tokens or open transfers.
+    /// Centers never have walk work (their holdings are final).
+    fn has_walk_work(&self) -> bool {
+        !self.walk.is_center() && (self.walk.has_queued() || !self.transfer_seq.is_empty())
+    }
+
+    /// Arms the heartbeat if there is work and none is armed.
+    fn ensure_heartbeat(&mut self, ctx: &mut EventCtx<'_, AsyncOblMsg>) {
+        if !self.frozen && !self.timer_armed && self.has_walk_work() {
+            ctx.set_timer(self.pacer.current(), HEARTBEAT);
+            self.timer_armed = true;
+        }
+    }
+}
+
+impl EventProtocol for AsyncOblivious {
+    type Msg = AsyncOblMsg;
+
+    fn on_start(&mut self, ctx: &mut EventCtx<'_, AsyncOblMsg>) {
+        if self.walk.is_center() {
+            // Best-effort hello; probes carry discovery from here on.
+            ctx.broadcast(AsyncOblMsg::CenterAnnounce);
+        }
+        self.ensure_heartbeat(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &AsyncOblMsg, ctx: &mut EventCtx<'_, AsyncOblMsg>) {
+        match msg {
+            AsyncOblMsg::Probe => {
+                if self.walk.is_center() {
+                    ctx.send(from, AsyncOblMsg::CenterAnnounce);
+                }
+            }
+            AsyncOblMsg::CenterAnnounce => {
+                if self.walk.note_center(from) {
+                    self.pacer.note_progress();
+                }
+            }
+            AsyncOblMsg::Walk { token, seq } => {
+                let last = self.seen.get(&from).copied().unwrap_or(0);
+                if *seq > last {
+                    // New transfer: take ownership (idempotent — if a
+                    // reclaimed transfer already made us responsible,
+                    // accept() absorbs it and the ack below heals the
+                    // double claim at the sender).
+                    self.seen.insert(from, *seq);
+                    if self.walk.accept(*token) {
+                        self.pacer.note_progress();
+                    }
+                } else {
+                    // Retransmission of an applied transfer: ownership
+                    // moved already; just re-ack.
+                    self.duplicate_transfers += 1;
+                }
+                ctx.send(
+                    from,
+                    AsyncOblMsg::WalkAck {
+                        token: *token,
+                        seq: *seq,
+                    },
+                );
+                self.ensure_heartbeat(ctx);
+            }
+            AsyncOblMsg::WalkAck { token, seq } => {
+                if self.transfer_seq.get(&from) == Some(seq) && self.window.close(from, *token) {
+                    // The receiver applied this exact transfer: ownership
+                    // has moved, release our responsibility.
+                    self.transfer_seq.remove(&from);
+                    self.walk.confirm_transfer(*token);
+                    self.pacer.note_progress();
+                }
+                // Stale acks (an earlier, since-reclaimed transfer) are
+                // ignored; the hand-off dedups any resulting double claim.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, AsyncOblMsg>) {
+        self.timer_armed = false;
+        if self.frozen {
+            return;
+        }
+        if ctx.now() >= self.deadline {
+            // Conservative fallback: keep everything still owned (queued
+            // or mid-transfer) and become a phase-2 source for it.
+            self.frozen = true;
+            return;
+        }
+        if !self.has_walk_work() {
+            // Local quiescence: nothing queued, nothing in flight. No
+            // re-arm — an arriving transfer re-awakens us.
+            return;
+        }
+        let AsyncOblivious {
+            walk,
+            window,
+            transfer_seq,
+            next_seq,
+            nbrs,
+            ..
+        } = self;
+        nbrs.clear();
+        nbrs.extend_from_slice(ctx.neighbors());
+        // 1. Transfers to churned-away neighbors are reclaimed: the token
+        //    goes back on the queue (responsibility was never released).
+        window.sweep_stale(nbrs, |t| walk.reclaim(t));
+        transfer_seq.retain(|u, _| nbrs.binary_search(u).is_ok());
+        // 2. Retransmit still-open transfers.
+        for (&u, &seq) in transfer_seq.iter() {
+            let token = window.outstanding(u).expect("window and seq map in sync");
+            ctx.send(u, AsyncOblMsg::Walk { token, seq });
+        }
+        // 3. Plan fresh steps into free transfer windows (ownership stays
+        //    here until the ack: detach = false).
+        walk.plan(nbrs, false, |u, t| {
+            if window.outstanding(u).is_some() {
+                return false; // one outstanding transfer per edge
+            }
+            let seq = *next_seq;
+            *next_seq += 1;
+            window.open(u, t);
+            transfer_seq.insert(u, seq);
+            ctx.send(u, AsyncOblMsg::Walk { token: t, seq });
+            true
+        });
+        // 4. High-degree discovery: probe neighbors not yet known to be
+        //    centers (low-degree nodes walk blindly, as in the paper).
+        if walk.high_degree(nbrs.len()) {
+            for &u in nbrs.iter() {
+                if !walk.knows_center(u) {
+                    ctx.send(u, AsyncOblMsg::Probe);
+                }
+            }
+        }
+        // 5. Re-arm with backoff (reset on progress).
+        ctx.set_timer(self.pacer.next_delay(), HEARTBEAT);
+        self.timer_armed = true;
+    }
+
+    fn known_tokens(&self) -> Option<&TokenSet> {
+        Some(self.walk.known_tokens())
+    }
+}
+
+/// Configuration of the asynchronous two-phase oblivious pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncObliviousConfig {
+    /// Shared seed: center election, walk randomness, and (xored with
+    /// fixed salts) the two engines' link/scheduling seeds.
+    pub seed: u64,
+    /// Retransmission tuning for both phases' protocols.
+    pub retransmit: AsyncConfig,
+    /// Virtual ticks per topology epoch (both phases).
+    pub ticks_per_round: VirtualTime,
+    /// Virtual time at which phase-1 nodes freeze and keep their tokens
+    /// (the conservative fallback replacing the sync round cap `ℓ`).
+    pub phase1_deadline: VirtualTime,
+    /// Hard cap on the phase-1 run — only drain slack past the deadline;
+    /// the run normally ends at quiescence well before it.
+    pub phase1_max_time: VirtualTime,
+    /// Hard cap on the phase-2 run.
+    pub phase2_max_time: VirtualTime,
+    /// Override for the center-election probability (default `f/n` with
+    /// the paper's `f`, clamped to `[0, 1]`).
+    pub center_probability: Option<f64>,
+    /// Override for the high-degree threshold γ (default `(n log n)/f`).
+    pub degree_threshold: Option<f64>,
+    /// Override for the source-count threshold deciding whether phase 1
+    /// runs at all (default `n^{2/3} log^{5/3} n`).
+    pub source_threshold: Option<f64>,
+}
+
+impl Default for AsyncObliviousConfig {
+    fn default() -> Self {
+        AsyncObliviousConfig {
+            seed: 0,
+            retransmit: AsyncConfig::default(),
+            ticks_per_round: 2,
+            phase1_deadline: 50_000,
+            phase1_max_time: 100_000,
+            phase2_max_time: 2_000_000,
+            center_probability: None,
+            degree_threshold: None,
+            source_threshold: None,
+        }
+    }
+}
+
+/// Result of a full asynchronous two-phase run.
+#[derive(Clone, Debug)]
+pub struct AsyncObliviousOutcome {
+    /// Phase-1 report (absent when the source count was below threshold
+    /// and the pipeline went straight to multi-source).
+    pub phase1: Option<EventReport>,
+    /// Phase-2 ([`AsyncMultiSource`]) report.
+    pub phase2: EventReport,
+    /// The elected centers (or the original sources if phase 1 was
+    /// skipped).
+    pub centers: Vec<NodeId>,
+    /// The phase-2 sources: the deduplicated token owners after phase 1.
+    pub sources: Vec<NodeId>,
+    /// Tokens whose resolved owner is not a center (deadline-frozen
+    /// fallback sources, the async analogue of the sync `stranded`).
+    pub stranded_tokens: usize,
+    /// Final per-node token knowledge after phase 2.
+    pub final_knowledge: Vec<TokenSet>,
+    /// Whether phase 2 reached full dissemination.
+    pub completed: bool,
+}
+
+impl AsyncObliviousOutcome {
+    /// Total link-layer transmissions across both phases.
+    pub fn total_transmissions(&self) -> u64 {
+        self.phase2.transmissions + self.phase1.as_ref().map_or(0, |r| r.transmissions)
+    }
+
+    /// Total engine events across both phases.
+    pub fn total_events(&self) -> u64 {
+        self.phase2.events + self.phase1.as_ref().map_or(0, |r| r.events)
+    }
+
+    /// Total topology epochs across both phases.
+    pub fn total_epochs(&self) -> u64 {
+        self.phase2.epochs + self.phase1.as_ref().map_or(0, |r| r.epochs)
+    }
+}
+
+/// Runs the full asynchronous Oblivious-Multi-Source-Unicast pipeline.
+///
+/// `adversary1`/`link1` drive phase 1 and `adversary2`/`link2` phase 2;
+/// the adversaries must be oblivious (the state-blind [`Adversary`]
+/// trait is exactly that guarantee). Phase 1 ends by *distributed*
+/// quiescence — every node locally sheds or (at the deadline) freezes
+/// its tokens and stops its heartbeat, draining the event queue — after
+/// which this driver harvests ownership and knowledge and hands the
+/// owners to the existing [`AsyncMultiSource`] core as sources, mirroring
+/// the synchronous `run_oblivious_multi_source` hand-off.
+///
+/// A token can end phase 1 with two claimants (the adversary removed the
+/// transfer's edge after delivery but before the ack); claimants are
+/// resolved deterministically, preferring a center over a frozen walker.
+/// Responsibility is never destroyed, so every token has at least one.
+///
+/// # Examples
+///
+/// ```
+/// use dynspread_graph::{generators::Topology, oblivious::PeriodicRewiring};
+/// use dynspread_runtime::link::{DropLink, LinkModelExt};
+/// use dynspread_runtime::protocol::{run_async_oblivious, AsyncObliviousConfig};
+/// use dynspread_sim::token::TokenAssignment;
+///
+/// // Every node a source, over links the round-based pipeline cannot
+/// // run on at all: 30% drop plus jitter.
+/// let assignment = TokenAssignment::n_gossip(12);
+/// let cfg = AsyncObliviousConfig {
+///     seed: 7,
+///     source_threshold: Some(1.0), // force the two-phase path at this scale
+///     center_probability: Some(0.25),
+///     ..AsyncObliviousConfig::default()
+/// };
+/// let out = run_async_oblivious(
+///     &assignment,
+///     PeriodicRewiring::new(Topology::Gnp(0.3), 3, 1),
+///     PeriodicRewiring::new(Topology::RandomTree, 3, 2),
+///     DropLink::new(0.3).with_jitter(2),
+///     DropLink::new(0.3).with_jitter(2),
+///     &cfg,
+/// );
+/// assert!(out.completed);
+/// assert!(!out.centers.is_empty());
+/// assert!(out.final_knowledge.iter().all(|k| k.is_full()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the assignment is invalid for the underlying engines (e.g.
+/// zero nodes).
+pub fn run_async_oblivious<A1, A2, L1, L2>(
+    assignment: &TokenAssignment,
+    adversary1: A1,
+    adversary2: A2,
+    link1: L1,
+    link2: L2,
+    cfg: &AsyncObliviousConfig,
+) -> AsyncObliviousOutcome
+where
+    A1: Adversary,
+    A2: Adversary,
+    L1: LinkModel,
+    L2: LinkModel,
+{
+    let n = assignment.node_count();
+    let k = assignment.token_count();
+    let s = assignment.sources().len();
+    let threshold = cfg.source_threshold.unwrap_or_else(|| source_threshold(n));
+
+    if (s as f64) <= threshold {
+        // Few sources: Multi-Source directly (the paper's lines 1-2).
+        let (nodes, map) = AsyncMultiSource::nodes(assignment, cfg.retransmit);
+        let mut sim = EventSim::with_tracking(
+            nodes,
+            adversary2,
+            link2,
+            cfg.ticks_per_round,
+            cfg.seed ^ 0x5EED_0B71_0002u64,
+            assignment,
+        );
+        let phase2 = sim.run(cfg.phase2_max_time);
+        let completed = phase2.stopped == StopReason::Complete;
+        let tracker = sim.tracker().expect("tracking enabled");
+        return AsyncObliviousOutcome {
+            phase1: None,
+            phase2,
+            centers: assignment.sources(),
+            sources: map.sources().to_vec(),
+            stranded_tokens: 0,
+            final_knowledge: NodeId::all(n)
+                .map(|v| tracker.knowledge(v).clone())
+                .collect(),
+            completed,
+        };
+    }
+
+    // ---- Phase 1: reduce the number of sources to the centers. ----
+    let f = center_count(n, k);
+    let p_center = cfg
+        .center_probability
+        .unwrap_or_else(|| (f / n as f64).min(1.0));
+    let gamma = cfg
+        .degree_threshold
+        .unwrap_or_else(|| degree_threshold(n, f));
+    let nodes = AsyncOblivious::nodes(
+        assignment,
+        p_center,
+        gamma,
+        cfg.seed,
+        cfg.retransmit,
+        cfg.phase1_deadline,
+    );
+    let centers: Vec<NodeId> = nodes
+        .iter()
+        .filter(|p| p.is_center())
+        .map(|p| p.id())
+        .collect();
+    let mut sim1 = EventSim::new(
+        nodes,
+        adversary1,
+        link1,
+        cfg.ticks_per_round,
+        cfg.seed ^ 0x5EED_0B71_0001u64,
+    );
+    let phase1 = sim1.run(cfg.phase1_max_time);
+
+    // ---- Hand-off: resolve claimants, snapshot ownership + knowledge. ----
+    let mut owner_of: Vec<Option<NodeId>> = vec![None; k];
+    for v in NodeId::all(n) {
+        let node = sim1.node(v);
+        for t in node.responsible_tokens() {
+            let slot = &mut owner_of[t.index()];
+            match *slot {
+                None => *slot = Some(v),
+                Some(prev) => {
+                    // Double claim from a churned mid-transfer edge:
+                    // prefer a center (fewer, better-placed sources).
+                    if node.is_center() && !sim1.node(prev).is_center() {
+                        *slot = Some(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut ownership = TokenAssignment::empty(n, k);
+    let mut knowledge = TokenAssignment::empty(n, k);
+    let mut stranded = 0usize;
+    for (ti, owner) in owner_of.iter().enumerate() {
+        let v = owner.expect("responsibility is never destroyed: every token has a claimant");
+        ownership.add_holder(TokenId::new(ti as u32), v);
+        if !sim1.node(v).is_center() {
+            stranded += 1;
+        }
+    }
+    for v in NodeId::all(n) {
+        let know = sim1
+            .node(v)
+            .known_tokens()
+            .expect("walk nodes expose knowledge");
+        for t in know.iter() {
+            knowledge.add_holder(t, v);
+        }
+    }
+    let map = Arc::new(SourceMap::from_assignment(&ownership));
+    let sources = map.sources().to_vec();
+
+    // ---- Phase 2: Multi-Source-Unicast from the owners. ----
+    let nodes2: Vec<AsyncMultiSource> = NodeId::all(n)
+        .map(|v| AsyncMultiSource::new(v, &knowledge, Arc::clone(&map), cfg.retransmit))
+        .collect();
+    let mut sim2 = EventSim::with_tracking(
+        nodes2,
+        adversary2,
+        link2,
+        cfg.ticks_per_round,
+        cfg.seed ^ 0x5EED_0B71_0002u64,
+        &knowledge,
+    );
+    let phase2 = sim2.run(cfg.phase2_max_time);
+    let completed = phase2.stopped == StopReason::Complete;
+    let tracker = sim2.tracker().expect("tracking enabled");
+
+    AsyncObliviousOutcome {
+        phase1: Some(phase1),
+        phase2,
+        centers,
+        sources,
+        stranded_tokens: stranded,
+        final_knowledge: NodeId::all(n)
+            .map(|v| tracker.knowledge(v).clone())
+            .collect(),
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{DropLink, LinkModelExt, PerfectLink};
+    use dynspread_graph::generators::Topology;
+    use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
+    use dynspread_graph::Graph;
+
+    /// Runs phase 1 alone and returns (sim, report).
+    fn run_phase1<A: Adversary, L: LinkModel>(
+        assignment: &TokenAssignment,
+        adversary: A,
+        link: L,
+        seed: u64,
+        deadline: VirtualTime,
+    ) -> (EventSim<AsyncOblivious, A, L>, EventReport) {
+        let nodes = AsyncOblivious::nodes(
+            assignment,
+            0.25,
+            1.0,
+            seed,
+            AsyncConfig::default(),
+            deadline,
+        );
+        let mut sim = EventSim::new(nodes, adversary, link, 2, seed ^ 0xA5);
+        let report = sim.run(2 * deadline + 1_000);
+        (sim, report)
+    }
+
+    /// Exactly-once under drops and duplication: on a *static* topology
+    /// no transfer is ever reclaimed, so every token must end with
+    /// exactly one responsible claimant even though the link drops and
+    /// duplicates transfers freely.
+    #[test]
+    fn ownership_moves_exactly_once_under_drop_and_duplication() {
+        let n = 10;
+        let assignment = TokenAssignment::n_gossip(n);
+        let link = DropLink::new(0.4).duplicating(0.3).with_jitter(2);
+        let (sim, report) = run_phase1(
+            &assignment,
+            StaticAdversary::new(Graph::complete(n)),
+            link,
+            13,
+            50_000,
+        );
+        assert_eq!(report.stopped, StopReason::Quiescent, "{report}");
+        let mut claimants = vec![0usize; n];
+        for v in NodeId::all(n) {
+            for t in sim.node(v).responsible_tokens() {
+                claimants[t.index()] += 1;
+            }
+        }
+        assert_eq!(
+            claimants,
+            vec![1; n],
+            "static topology: exactly one claimant per token"
+        );
+        // The duplicating link actually exercised the dedup path.
+        let dups: u64 = NodeId::all(n)
+            .map(|v| sim.node(v).duplicate_transfers())
+            .sum();
+        assert!(dups > 0, "expected duplicate transfers to be absorbed");
+        // All tokens ended at centers (complete graph: every owner is
+        // adjacent to every center, γ = 1 makes everyone high-degree).
+        for v in NodeId::all(n) {
+            let node = sim.node(v);
+            if !node.is_center() {
+                assert_eq!(node.tokens_in_transit(), 0, "{v} still owns tokens");
+            }
+        }
+    }
+
+    /// Under churn a token may transiently gain a second claimant, but
+    /// never lose its last one.
+    #[test]
+    fn responsibility_is_never_destroyed_under_churn_and_loss() {
+        let n = 12;
+        let assignment = TokenAssignment::n_gossip(n);
+        let (sim, _report) = run_phase1(
+            &assignment,
+            PeriodicRewiring::new(Topology::Gnp(0.3), 3, 5),
+            DropLink::new(0.3).with_jitter(2),
+            17,
+            3_000,
+        );
+        let mut claimants = vec![0usize; n];
+        for v in NodeId::all(n) {
+            for t in sim.node(v).responsible_tokens() {
+                claimants[t.index()] += 1;
+            }
+        }
+        for (t, &c) in claimants.iter().enumerate() {
+            assert!(c >= 1, "token t{t} lost its last claimant");
+        }
+    }
+
+    /// Local quiescence: with every node a center, nothing ever walks
+    /// and the run drains immediately.
+    #[test]
+    fn all_centers_quiesce_immediately() {
+        let n = 6;
+        let assignment = TokenAssignment::n_gossip(n);
+        let nodes = AsyncOblivious::nodes(&assignment, 1.0, 1.0, 3, AsyncConfig::default(), 1_000);
+        assert!(nodes.iter().all(AsyncOblivious::is_center));
+        let mut sim = EventSim::new(
+            nodes,
+            StaticAdversary::new(Graph::cycle(n)),
+            PerfectLink,
+            2,
+            9,
+        );
+        let report = sim.run(10_000);
+        assert_eq!(report.stopped, StopReason::Quiescent);
+        // Only the start-time hello broadcasts happened; no timers fired.
+        assert!(report.final_time <= 1, "{report}");
+    }
+
+    /// The deadline freeze is the conservative fallback: a node that
+    /// cannot shed its tokens keeps them and stops.
+    #[test]
+    fn deadline_freezes_owners_with_their_tokens() {
+        let n = 6;
+        let assignment = TokenAssignment::n_gossip(n);
+        // No centers reachable: probability 0 forces exactly one center,
+        // on a path the far-end owners rarely shed within 40 ticks.
+        let nodes = AsyncOblivious::nodes(
+            &assignment,
+            0.0,
+            f64::INFINITY, // everyone low-degree: lazy walk only
+            11,
+            AsyncConfig::default(),
+            40,
+        );
+        let mut sim = EventSim::new(
+            nodes,
+            StaticAdversary::new(Graph::path(n)),
+            PerfectLink,
+            2,
+            21,
+        );
+        let report = sim.run(10_000);
+        assert_eq!(report.stopped, StopReason::Quiescent, "{report}");
+        let mut claimants = 0usize;
+        for v in NodeId::all(n) {
+            claimants += sim.node(v).responsible_tokens().count();
+        }
+        assert!(claimants >= n, "every token still has a claimant");
+    }
+
+    /// Seeded replay identity of the full two-phase pipeline.
+    #[test]
+    fn pipeline_is_replay_identical() {
+        let assignment = TokenAssignment::n_gossip(10);
+        let cfg = AsyncObliviousConfig {
+            seed: 23,
+            source_threshold: Some(1.0),
+            center_probability: Some(0.3),
+            phase1_deadline: 5_000,
+            phase1_max_time: 12_000,
+            ..AsyncObliviousConfig::default()
+        };
+        let run = || {
+            run_async_oblivious(
+                &assignment,
+                PeriodicRewiring::new(Topology::Gnp(0.3), 3, 31),
+                PeriodicRewiring::new(Topology::RandomTree, 3, 32),
+                DropLink::new(0.3).with_jitter(2),
+                DropLink::new(0.3).with_jitter(2),
+                &cfg,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert!(a.completed);
+        assert_eq!(format!("{:?}", a.phase1), format!("{:?}", b.phase1));
+        assert_eq!(format!("{:?}", a.phase2), format!("{:?}", b.phase2));
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.sources, b.sources);
+        assert_eq!(a.stranded_tokens, b.stranded_tokens);
+        assert!(a.final_knowledge == b.final_knowledge);
+    }
+
+    /// The direct path (few sources) skips phase 1 entirely.
+    #[test]
+    fn direct_path_taken_for_few_sources() {
+        let assignment = TokenAssignment::round_robin_sources(10, 8, 2);
+        let out = run_async_oblivious(
+            &assignment,
+            StaticAdversary::new(Graph::path(10)),
+            PeriodicRewiring::new(Topology::RandomTree, 3, 5),
+            PerfectLink,
+            PerfectLink,
+            &AsyncObliviousConfig::default(), // paper threshold ≫ 2 sources
+        );
+        assert!(out.phase1.is_none());
+        assert!(out.completed);
+        assert_eq!(out.centers, assignment.sources());
+        assert_eq!(out.sources, assignment.sources());
+        assert_eq!(out.stranded_tokens, 0);
+    }
+}

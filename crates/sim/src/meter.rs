@@ -45,19 +45,52 @@ impl RoundCounts {
 /// assert_eq!(m.by_class(MessageClass::Token), 2);
 /// assert_eq!(m.round_series().len(), 1);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MessageMeter {
     unicast_total: u64,
     broadcast_total: u64,
     by_class: [u64; MessageClass::ALL.len()],
     rounds: Vec<RoundCounts>,
     current_round: Option<Round>,
+    /// Deterministic per-class attribution sampling factor (1 = exact);
+    /// see [`MessageMeter::record_broadcast_batch`].
+    sampling: u64,
+}
+
+impl Default for MessageMeter {
+    fn default() -> Self {
+        MessageMeter::new()
+    }
 }
 
 impl MessageMeter {
-    /// Creates a zeroed meter.
+    /// Creates a zeroed, exact (`sampling = 1`) meter.
     pub fn new() -> Self {
-        MessageMeter::default()
+        MessageMeter {
+            unicast_total: 0,
+            broadcast_total: 0,
+            by_class: [0; MessageClass::ALL.len()],
+            rounds: Vec::new(),
+            current_round: None,
+            sampling: 1,
+        }
+    }
+
+    /// Creates a meter whose per-class attribution is sampled at factor
+    /// `sampling` (clamped to ≥ 1); totals remain exact. Engines that
+    /// batch their metering inspect only every `sampling`-th message's
+    /// class and hand the tallies to
+    /// [`MessageMeter::record_broadcast_batch`], which scales them back.
+    pub fn with_sampling(sampling: u64) -> Self {
+        MessageMeter {
+            sampling: sampling.max(1),
+            ..MessageMeter::new()
+        }
+    }
+
+    /// The deterministic attribution sampling factor (1 = exact).
+    pub fn sampling(&self) -> u64 {
+        self.sampling
     }
 
     /// Opens accounting for the given round (1-based, strictly increasing).
@@ -95,6 +128,79 @@ impl MessageMeter {
         self.rounds[r].broadcast += 1;
         self.broadcast_total += 1;
         self.by_class[class.index()] += 1;
+    }
+
+    /// Records one round's local broadcasts in bulk: `total` messages,
+    /// with the (possibly sampled) per-class tallies in `class_counts`.
+    ///
+    /// This is the flooding arm's hot-path replacement for `total` calls
+    /// to [`MessageMeter::record_broadcast`] — at `n = 8192` the grid's
+    /// flooding cell otherwise spends its time on ~200 M per-message
+    /// meter updates. The **total is always exact** (Definition 1.1 is a
+    /// count of sends, known without inspecting payloads). Per-class
+    /// attribution depends on the meter's sampling factor `s`:
+    ///
+    /// * `s = 1` (the default): `class_counts` are exact tallies and must
+    ///   sum to `total`.
+    /// * `s > 1`: the engine inspected only every `s`-th message
+    ///   (deterministically — message index within the round, so runs
+    ///   are reproducible), and each sampled tally is scaled by `s` with
+    ///   the rounding remainder assigned to the round's most-sampled
+    ///   class. For class-homogeneous traffic (the flooding protocols)
+    ///   the attribution is still exact after the adjustment; mixed
+    ///   traffic gets a ±`s` estimate per class. The factor is recorded
+    ///   in `RunReport::meter_sampling` so downstream consumers know.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is open, or (debug) if exact tallies do not sum
+    /// to `total` when `s = 1`.
+    pub fn record_broadcast_batch(
+        &mut self,
+        class_counts: &[u64; MessageClass::ALL.len()],
+        total: u64,
+    ) {
+        let r = self.current_round.expect("no round open") as usize - 1;
+        self.rounds[r].broadcast += total;
+        self.broadcast_total += total;
+        if total == 0 {
+            return;
+        }
+        if self.sampling <= 1 {
+            debug_assert_eq!(
+                class_counts.iter().sum::<u64>(),
+                total,
+                "exact tallies must sum to the total"
+            );
+            for (slot, &c) in self.by_class.iter_mut().zip(class_counts) {
+                *slot += c;
+            }
+        } else {
+            // Scale the sampled tallies back to the exact total: every
+            // class gets count × s, except the most-sampled class, which
+            // absorbs the rounding remainder (non-negative because the
+            // most-sampled class has at least one sample).
+            let arg = class_counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(i, _)| i)
+                .expect("classes are nonempty");
+            let others: u64 = class_counts
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != arg)
+                .map(|(_, &c)| c * self.sampling)
+                .sum();
+            debug_assert!(others <= total, "sampled attribution exceeds the total");
+            for (i, (slot, &c)) in self.by_class.iter_mut().zip(class_counts).enumerate() {
+                *slot += if i == arg {
+                    total - others
+                } else {
+                    c * self.sampling
+                };
+            }
+        }
     }
 
     /// Total message complexity (Definition 1.1).
@@ -199,5 +305,74 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn amortized_zero_k_panics() {
         MessageMeter::new().amortized_per_token(0);
+    }
+
+    #[test]
+    fn exact_batch_matches_per_message_recording() {
+        let mut a = MessageMeter::new();
+        let mut b = MessageMeter::new();
+        a.begin_round(1);
+        b.begin_round(1);
+        for _ in 0..5 {
+            a.record_broadcast(MessageClass::Token);
+        }
+        a.record_broadcast(MessageClass::Completeness);
+        let mut counts = [0u64; MessageClass::ALL.len()];
+        counts[MessageClass::Token.index()] = 5;
+        counts[MessageClass::Completeness.index()] = 1;
+        b.record_broadcast_batch(&counts, 6);
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.broadcast_total(), b.broadcast_total());
+        for c in MessageClass::ALL {
+            assert_eq!(a.by_class(c), b.by_class(c));
+        }
+        assert_eq!(a.round_series(), b.round_series());
+    }
+
+    #[test]
+    fn sampled_batch_keeps_exact_totals_and_homogeneous_attribution() {
+        // 10 messages, factor 4: the engine samples indices 0, 4, 8 → 3
+        // tallies, all Token. Scaling 3 × 4 = 12 overshoots; the
+        // remainder adjustment lands the class back on the exact 10.
+        let mut m = MessageMeter::with_sampling(4);
+        assert_eq!(m.sampling(), 4);
+        m.begin_round(1);
+        let mut counts = [0u64; MessageClass::ALL.len()];
+        counts[MessageClass::Token.index()] = 3;
+        m.record_broadcast_batch(&counts, 10);
+        assert_eq!(m.total(), 10, "totals are always exact");
+        assert_eq!(m.by_class(MessageClass::Token), 10);
+        assert_eq!(m.round_series()[0].broadcast, 10);
+    }
+
+    #[test]
+    fn sampled_batch_mixed_classes_preserves_the_total() {
+        let mut m = MessageMeter::with_sampling(4);
+        m.begin_round(1);
+        // 9 messages, samples at 0, 4, 8: one Token, two Completeness.
+        let mut counts = [0u64; MessageClass::ALL.len()];
+        counts[MessageClass::Token.index()] = 1;
+        counts[MessageClass::Completeness.index()] = 2;
+        m.record_broadcast_batch(&counts, 9);
+        assert_eq!(m.total(), 9);
+        let sum: u64 = MessageClass::ALL.iter().map(|&c| m.by_class(c)).sum();
+        assert_eq!(sum, 9, "per-class attribution sums to the exact total");
+        assert_eq!(m.by_class(MessageClass::Token), 4);
+        assert_eq!(m.by_class(MessageClass::Completeness), 5);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut m = MessageMeter::with_sampling(8);
+        m.begin_round(1);
+        m.record_broadcast_batch(&[0u64; MessageClass::ALL.len()], 0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no round open")]
+    fn batch_before_round_panics() {
+        let mut m = MessageMeter::new();
+        m.record_broadcast_batch(&[0u64; MessageClass::ALL.len()], 0);
     }
 }

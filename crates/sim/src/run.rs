@@ -50,6 +50,13 @@ pub struct RunReport {
     /// replying to a peer whose edge has churned away is a normal hazard,
     /// not a protocol bug.
     pub unroutable: u64,
+    /// The deterministic metering sample factor the run was metered with
+    /// (1 = fully exact, the default). When > 1, `total_messages` and the
+    /// per-mode totals are still exact, but `by_class` attribution was
+    /// sampled (every `meter_sampling`-th broadcast message) and scaled
+    /// back — see `SimConfig::meter_sampling`. Recorded here so sampled
+    /// reports are self-describing and reproducible.
+    pub meter_sampling: u64,
 }
 
 impl RunReport {
@@ -84,6 +91,7 @@ impl RunReport {
             topology,
             learnings,
             unroutable: 0,
+            meter_sampling: meter.sampling(),
         }
     }
 
@@ -142,6 +150,13 @@ impl std::fmt::Display for RunReport {
             if self.class(c) > 0 {
                 writeln!(f, "    {:>16}: {}", c.label(), self.class(c))?;
             }
+        }
+        if self.meter_sampling > 1 {
+            writeln!(
+                f,
+                "    (class attribution sampled ×{}; totals exact)",
+                self.meter_sampling
+            )?;
         }
         write!(
             f,

@@ -19,6 +19,7 @@
 
 use dynspread::core::flooding::PhasedFlooding;
 use dynspread::core::multi_source::MultiSourceNode;
+use dynspread::core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
 use dynspread::core::single_source::SingleSourceNode;
 use dynspread::graph::adversary::Adversary;
 use dynspread::graph::generators::Topology;
@@ -28,7 +29,9 @@ use dynspread::graph::oblivious::{
 use dynspread::graph::{Graph, NodeId};
 use dynspread::runtime::engine::{EventReport, EventSim, StopReason};
 use dynspread::runtime::link::{DropLink, LinkModel, LinkModelExt, PerfectLink};
-use dynspread::runtime::protocol::{AsyncConfig, AsyncMultiSource, AsyncSingleSource};
+use dynspread::runtime::protocol::{
+    run_async_oblivious, AsyncConfig, AsyncMultiSource, AsyncObliviousConfig, AsyncSingleSource,
+};
 use dynspread::sim::token::TokenSet;
 use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
 
@@ -270,6 +273,110 @@ fn lossy_async_multi_source_completes_and_replays() {
     assert_ne!(format!("{report:?}"), format!("{report3:?}"));
 }
 
+/// (a) for Algorithm 2: under `PerfectLink` with zero latency the
+/// asynchronous two-phase oblivious pipeline reaches the same final
+/// per-node token sets as the synchronous `run_oblivious_multi_source`
+/// (both complete ⇒ every set is full, checked set-for-set), elects the
+/// *identical* center set from the shared seed, and strands nothing —
+/// across static, rewiring, and churn adversaries.
+#[test]
+fn perfect_link_async_oblivious_matches_sync_across_adversaries() {
+    let n = 16;
+    let assignment = TokenAssignment::n_gossip(n);
+    for kind in ["static", "rewire", "churn"] {
+        let seed = 5u64;
+        let sync_out = run_oblivious_multi_source(
+            &assignment,
+            adversary(kind, n, seed),
+            adversary(kind, n, seed ^ 1),
+            &ObliviousConfig {
+                seed,
+                source_threshold: Some(1.0), // force the two-phase path
+                center_probability: Some(0.25),
+                ..ObliviousConfig::default()
+            },
+        );
+        assert!(sync_out.completed(), "{kind}: sync {}", sync_out.phase2);
+        let async_out = run_async_oblivious(
+            &assignment,
+            adversary(kind, n, seed),
+            adversary(kind, n, seed ^ 1),
+            PerfectLink,
+            PerfectLink,
+            &AsyncObliviousConfig {
+                seed,
+                source_threshold: Some(1.0),
+                center_probability: Some(0.25),
+                phase1_deadline: 20_000,
+                phase1_max_time: 50_000,
+                ..AsyncObliviousConfig::default()
+            },
+        );
+        assert!(async_out.completed, "{kind}: async phase 2 incomplete");
+        assert!(async_out.phase1.is_some(), "{kind}: phase 1 must run");
+        // Same shared seed ⇒ the same center election as the sync run.
+        assert_eq!(async_out.centers, sync_out.centers, "{kind}");
+        // Full dissemination is the unique fixed point: the sync
+        // reference completing means every per-node set is full, so the
+        // set-for-set comparison is "async is full everywhere too".
+        for (v, know) in async_out.final_knowledge.iter().enumerate() {
+            assert!(
+                know.is_full(),
+                "{kind}: node {v} differs from the sync reference's full set"
+            );
+        }
+        // Stranding is a topology property, not a loss artifact: on the
+        // static cycle a high-degree owner with no center neighbor can
+        // never shed its token (the sync pipeline strands it identically
+        // at its round cap), so nonzero stranding is legal here — what
+        // perfect links must guarantee is that the fallback still
+        // disseminates everything, asserted above.
+        assert!(async_out.stranded_tokens <= n, "{kind}");
+    }
+}
+
+/// (b) for Algorithm 2: the pipeline the round model cannot run at all —
+/// phase-1 walk transfers over 30% drop plus jitter — still reaches full
+/// dissemination, and the whole two-phase execution replays identically
+/// from its seeds.
+#[test]
+fn lossy_async_oblivious_completes_and_replays() {
+    let n = 14;
+    let assignment = TokenAssignment::n_gossip(n);
+    let cfg = AsyncObliviousConfig {
+        seed: 41,
+        source_threshold: Some(1.0),
+        center_probability: Some(0.25),
+        phase1_deadline: 20_000,
+        phase1_max_time: 50_000,
+        ..AsyncObliviousConfig::default()
+    };
+    let run = || {
+        run_async_oblivious(
+            &assignment,
+            adversary("churn", n, 19),
+            adversary("rewire", n, 20),
+            DropLink::new(0.3).with_jitter(2),
+            DropLink::new(0.3).with_jitter(2),
+            &cfg,
+        )
+    };
+    let out = run();
+    assert!(out.completed, "30% drop: {:?}", out.phase2);
+    assert!(out.final_knowledge.iter().all(TokenSet::is_full));
+    let p1 = out.phase1.as_ref().expect("two-phase path forced");
+    // The link was actually lossy on the walk phase.
+    assert!(p1.copies_scheduled < p1.transmissions, "{p1}");
+    // Seeded replay identity across both phases and the hand-off.
+    let out2 = run();
+    assert_eq!(format!("{:?}", out.phase1), format!("{:?}", out2.phase1));
+    assert_eq!(format!("{:?}", out.phase2), format!("{:?}", out2.phase2));
+    assert_eq!(out.centers, out2.centers);
+    assert_eq!(out.sources, out2.sources);
+    assert_eq!(out.stranded_tokens, out2.stranded_tokens);
+    assert!(out.final_knowledge == out2.final_knowledge);
+}
+
 /// Release-only stress matrix (run in CI via `cargo test --release -- --ignored`):
 /// larger networks, heavier loss, duplication, and latency on top of the
 /// conformance matrix — too slow for debug builds.
@@ -319,4 +426,28 @@ fn stress_async_conformance_matrix_release_only() {
     let report = sim.run(4_000_000);
     assert_eq!(report.stopped, StopReason::Complete, "{report}");
     assert_eq!(report.learnings, (k * (n - 1)) as u64);
+    // Two-phase oblivious pipeline at scale: heavy loss + duplication on
+    // the walk phase, loss + jitter on the dissemination phase.
+    let n = 40;
+    let assignment = TokenAssignment::n_gossip(n);
+    for seed in [9u64, 27] {
+        let out = run_async_oblivious(
+            &assignment,
+            adversary("rewire", n, seed),
+            adversary("churn", n, seed ^ 3),
+            DropLink::new(0.4).duplicating(0.2).with_jitter(2),
+            DropLink::new(0.3).with_jitter(2),
+            &AsyncObliviousConfig {
+                seed,
+                source_threshold: Some(1.0),
+                center_probability: Some(0.2),
+                phase1_deadline: 40_000,
+                phase1_max_time: 100_000,
+                phase2_max_time: 4_000_000,
+                ..AsyncObliviousConfig::default()
+            },
+        );
+        assert!(out.completed, "oblivious stress seed {seed}");
+        assert!(out.final_knowledge.iter().all(TokenSet::is_full));
+    }
 }

@@ -1,12 +1,16 @@
 //! Integration tests of the full Oblivious-Multi-Source pipeline
 //! (Algorithm 2): phase hand-off invariants, accounting conservation,
-//! and end-to-end correctness.
+//! and end-to-end correctness — for both the round-based pipeline and
+//! the asynchronous `run_async_oblivious` port.
 
 use dynspread::core::oblivious::{run_oblivious_multi_source, ObliviousConfig};
 use dynspread::graph::generators::Topology;
 use dynspread::graph::oblivious::{EdgeMarkovian, PeriodicRewiring, StaticAdversary};
 use dynspread::graph::Graph;
+use dynspread::runtime::link::{DropLink, LinkModelExt, PerfectLink};
+use dynspread::runtime::protocol::{run_async_oblivious, AsyncObliviousConfig};
 use dynspread::sim::message::MessageClass;
+use dynspread::sim::token::TokenSet;
 use dynspread::sim::TokenAssignment;
 
 fn two_phase_config(seed: u64) -> ObliviousConfig {
@@ -117,6 +121,111 @@ fn stranded_tokens_become_fallback_sources() {
         out.stranded_tokens > 0,
         "with a 1-round phase 1 some tokens must be stranded"
     );
+}
+
+fn async_two_phase_config(seed: u64) -> AsyncObliviousConfig {
+    AsyncObliviousConfig {
+        seed,
+        source_threshold: Some(1.0), // force phase 1 at small scale
+        center_probability: Some(0.25),
+        phase1_deadline: 20_000,
+        phase1_max_time: 50_000,
+        ..AsyncObliviousConfig::default()
+    }
+}
+
+#[test]
+fn async_pipeline_completes_on_n_gossip_over_lossy_links() {
+    let n = 18;
+    let assignment = TokenAssignment::n_gossip(n);
+    let out = run_async_oblivious(
+        &assignment,
+        PeriodicRewiring::new(Topology::Gnp(0.25), 3, 1),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 2),
+        DropLink::new(0.3).with_jitter(2),
+        DropLink::new(0.3).with_jitter(2),
+        &async_two_phase_config(3),
+    );
+    assert!(out.completed, "{:?}", out.phase2);
+    assert!(out.phase1.is_some());
+    assert!(!out.centers.is_empty());
+    assert!(out.centers.len() <= n);
+    assert!(out.final_knowledge.iter().all(TokenSet::is_full));
+}
+
+#[test]
+fn async_hand_off_conserves_ownership() {
+    // Every token has exactly one phase-2 source, every source is a
+    // claimant from phase 1, and the stranded count is the non-center
+    // owners — the hand-off invariants behind the SourceMap construction.
+    let n = 16;
+    let assignment = TokenAssignment::n_gossip(n);
+    let out = run_async_oblivious(
+        &assignment,
+        EdgeMarkovian::new(0.1, 0.2, 2, 7),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 8),
+        DropLink::new(0.2),
+        PerfectLink,
+        &async_two_phase_config(9),
+    );
+    assert!(out.completed);
+    assert!(!out.sources.is_empty());
+    assert!(out.sources.len() <= n, "at most one source per node");
+    assert!(out.stranded_tokens <= n, "stranded bounded by k");
+    let centers: std::collections::BTreeSet<_> = out.centers.iter().collect();
+    if out.stranded_tokens == 0 {
+        assert!(
+            out.sources.iter().all(|s| centers.contains(s)),
+            "no stranding ⇒ every source is a center"
+        );
+    }
+}
+
+#[test]
+fn async_deadline_fallback_still_completes() {
+    // A 2-tick phase-1 deadline freezes nearly every walk mid-flight;
+    // the frozen owners must become fallback sources and phase 2 must
+    // still reach full dissemination — the async analogue of the sync
+    // `stranded_tokens_become_fallback_sources` test.
+    let n = 14;
+    let assignment = TokenAssignment::n_gossip(n);
+    let cfg = AsyncObliviousConfig {
+        phase1_deadline: 2,
+        phase1_max_time: 1_000,
+        ..async_two_phase_config(11)
+    };
+    let out = run_async_oblivious(
+        &assignment,
+        PeriodicRewiring::new(Topology::Gnp(0.3), 3, 12),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 13),
+        PerfectLink,
+        PerfectLink,
+        &cfg,
+    );
+    assert!(out.completed, "{:?}", out.phase2);
+    assert!(
+        out.stranded_tokens > 0,
+        "with a 2-tick phase 1 some tokens must be stranded"
+    );
+    assert!(out.final_knowledge.iter().all(TokenSet::is_full));
+}
+
+#[test]
+fn async_direct_path_taken_for_few_sources() {
+    let n = 16;
+    let assignment = TokenAssignment::round_robin_sources(n, 8, 2);
+    let out = run_async_oblivious(
+        &assignment,
+        StaticAdversary::new(Graph::path(n)),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 10),
+        PerfectLink,
+        PerfectLink,
+        &AsyncObliviousConfig::default(), // paper threshold ≫ 2 sources
+    );
+    assert!(out.phase1.is_none());
+    assert!(out.completed);
+    assert_eq!(out.centers, assignment.sources());
+    assert_eq!(out.sources, assignment.sources());
 }
 
 #[test]

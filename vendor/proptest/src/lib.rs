@@ -117,7 +117,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed strategies — the engine of [`prop_oneof!`].
+    /// Uniform choice among boxed strategies — the engine of the `prop_oneof!` macro.
     pub struct OneOf<T> {
         arms: Vec<Box<dyn Strategy<Value = T>>>,
     }
@@ -130,13 +130,13 @@ pub mod strategy {
         }
     }
 
-    /// Builds a [`OneOf`] from boxed arms (used by [`prop_oneof!`]).
+    /// Builds a [`OneOf`] from boxed arms (used by the `prop_oneof!` macro).
     pub fn one_of<T>(arms: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
         OneOf { arms }
     }
 
-    /// Boxes a strategy, erasing its concrete type (used by [`prop_oneof!`]).
+    /// Boxes a strategy, erasing its concrete type (used by the `prop_oneof!` macro).
     pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
         Box::new(s)
     }
@@ -266,7 +266,7 @@ pub mod prop {
         use std::collections::BTreeSet;
         use std::ops::Range;
 
-        /// See [`vec`].
+        /// See [`vec()`](fn@vec).
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,

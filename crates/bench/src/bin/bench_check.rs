@@ -11,7 +11,8 @@
 //! cargo run --release -p dynspread-bench --bin bench_check -- \
 //!     --tolerance 0.30 --min-wall-ms 40 \
 //!     --runtime BENCH_runtime.json BENCH_runtime.fresh.json \
-//!     --core BENCH_core.json BENCH_core.fresh.json
+//!     --core BENCH_core.json BENCH_core.fresh.json \
+//!     --byzantine BENCH_byzantine.json BENCH_byzantine.fresh.json
 //! ```
 //!
 //! The default 30% tolerance absorbs shared-runner noise, and grid
@@ -24,8 +25,13 @@
 //! change moves a metric past the tolerance, refresh the committed
 //! baselines in the same PR — the gate then documents the new level
 //! instead of blocking it.
+//!
+//! `--byzantine` is special-cased: the grid is new and a baseline may
+//! not be committed yet, so a missing baseline file is a skip (with a
+//! note), not an error. Once a baseline lands the comparison joins the
+//! gate with the same tolerance and wall floor.
 
-use dynspread_bench::check::{core_deltas, runtime_deltas, Delta, Json};
+use dynspread_bench::check::{byzantine_deltas, core_deltas, runtime_deltas, Delta, Json};
 
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path)
@@ -42,6 +48,7 @@ fn main() {
     // works in any position.
     let mut min_wall_ms = 40.0f64;
     let mut runtime_files: Vec<(String, String)> = Vec::new();
+    let mut byzantine_files: Vec<(String, String)> = Vec::new();
     let mut deltas: Vec<Delta> = Vec::new();
     let mut compared_files = 0usize;
     let mut i = 0;
@@ -66,6 +73,10 @@ fn main() {
                 compared_files += 1;
                 i += 3;
             }
+            "--byzantine" => {
+                byzantine_files.push((args[i + 1].clone(), args[i + 2].clone()));
+                i += 3;
+            }
             "--core" => {
                 let (base, fresh) = (&args[i + 1], &args[i + 2]);
                 deltas.extend(core_deltas(&load(base), &load(fresh)));
@@ -77,6 +88,17 @@ fn main() {
     }
     for (base, fresh) in &runtime_files {
         deltas.extend(runtime_deltas(&load(base), &load(fresh), min_wall_ms));
+    }
+    for (base, fresh) in &byzantine_files {
+        if !std::path::Path::new(base).exists() {
+            println!(
+                "bench_check: no committed {base} baseline yet — skipping the \
+                 Byzantine grid (fresh run at {fresh})"
+            );
+            continue;
+        }
+        deltas.extend(byzantine_deltas(&load(base), &load(fresh), min_wall_ms));
+        compared_files += 1;
     }
     assert!(
         compared_files > 0,

@@ -1,0 +1,261 @@
+//! `exp_byzantine` — Byzantine degradation of the async protocol ports.
+//!
+//! Sweeps the malicious fraction ∈ {0, 5%, 15%, 30%} × misbehavior kind
+//! (false claims, forged transfers, seq replay, dropped acks, mutated
+//! tokens) × all three async protocols, each cell one seeded run through
+//! the `dynspread_runtime::byzantine` drivers: wrapped nodes, recorded
+//! transcripts, post-run audit. Tabulated per cell:
+//!
+//! * **done** — whether the run still reached full dissemination;
+//! * **coverage** — mean fraction of the token universe known by the
+//!   *honest* nodes at the end (the degradation metric);
+//! * **viol / nodes** — violations proven by the auditor and distinct
+//!   nodes indicted (the accountability metric);
+//! * **inj** — misbehaving actions actually injected, so detection can
+//!   be read against opportunity.
+//!
+//! The binary asserts auditor soundness on every cell (only planted
+//! nodes indicted; zero verdicts at fraction 0) — these are the repo's
+//! first Byzantine-resilience numbers, and they double as an end-to-end
+//! soundness sweep.
+//!
+//! Usage:
+//!   `cargo run --release -p dynspread-bench --bin exp_byzantine [--smoke] [OUT.json]`
+//!
+//! `--smoke` runs the fraction ∈ {0, 15%} columns only — the CI guard.
+//! Results go to `BENCH_byzantine.json` (default); `bench_check` accepts
+//! the file as an optional baseline (no regression gate yet).
+
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::{derive_seed, par_map};
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
+use dynspread_graph::{Graph, NodeId};
+use dynspread_runtime::byzantine::{
+    run_byzantine_multi_source, run_byzantine_oblivious, run_byzantine_single_source,
+    MisbehaviorKind, MisbehaviorPlan,
+};
+use dynspread_runtime::link::{DropLink, LinkModelExt};
+use dynspread_runtime::protocol::{AsyncConfig, AsyncObliviousConfig};
+use dynspread_sim::token::TokenAssignment;
+use std::io::Write as _;
+use std::time::Instant;
+
+const PROTOCOLS: [&str; 3] = [
+    "async-single-source",
+    "async-multi-source",
+    "async-oblivious",
+];
+
+/// Nodes per cell — large enough that 5% rounds to ≥ 1 malicious node.
+const N: usize = 24;
+
+struct Cell {
+    protocol: &'static str,
+    fraction_pct: u32,
+    kind: &'static str,
+    byzantine_nodes: usize,
+    completed: bool,
+    coverage: f64,
+    violations: u64,
+    verdicts: u64,
+    injected: u64,
+    wall_ns: u64,
+}
+
+fn plan_for(fraction: f64, kind: Option<MisbehaviorKind>, seed: u64) -> MisbehaviorPlan {
+    match kind {
+        None => MisbehaviorPlan::honest(N),
+        Some(k) => MisbehaviorPlan::uniform(N, fraction, k, seed),
+    }
+}
+
+fn run_cell(
+    protocol: &'static str,
+    fraction: f64,
+    kind: Option<MisbehaviorKind>,
+    seed: u64,
+) -> Cell {
+    let start = Instant::now();
+    let plan = plan_for(fraction, kind, derive_seed(seed, 0xB12));
+    let link = || DropLink::new(0.1).with_jitter(1);
+    let (completed, coverage, violations, verdicts, injected) = match protocol {
+        "async-single-source" => {
+            let a = TokenAssignment::single_source(N, 8, NodeId::new(0));
+            let out = run_byzantine_single_source(
+                &a,
+                StaticAdversary::new(Graph::complete(N)),
+                link(),
+                2,
+                seed,
+                AsyncConfig::default(),
+                &plan,
+                150_000,
+            );
+            for e in &out.evidence {
+                assert!(plan.is_malicious(e.culprit), "honest node indicted: {e:?}");
+            }
+            (
+                out.completed,
+                out.honest_coverage,
+                out.report.violations_detected,
+                out.report.evidence_verdicts,
+                out.injected,
+            )
+        }
+        "async-multi-source" => {
+            let a = TokenAssignment::round_robin_sources(N, 12, 4);
+            let out = run_byzantine_multi_source(
+                &a,
+                StaticAdversary::new(Graph::complete(N)),
+                link(),
+                2,
+                seed,
+                AsyncConfig::default(),
+                &plan,
+                150_000,
+            );
+            for e in &out.evidence {
+                assert!(plan.is_malicious(e.culprit), "honest node indicted: {e:?}");
+            }
+            (
+                out.completed,
+                out.honest_coverage,
+                out.report.violations_detected,
+                out.report.evidence_verdicts,
+                out.injected,
+            )
+        }
+        "async-oblivious" => {
+            let a = TokenAssignment::n_gossip(N);
+            let cfg = AsyncObliviousConfig {
+                seed,
+                source_threshold: Some(1.0),
+                center_probability: Some(0.2),
+                phase1_deadline: 20_000,
+                phase1_max_time: 50_000,
+                phase2_max_time: 300_000,
+                ..AsyncObliviousConfig::default()
+            };
+            let out = run_byzantine_oblivious(
+                &a,
+                StaticAdversary::new(Graph::complete(N)),
+                PeriodicRewiring::new(Topology::RandomTree, 3, derive_seed(seed, 0xB13)),
+                link(),
+                link(),
+                &cfg,
+                &plan,
+            );
+            for e in &out.evidence {
+                assert!(plan.is_malicious(e.culprit), "honest node indicted: {e:?}");
+            }
+            (
+                out.completed,
+                out.honest_coverage,
+                out.report.violations_detected,
+                out.report.evidence_verdicts,
+                out.injected,
+            )
+        }
+        other => unreachable!("unknown protocol arm {other}"),
+    };
+    if plan.byzantine_nodes() == 0 {
+        assert_eq!(violations, 0, "{protocol}: honest run with verdicts");
+        assert!(completed, "{protocol}: honest run must complete");
+    }
+    Cell {
+        protocol,
+        fraction_pct: (fraction * 100.0).round() as u32,
+        kind: kind.map_or("none", MisbehaviorKind::label),
+        byzantine_nodes: plan.byzantine_nodes(),
+        completed,
+        coverage,
+        violations,
+        verdicts,
+        injected,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_byzantine.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let fractions: &[f64] = if smoke {
+        &[0.0, 0.15]
+    } else {
+        &[0.0, 0.05, 0.15, 0.30]
+    };
+    let base_seed = 20_260_807u64;
+    println!(
+        "Byzantine grid: n = {N}, fraction ∈ {fractions:?} × kind × {PROTOCOLS:?}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Fraction 0 collapses to one honest row per protocol.
+    let mut jobs: Vec<(&'static str, f64, Option<MisbehaviorKind>, u64)> = Vec::new();
+    for (pi, &p) in PROTOCOLS.iter().enumerate() {
+        for (fi, &frac) in fractions.iter().enumerate() {
+            let kinds: Vec<Option<MisbehaviorKind>> = if frac == 0.0 {
+                vec![None]
+            } else {
+                MisbehaviorKind::ALL.iter().copied().map(Some).collect()
+            };
+            for (ki, kind) in kinds.into_iter().enumerate() {
+                let seed = derive_seed(base_seed, ((pi * 16 + fi) * 16 + ki) as u64);
+                jobs.push((p, frac, kind, seed));
+            }
+        }
+    }
+    let cells = par_map(jobs, |(p, frac, kind, seed)| run_cell(p, frac, kind, seed));
+
+    let mut table = Table::new(&[
+        "protocol", "byz %", "kind", "byz", "done", "coverage", "viol", "nodes", "inj", "wall ms",
+    ]);
+    let mut json_cells = Vec::new();
+    for c in &cells {
+        table.row_owned(vec![
+            c.protocol.to_string(),
+            c.fraction_pct.to_string(),
+            c.kind.to_string(),
+            c.byzantine_nodes.to_string(),
+            c.completed.to_string(),
+            fmt_f64(c.coverage),
+            c.violations.to_string(),
+            c.verdicts.to_string(),
+            c.injected.to_string(),
+            fmt_f64(c.wall_ns as f64 / 1e6),
+        ]);
+        json_cells.push(format!(
+            "    {{\"protocol\": \"{}\", \"fraction_pct\": {}, \"kind\": \"{}\", \"byzantine_nodes\": {}, \"completed\": {}, \"coverage\": {:.4}, \"violations\": {}, \"verdicts\": {}, \"injected\": {}, \"wall_ms\": {:.1}}}",
+            c.protocol,
+            c.fraction_pct,
+            c.kind,
+            c.byzantine_nodes,
+            c.completed,
+            c.coverage,
+            c.violations,
+            c.verdicts,
+            c.injected,
+            c.wall_ns as f64 / 1e6,
+        ));
+    }
+    println!("{}", table.render());
+    println!("coverage = mean honest-node fraction of the token universe;");
+    println!("viol/nodes = auditor verdicts (soundness asserted per cell).");
+
+    let json = format!(
+        "{{\n  \"n\": {N},\n  \"smoke\": {smoke},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        json_cells.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_byzantine.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_byzantine.json");
+    eprintln!("wrote {out_path}");
+}

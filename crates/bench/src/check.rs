@@ -321,6 +321,57 @@ pub fn runtime_deltas(baseline: &Json, fresh: &Json, min_wall_ms: f64) -> Vec<De
     deltas
 }
 
+/// Pairs up the Byzantine-grid cells of two `BENCH_byzantine.json`
+/// documents by `(protocol, fraction_pct, kind)` and returns the
+/// `wall_ms` deltas for every cell present in both, with the same
+/// baseline wall floor as [`runtime_deltas`].
+///
+/// The Byzantine grid is observational for now — there is no committed
+/// baseline, so `bench_check` treats the baseline file as optional and
+/// skips the comparison when it is absent. Once a baseline lands, the
+/// wall floor keeps the sub-floor cells (most of the grid at `n = 24`)
+/// ungated.
+pub fn byzantine_deltas(baseline: &Json, fresh: &Json, min_wall_ms: f64) -> Vec<Delta> {
+    let empty: &[Json] = &[];
+    let base_cells = baseline
+        .get("cells")
+        .and_then(Json::as_array)
+        .unwrap_or(empty);
+    let fresh_cells = fresh.get("cells").and_then(Json::as_array).unwrap_or(empty);
+    let cell_key = |c: &Json| -> Option<(String, u64, String)> {
+        Some((
+            c.get("protocol")?.as_str()?.to_string(),
+            c.get("fraction_pct")?.as_f64()? as u64,
+            c.get("kind")?.as_str()?.to_string(),
+        ))
+    };
+    let mut deltas = Vec::new();
+    for fc in fresh_cells {
+        let Some(key) = cell_key(fc) else { continue };
+        let Some(bc) = base_cells
+            .iter()
+            .find(|bc| cell_key(bc) == Some(key.clone()))
+        else {
+            continue;
+        };
+        let base_wall = bc.get("wall_ms").and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if base_wall < min_wall_ms {
+            continue;
+        }
+        if let (Some(b), Some(f)) = (
+            bc.get("wall_ms").and_then(Json::as_f64),
+            fc.get("wall_ms").and_then(Json::as_f64),
+        ) {
+            deltas.push(Delta {
+                key: format!("byz {}/{}%/{} wall_ms", key.0, key.1, key.2),
+                baseline: b,
+                fresh: f,
+            });
+        }
+    }
+    deltas
+}
+
 /// The `BENCH_core.json` metrics the gate compares: the live data plane's
 /// absolute per-round costs (speedup ratios are deliberately ungated).
 pub fn core_deltas(baseline: &Json, fresh: &Json) -> Vec<Delta> {
@@ -483,6 +534,33 @@ mod tests {
             !deltas[1].regressed(0.10),
             "improvement is never a regression"
         );
+    }
+
+    #[test]
+    fn byzantine_deltas_match_on_protocol_fraction_and_kind() {
+        let cell = |p: &str, pct: f64, kind: &str, wall: f64| {
+            Json::Obj(vec![
+                ("protocol".into(), Json::Str(p.into())),
+                ("fraction_pct".into(), Json::Num(pct)),
+                ("kind".into(), Json::Str(kind.into())),
+                ("wall_ms".into(), Json::Num(wall)),
+            ])
+        };
+        let doc = |cells: Vec<Json>| Json::Obj(vec![("cells".into(), Json::Arr(cells))]);
+        let baseline = doc(vec![
+            cell("async-oblivious", 15.0, "drop-acks", 80.0),
+            cell("async-oblivious", 15.0, "seq-replay", 8.0),
+        ]);
+        let fresh = doc(vec![
+            cell("async-oblivious", 15.0, "drop-acks", 100.0),
+            cell("async-oblivious", 15.0, "seq-replay", 9.0),
+            cell("async-oblivious", 30.0, "drop-acks", 50.0), // no baseline
+        ]);
+        let deltas = byzantine_deltas(&baseline, &fresh, 40.0);
+        assert_eq!(deltas.len(), 1, "sub-floor and unmatched cells skipped");
+        assert_eq!(deltas[0].key, "byz async-oblivious/15%/drop-acks wall_ms");
+        assert!(deltas[0].regressed(0.20), "+25% beats a 20% tolerance");
+        assert_eq!(byzantine_deltas(&baseline, &fresh, 0.0).len(), 2);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Byzantine misbehavior injection and provable-evidence accountability.
+//!
+//! Three layers, composable over any of the async protocol ports without
+//! touching their honest handler code:
+//!
+//! 1. **Injection** ([`misbehave`]): a seeded [`MisbehaviorPlan`] marks
+//!    nodes malicious with one [`MisbehaviorKind`] each, and the generic
+//!    [`Misbehaving`] wrapper makes them equivocate on completeness,
+//!    forge and replay ownership transfers, suppress acknowledgments, or
+//!    mutate token payloads — by tampering with the honest node's staged
+//!    sends, so the honest state machine underneath stays untouched.
+//! 2. **Transcripts** ([`transcript`]): the engine appends every sent and
+//!    consumed message to per-node chain-hashed logs — the deterministic
+//!    offline stand-in for signed transcripts.
+//! 3. **Audit** ([`evidence`]): the pure [`check_evidence`] auditor
+//!    cross-examines the transcripts and pins each violation to its
+//!    culprit with a minimal proof. It is *sound* (honest nodes are never
+//!    indicted — the predicates only fire on behavior the honest code
+//!    cannot produce) and deterministic (byte-identical verdicts under
+//!    seeded replay).
+//!
+//! The [`run`] drivers tie it together: wrapped protocols, recorded
+//! transcripts, post-run audit, and Byzantine-resilience metrics in the
+//! workspace [`RunReport`](dynspread_sim::RunReport).
+
+pub mod evidence;
+pub mod misbehave;
+pub mod run;
+pub mod transcript;
+
+pub use evidence::{check_evidence, AuditSetup, Evidence, Violation};
+pub use misbehave::{Misbehaving, MisbehaviorKind, MisbehaviorPlan, Tamper};
+pub use run::{
+    run_byzantine_multi_source, run_byzantine_oblivious, run_byzantine_single_source,
+    ByzantineObliviousOutcome, ByzantineOutcome,
+};
+pub use transcript::{AuditMsg, Direction, MsgKind, MsgSummary, Transcript, TranscriptEntry};

@@ -1,0 +1,308 @@
+//! Deterministic hashed transcripts — the offline stand-in for signed
+//! message logs.
+//!
+//! Every node under audit appends one [`TranscriptEntry`] per message it
+//! sends (one per destination, recorded **before** link planning, so even
+//! dropped or unroutable sends are on the record — exactly what a signed
+//! wire message would prove) and one per message copy it consumes. Each
+//! entry folds into a running chain hash ([`Transcript::chain_hash`]), the
+//! cheap deterministic analogue of a signature chain: two replays of the
+//! same seeded execution produce byte-identical transcripts, and any
+//! divergence shows up as a different chain digest.
+//!
+//! Transcripts store [`MsgSummary`]s, not payloads: the protocol-level
+//! facts (message kind, token, sequence number, announced source) the
+//! [`check_evidence`](super::check_evidence) auditor cross-examines. A
+//! protocol opts in by implementing [`AuditMsg`] for its message type —
+//! done here for all three async ports, without touching their honest
+//! handler code.
+
+use crate::event::VirtualTime;
+use crate::protocol::{AsyncMsMsg, AsyncOblMsg, AsyncSsMsg};
+use dynspread_graph::NodeId;
+use dynspread_sim::token::TokenId;
+
+/// 64-bit FNV-1a — the repo-local deterministic hash (no external deps,
+/// stable across platforms and runs).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The protocol-level message family of a transcript entry, shared across
+/// all three async protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgKind {
+    /// Discovery pull (`Probe` in every protocol).
+    Probe,
+    /// A completeness announcement (`Completeness` / `Completeness(x)`).
+    Completeness,
+    /// An announcement acknowledgment (`Ack` / `Ack(x)`).
+    Ack,
+    /// A token request.
+    Request,
+    /// A token payload.
+    Token,
+    /// A random-walk ownership transfer.
+    Walk,
+    /// A walk-transfer acknowledgment.
+    WalkAck,
+    /// A center self-identification.
+    CenterAnnounce,
+}
+
+/// What a transcript records about one message: the protocol facts the
+/// auditor reasons over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgSummary {
+    /// The message family.
+    pub kind: MsgKind,
+    /// The token carried, for token-bearing messages.
+    pub token: Option<TokenId>,
+    /// The transfer sequence number, for walk messages.
+    pub seq: Option<u64>,
+    /// The announced source, for multi-source completeness traffic.
+    pub source: Option<NodeId>,
+}
+
+impl MsgSummary {
+    /// A summary carrying only a kind.
+    pub fn bare(kind: MsgKind) -> Self {
+        MsgSummary {
+            kind,
+            token: None,
+            seq: None,
+            source: None,
+        }
+    }
+
+    /// Folds this summary into the FNV-1a chain state.
+    fn digest_into(&self, h: u64) -> u64 {
+        let mut bytes = [0u8; 1 + 1 + 4 + 1 + 8 + 1 + 4];
+        bytes[0] = self.kind as u8;
+        bytes[1] = self.token.is_some() as u8;
+        bytes[2..6].copy_from_slice(&self.token.map_or(0, |t| t.index() as u32).to_le_bytes());
+        bytes[6] = self.seq.is_some() as u8;
+        bytes[7..15].copy_from_slice(&self.seq.unwrap_or(0).to_le_bytes());
+        bytes[15] = self.source.is_some() as u8;
+        bytes[16..20].copy_from_slice(&self.source.map_or(0, |s| s.index() as u32).to_le_bytes());
+        fnv1a(&[&h.to_le_bytes()[..], &bytes[..]].concat())
+    }
+}
+
+/// Opt-in summarization of a protocol's messages for transcript auditing.
+///
+/// The summary must determine the payload (all three async ports' message
+/// types are fully described by kind + token + seq + source), so equal
+/// summaries mean equal wire messages — what lets the chain hash stand in
+/// for a signature over the payload.
+pub trait AuditMsg: Clone {
+    /// The protocol facts of this message.
+    fn summarize(&self) -> MsgSummary;
+}
+
+impl AuditMsg for AsyncSsMsg {
+    fn summarize(&self) -> MsgSummary {
+        match self {
+            AsyncSsMsg::Probe => MsgSummary::bare(MsgKind::Probe),
+            AsyncSsMsg::Completeness => MsgSummary::bare(MsgKind::Completeness),
+            AsyncSsMsg::Ack => MsgSummary::bare(MsgKind::Ack),
+            AsyncSsMsg::Request(t) => MsgSummary {
+                token: Some(*t),
+                ..MsgSummary::bare(MsgKind::Request)
+            },
+            AsyncSsMsg::Token(t) => MsgSummary {
+                token: Some(*t),
+                ..MsgSummary::bare(MsgKind::Token)
+            },
+        }
+    }
+}
+
+impl AuditMsg for AsyncMsMsg {
+    fn summarize(&self) -> MsgSummary {
+        match self {
+            AsyncMsMsg::Probe => MsgSummary::bare(MsgKind::Probe),
+            AsyncMsMsg::Completeness(x) => MsgSummary {
+                source: Some(*x),
+                ..MsgSummary::bare(MsgKind::Completeness)
+            },
+            AsyncMsMsg::Ack(x) => MsgSummary {
+                source: Some(*x),
+                ..MsgSummary::bare(MsgKind::Ack)
+            },
+            AsyncMsMsg::Request(t) => MsgSummary {
+                token: Some(*t),
+                ..MsgSummary::bare(MsgKind::Request)
+            },
+            AsyncMsMsg::Token(t) => MsgSummary {
+                token: Some(*t),
+                ..MsgSummary::bare(MsgKind::Token)
+            },
+        }
+    }
+}
+
+impl AuditMsg for AsyncOblMsg {
+    fn summarize(&self) -> MsgSummary {
+        match self {
+            AsyncOblMsg::Probe => MsgSummary::bare(MsgKind::Probe),
+            AsyncOblMsg::CenterAnnounce => MsgSummary::bare(MsgKind::CenterAnnounce),
+            AsyncOblMsg::Walk { token, seq } => MsgSummary {
+                token: Some(*token),
+                seq: Some(*seq),
+                ..MsgSummary::bare(MsgKind::Walk)
+            },
+            AsyncOblMsg::WalkAck { token, seq } => MsgSummary {
+                token: Some(*token),
+                seq: Some(*seq),
+                ..MsgSummary::bare(MsgKind::WalkAck)
+            },
+        }
+    }
+}
+
+/// Whether an entry records a send or a consumed delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Direction {
+    /// The node sent this message (recorded before link planning).
+    Sent,
+    /// The node consumed this message copy from its mailbox.
+    Received,
+}
+
+/// One line of a node's transcript.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranscriptEntry {
+    /// Send or receive.
+    pub dir: Direction,
+    /// The other endpoint (destination of a send, sender of a receive).
+    pub peer: NodeId,
+    /// Virtual time of the event.
+    pub at: VirtualTime,
+    /// The recorded protocol facts.
+    pub summary: MsgSummary,
+}
+
+/// One node's append-only, chain-hashed message log.
+#[derive(Clone, Debug, Default)]
+pub struct Transcript {
+    entries: Vec<TranscriptEntry>,
+    chain: u64,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Transcript {
+            entries: Vec::new(),
+            chain: fnv1a(b"dynspread-transcript-v1"),
+        }
+    }
+
+    /// Appends an entry and folds it into the chain hash.
+    pub(crate) fn append(
+        &mut self,
+        dir: Direction,
+        peer: NodeId,
+        at: VirtualTime,
+        summary: MsgSummary,
+    ) {
+        let mut h = self.chain;
+        let peer_bytes = (peer.index() as u32).to_le_bytes();
+        h = fnv1a(&[&h.to_le_bytes()[..], &[dir as u8], &peer_bytes[..]].concat());
+        h = fnv1a(&[&h.to_le_bytes()[..], &at.to_le_bytes()].concat());
+        self.chain = summary.digest_into(h);
+        self.entries.push(TranscriptEntry {
+            dir,
+            peer,
+            at,
+            summary,
+        });
+    }
+
+    /// The recorded entries, in execution order.
+    pub fn entries(&self) -> &[TranscriptEntry] {
+        &self.entries
+    }
+
+    /// The running chain digest over every appended entry — the
+    /// signature stand-in: byte-identical across seeded replays,
+    /// different on any divergence.
+    pub fn chain_hash(&self) -> u64 {
+        self.chain
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_hash_is_order_sensitive_and_deterministic() {
+        let a = MsgSummary::bare(MsgKind::Probe);
+        let b = MsgSummary {
+            token: Some(TokenId::new(3)),
+            seq: Some(7),
+            ..MsgSummary::bare(MsgKind::Walk)
+        };
+        let mut t1 = Transcript::new();
+        t1.append(Direction::Sent, NodeId::new(1), 5, a);
+        t1.append(Direction::Received, NodeId::new(2), 9, b);
+        let mut t2 = Transcript::new();
+        t2.append(Direction::Sent, NodeId::new(1), 5, a);
+        t2.append(Direction::Received, NodeId::new(2), 9, b);
+        assert_eq!(t1.chain_hash(), t2.chain_hash(), "replay-identical");
+        let mut t3 = Transcript::new();
+        t3.append(Direction::Received, NodeId::new(2), 9, b);
+        t3.append(Direction::Sent, NodeId::new(1), 5, a);
+        assert_ne!(t1.chain_hash(), t3.chain_hash(), "order matters");
+        assert_eq!(t1.len(), 2);
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn summaries_distinguish_the_wire_messages() {
+        let msgs = [
+            AsyncOblMsg::Probe,
+            AsyncOblMsg::CenterAnnounce,
+            AsyncOblMsg::Walk {
+                token: TokenId::new(0),
+                seq: 1,
+            },
+            AsyncOblMsg::Walk {
+                token: TokenId::new(1),
+                seq: 1,
+            },
+            AsyncOblMsg::WalkAck {
+                token: TokenId::new(0),
+                seq: 1,
+            },
+        ];
+        for (i, a) in msgs.iter().enumerate() {
+            for (j, b) in msgs.iter().enumerate() {
+                assert_eq!(
+                    a.summarize() == b.summarize(),
+                    i == j,
+                    "summary must determine the payload"
+                );
+            }
+        }
+    }
+}

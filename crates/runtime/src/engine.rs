@@ -24,6 +24,7 @@
 //! (`EventProtocol::Msg` is an arbitrary `Clone` type; Definition 1.1
 //! metering belongs to the round-based surfaces).
 
+use crate::byzantine::transcript::{AuditMsg, Direction, MsgSummary, Transcript};
 use crate::event::{EventQueue, VirtualTime};
 use crate::link::LinkModel;
 use crate::mailbox::Mailbox;
@@ -119,6 +120,39 @@ impl<M: Clone> EventCtx<'_, M> {
     /// id (delivered to [`EventProtocol::on_timer`]).
     pub fn set_timer(&mut self, delay: VirtualTime, id: u64) {
         self.timers.push((delay, id));
+    }
+
+    /// Number of send ops staged so far in this dispatch — the bookmark a
+    /// wrapping protocol takes before delegating to its inner handler, so
+    /// it can tamper with exactly the ops the handler staged.
+    pub(crate) fn staged_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Visits the ops staged since `start`, letting the Byzantine
+    /// misbehavior layer mutate each payload in place or drop the op
+    /// entirely (return `false`). The closure also sees the op's
+    /// destination slice. Honest code never calls this; it exists so
+    /// `Misbehaving<P>` can corrupt *outgoing* traffic without the inner
+    /// protocol's cooperation.
+    pub(crate) fn tamper_staged(
+        &mut self,
+        start: usize,
+        mut f: impl FnMut(&mut M, &[NodeId]) -> bool,
+    ) {
+        let mut i = start;
+        while i < self.ops.len() {
+            let op = &mut self.ops[i];
+            let dests = &self.dests[op.first as usize..(op.first + op.count) as usize];
+            if f(&mut op.msg, dests) {
+                i += 1;
+            } else {
+                // Dropping the op leaves its destination range allocated
+                // but unreferenced; other ops' (first, count) ranges are
+                // untouched.
+                self.ops.remove(i);
+            }
+        }
     }
 }
 
@@ -221,6 +255,10 @@ pub struct EventSim<P: EventProtocol, A: Adversary, L: LinkModel> {
     rng: StdRng,
     clock: VirtualTime,
     tracker: Option<TokenTracker>,
+    // Transcript auditing (None = disabled, the default: honest runs pay
+    // one pointer check per dispatch and nothing else).
+    summarize: Option<fn(&P::Msg) -> MsgSummary>,
+    transcripts: Vec<Transcript>,
     // Scratch reused across dispatches.
     ops: Vec<SendOp<P::Msg>>,
     dests: Vec<NodeId>,
@@ -270,6 +308,8 @@ where
             rng: StdRng::seed_from_u64(seed),
             clock: 0,
             tracker: None,
+            summarize: None,
+            transcripts: Vec::new(),
             ops: Vec::new(),
             dests: Vec::new(),
             timers: Vec::new(),
@@ -318,6 +358,27 @@ where
     /// The tracker, when tracking is enabled.
     pub fn tracker(&self) -> Option<&TokenTracker> {
         self.tracker.as_ref()
+    }
+
+    /// Enables per-node transcript recording (the accountability layer's
+    /// signed-log stand-in): from here on every send is logged at the
+    /// sender — one entry per destination, **before** link planning, so
+    /// dropped and unroutable sends are still on the record — and every
+    /// consumed delivery is logged at the receiver, each folded into a
+    /// deterministic chain hash. Requires the protocol's message type to
+    /// opt in via [`AuditMsg`]. Call before [`EventSim::run`].
+    pub fn record_transcripts(&mut self)
+    where
+        P::Msg: AuditMsg,
+    {
+        self.summarize = Some(<P::Msg as AuditMsg>::summarize);
+        self.transcripts = (0..self.nodes.len()).map(|_| Transcript::new()).collect();
+    }
+
+    /// The recorded transcripts, indexed by node (empty slice when
+    /// recording was never enabled).
+    pub fn transcripts(&self) -> &[Transcript] {
+        &self.transcripts
     }
 
     /// The current virtual time.
@@ -374,6 +435,9 @@ where
                 .as_ref()
                 .map_or(0, TokenTracker::total_learnings),
             unroutable: self.unroutable,
+            byzantine_nodes: 0,
+            violations_detected: 0,
+            evidence_verdicts: 0,
             meter_sampling: 1,
         }
     }
@@ -423,6 +487,16 @@ where
                     to.index() < self.nodes.len(),
                     "{v} sent to out-of-range node {to}"
                 );
+                if let Some(summarize) = self.summarize {
+                    // The sender's signed statement: recorded before the
+                    // link (or routability) decides the copy's fate.
+                    self.transcripts[v.index()].append(
+                        Direction::Sent,
+                        to,
+                        self.clock,
+                        summarize(&op.msg),
+                    );
+                }
                 self.transmissions += 1;
                 if !self.dg.current().has_edge(v, to) {
                     // No edge, no channel: dropped at the source (see
@@ -494,6 +568,17 @@ where
                     self.mailboxes[to.index()].deliver(self.clock, from, msg);
                     let env = self.mailboxes[to.index()].pop().expect("just delivered");
                     self.copies_delivered += 1;
+                    if let Some(summarize) = self.summarize {
+                        // Logged at consumption, before any sends the
+                        // handler stages — so a receive always precedes
+                        // its own acknowledgment in transcript order.
+                        self.transcripts[to.index()].append(
+                            Direction::Received,
+                            env.from,
+                            self.clock,
+                            summarize(&env.msg),
+                        );
+                    }
                     self.dispatch(
                         to,
                         Event::Deliver {

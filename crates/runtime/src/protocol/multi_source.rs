@@ -128,6 +128,11 @@ impl AsyncMultiSource {
         self.core.is_complete()
     }
 
+    /// The shared source map (read-only).
+    pub fn source_map(&self) -> &SourceMap {
+        &self.map
+    }
+
     /// The minimum incomplete source with a known-complete peer — the
     /// request focus ("pick the minimum `x ∉ I_v` with `S_v(x) ≠ ∅`").
     fn active_source(&self) -> Option<usize> {

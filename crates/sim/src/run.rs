@@ -50,6 +50,18 @@ pub struct RunReport {
     /// replying to a peer whose edge has churned away is a normal hazard,
     /// not a protocol bug.
     pub unroutable: u64,
+    /// Nodes executing under a Byzantine misbehavior plan. Always 0 for
+    /// the synchronous round engines and for honest asynchronous runs;
+    /// set only by the `dynspread-runtime` Byzantine harness.
+    pub byzantine_nodes: usize,
+    /// Protocol violations detected by the post-run evidence auditor
+    /// (one per distinct violation, each pinned to a guilty node). 0 for
+    /// sync engines and honest runs.
+    pub violations_detected: u64,
+    /// Distinct nodes indicted by the evidence auditor. 0 for sync
+    /// engines and honest runs, and — by the auditor's soundness
+    /// contract — never counts an honest node.
+    pub evidence_verdicts: u64,
     /// The deterministic metering sample factor the run was metered with
     /// (1 = fully exact, the default). When > 1, `total_messages` and the
     /// per-mode totals are still exact, but `by_class` attribution was
@@ -91,6 +103,9 @@ impl RunReport {
             topology,
             learnings,
             unroutable: 0,
+            byzantine_nodes: 0,
+            violations_detected: 0,
+            evidence_verdicts: 0,
             meter_sampling: meter.sampling(),
         }
     }
@@ -146,6 +161,13 @@ impl std::fmt::Display for RunReport {
             write!(f, ", {} unroutable", self.unroutable)?;
         }
         writeln!(f)?;
+        if self.byzantine_nodes > 0 || self.violations_detected > 0 {
+            writeln!(
+                f,
+                "  byzantine: {} nodes, {} violations detected, {} indicted",
+                self.byzantine_nodes, self.violations_detected, self.evidence_verdicts
+            )?;
+        }
         for c in MessageClass::ALL {
             if self.class(c) > 0 {
                 writeln!(f, "    {:>16}: {}", c.label(), self.class(c))?;
@@ -227,5 +249,19 @@ mod tests {
         assert!(!r.to_string().contains("unroutable"));
         r.unroutable = 7;
         assert!(r.to_string().contains("7 unroutable"));
+    }
+
+    #[test]
+    fn byzantine_counters_default_to_zero_and_show_when_set() {
+        let mut r = sample_report();
+        assert_eq!(r.byzantine_nodes, 0, "honest runs carry no misbehavior");
+        assert_eq!(r.violations_detected, 0);
+        assert_eq!(r.evidence_verdicts, 0);
+        assert!(!r.to_string().contains("byzantine"));
+        r.byzantine_nodes = 3;
+        r.violations_detected = 5;
+        r.evidence_verdicts = 2;
+        let s = r.to_string();
+        assert!(s.contains("byzantine: 3 nodes, 5 violations detected, 2 indicted"));
     }
 }

@@ -245,3 +245,58 @@ fn every_node_knows_every_token_at_the_end() {
     let p1 = out.phase1.as_ref().unwrap();
     assert_eq!(p1.learnings + out.phase2.learnings, (n * n - n) as u64);
 }
+
+#[test]
+fn forged_transfer_acks_cannot_destroy_honest_ownership() {
+    // Regression for the Byzantine hand-off: a `ForgeTransfers` node
+    // acks walk transfers it never applies, convincing honest senders
+    // that ownership moved and destroying the token's last claimant.
+    // The Byzantine driver's hand-off must recover every such token
+    // from its original holder (never panic), end with all k tokens
+    // owned by someone, and the auditor must pin each destroyed token
+    // on the thief.
+    use dynspread::runtime::byzantine::{
+        run_byzantine_oblivious, MisbehaviorKind, MisbehaviorPlan, Violation,
+    };
+    let n = 14;
+    let assignment = TokenAssignment::n_gossip(n);
+    let plan = MisbehaviorPlan::with_kinds(n, 0.25, &[MisbehaviorKind::ForgeTransfers], 21);
+    assert!(plan.byzantine_nodes() >= 2);
+    let out = run_byzantine_oblivious(
+        &assignment,
+        StaticAdversary::new(Graph::complete(n)),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 22),
+        DropLink::new(0.1).with_jitter(1),
+        DropLink::new(0.1).with_jitter(1),
+        &async_two_phase_config(21),
+        &plan,
+    );
+    // The honest runner would panic on a destroyed claimant; the
+    // Byzantine driver recovers instead, and the thefts are convicted.
+    assert!(out.injected > 0, "planted thieves never stole anything");
+    assert!(
+        out.stolen_recovered > 0,
+        "forged acks should have destroyed at least one claimant"
+    );
+    let thefts: Vec<_> = out
+        .evidence
+        .iter()
+        .filter(|e| matches!(e.violation, Violation::TransferTheft { .. }))
+        .collect();
+    assert!(
+        thefts.len() >= out.stolen_recovered,
+        "every recovered token needs a convicted thief: {} recovered, {:?}",
+        out.stolen_recovered,
+        out.evidence
+    );
+    for e in &out.evidence {
+        assert!(
+            plan.is_malicious(e.culprit),
+            "honest {} indicted",
+            e.culprit
+        );
+    }
+    // Conservation restored: phase 2 disseminates everything.
+    assert!(out.completed, "{:?}", out.phase2);
+    assert_eq!(out.honest_coverage, 1.0);
+}

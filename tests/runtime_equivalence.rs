@@ -166,6 +166,69 @@ fn perfect_link_multi_source_matches_sync_engine() {
     );
 }
 
+/// The Byzantine counters are part of the equivalence contract: sync
+/// engines and honest async runs report zeros, and wrapping every node
+/// with an honest [`MisbehaviorPlan`] is an identity — the wrapped run
+/// reproduces the unwrapped one byte for byte (transcript recording is
+/// pure observation).
+#[test]
+fn honest_byzantine_wrap_is_an_identity_and_counters_default_to_zero() {
+    use dynspread::runtime::byzantine::{run_byzantine_single_source, MisbehaviorPlan};
+    use dynspread::runtime::engine::EventSim;
+    use dynspread::runtime::link::DropLink;
+    use dynspread::runtime::protocol::{AsyncConfig, AsyncSingleSource};
+
+    let (n, k) = (10, 6);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+
+    // Sync engine: the counters exist but are always zero.
+    let mut sync_sim = UnicastSim::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        StaticAdversary::new(Graph::cycle(n)),
+        &assignment,
+        SimConfig::with_max_rounds(MAX_ROUNDS),
+    );
+    let rs = sync_sim.run_to_completion();
+    assert!(rs.completed);
+    assert_eq!(rs.byzantine_nodes, 0);
+    assert_eq!(rs.violations_detected, 0);
+    assert_eq!(rs.evidence_verdicts, 0);
+    assert!(!format!("{rs}").contains("byzantine"));
+
+    // Honest async run, unwrapped.
+    let mut honest = EventSim::with_tracking(
+        AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 9),
+        DropLink::new(0.2).with_jitter(1),
+        2,
+        33,
+        &assignment,
+    );
+    let honest_event = honest.run(200_000);
+    let honest_report = honest.run_report("byz-async-single-source");
+    assert_eq!(honest_report.byzantine_nodes, 0);
+    assert_eq!(honest_report.violations_detected, 0);
+    assert_eq!(honest_report.evidence_verdicts, 0);
+
+    // Same run through the Byzantine driver with an all-honest plan.
+    let out = run_byzantine_single_source(
+        &assignment,
+        PeriodicRewiring::new(Topology::RandomTree, 3, 9),
+        DropLink::new(0.2).with_jitter(1),
+        2,
+        33,
+        AsyncConfig::default(),
+        &MisbehaviorPlan::honest(n),
+        200_000,
+    );
+    assert_eq!(format!("{:?}", out.event), format!("{honest_event:?}"));
+    assert_eq!(format!("{:?}", out.report), format!("{honest_report:?}"));
+    assert!(out.evidence.is_empty());
+    assert_eq!(out.injected, 0);
+    assert_eq!(out.honest_coverage, 1.0);
+}
+
 /// Sanity: the equivalence is *not* vacuous — a lossy link produces a
 /// different execution (more rounds or different message counts) but the
 /// run still completes under a dynamic adversary.

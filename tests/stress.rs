@@ -65,3 +65,72 @@ fn n_gossip_at_scale_with_the_oblivious_algorithm() {
     assert!(out.completed());
     assert!(out.centers.len() < n);
 }
+
+#[test]
+#[ignore = "large-scale run; use --release"]
+fn byzantine_stress_soundness_at_scale() {
+    // 40-node gossip under a hostile link (30% drop + duplication +
+    // jitter) with 15% of the nodes malicious, cycling through every
+    // misbehavior kind. The auditor must stay sound at scale (only
+    // planted nodes indicted), every token must end phase 1 with an
+    // owner (theft recovered, not destroyed), and the whole run —
+    // verdicts included — must be byte-identical under seeded replay.
+    use dynspread::graph::oblivious::StaticAdversary;
+    use dynspread::graph::Graph;
+    use dynspread::runtime::byzantine::{
+        run_byzantine_oblivious, MisbehaviorKind, MisbehaviorPlan,
+    };
+    use dynspread::runtime::link::{DropLink, LinkModelExt};
+    use dynspread::runtime::protocol::AsyncObliviousConfig;
+
+    let n = 40usize;
+    let assignment = TokenAssignment::n_gossip(n);
+    let plan = MisbehaviorPlan::with_kinds(n, 0.15, &MisbehaviorKind::ALL, 77);
+    assert!(plan.byzantine_nodes() == 6);
+    let cfg = AsyncObliviousConfig {
+        seed: 77,
+        source_threshold: Some(1.0),
+        center_probability: Some(0.2),
+        phase1_deadline: 30_000,
+        phase1_max_time: 80_000,
+        ..AsyncObliviousConfig::default()
+    };
+    let run = || {
+        run_byzantine_oblivious(
+            &assignment,
+            StaticAdversary::new(Graph::complete(n)),
+            PeriodicRewiring::new(Topology::RandomTree, 3, 78),
+            DropLink::new(0.3).duplicating(0.3).with_jitter(2),
+            DropLink::new(0.3).duplicating(0.3).with_jitter(2),
+            &cfg,
+            &plan,
+        )
+    };
+    let out = run();
+    assert!(out.injected > 0, "six malicious nodes never misbehaved");
+    assert!(
+        !out.evidence.is_empty(),
+        "misbehavior at this scale must leave evidence"
+    );
+    for e in &out.evidence {
+        assert!(
+            plan.is_malicious(e.culprit),
+            "honest {} indicted: {e:?}",
+            e.culprit
+        );
+    }
+    // Degradation is measured, not fatal: honest nodes keep most of the
+    // token universe even under 15% malicious + 30% loss.
+    assert!(
+        out.honest_coverage > 0.5,
+        "honest coverage collapsed: {}",
+        out.honest_coverage
+    );
+    // Byte-identical replay, verdicts and all.
+    let again = run();
+    assert_eq!(
+        format!("{:?}", out.evidence),
+        format!("{:?}", again.evidence)
+    );
+    assert_eq!(format!("{:?}", out.report), format!("{:?}", again.report));
+}

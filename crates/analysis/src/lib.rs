@@ -15,6 +15,9 @@
 //!   Section 2 lower bound throttles).
 //! * [`table`] — aligned ASCII tables and CSV output, used to regenerate
 //!   the paper's Table 1 and the per-theorem experiment reports.
+//! * [`trace`] — deterministic-trace analysis: per-kind event census,
+//!   coverage-vs-virtual-time progress curves, and a two-trace diff
+//!   whose first divergent line localizes determinism violations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +28,10 @@ pub mod plot;
 pub mod progress;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use competitive::{competitive_records, worst_ratio, CompetitiveRecord};
 pub use fit::{linear_fit, power_law_fit, LinearFit};
 pub use stats::Summary;
 pub use table::Table;
+pub use trace::{coverage_curve, first_divergence, kind_counts, TraceDivergence};

@@ -18,7 +18,12 @@
 //! The default 30% tolerance absorbs shared-runner noise, and grid
 //! cells whose baseline wall time is under `--min-wall-ms` (default
 //! 40 ms) are not gated at all — a single sub-50 ms run jitters past
-//! any tolerance on a shared runner. What the gate catches is the
+//! any tolerance on a shared runner. The `core` microbench family has
+//! no wall floor to hide behind (each metric is a sub-millisecond
+//! median, and CI measures `bench_core` straight after the all-cores
+//! `exp_scale` step, which shifts the whole distribution), so those
+//! metrics are gated at **double** the tolerance instead of being
+//! dropped. What the gate catches is the
 //! step-function regressions (an accidental O(n) in the event loop, a
 //! lost batching path) that used to be able to land silently because
 //! nothing ever *read* the perf artifacts in CI. When a legitimate
@@ -26,10 +31,9 @@
 //! baselines in the same PR — the gate then documents the new level
 //! instead of blocking it.
 //!
-//! `--byzantine` is special-cased: the grid is new and a baseline may
-//! not be committed yet, so a missing baseline file is a skip (with a
-//! note), not an error. Once a baseline lands the comparison joins the
-//! gate with the same tolerance and wall floor.
+//! `--byzantine` joins the gate like the other artifacts — a committed
+//! `BENCH_byzantine.json` baseline exists, so a missing baseline file is
+//! an error, and the comparison uses the same tolerance and wall floor.
 
 use dynspread_bench::check::{byzantine_deltas, core_deltas, runtime_deltas, Delta, Json};
 
@@ -90,13 +94,6 @@ fn main() {
         deltas.extend(runtime_deltas(&load(base), &load(fresh), min_wall_ms));
     }
     for (base, fresh) in &byzantine_files {
-        if !std::path::Path::new(base).exists() {
-            println!(
-                "bench_check: no committed {base} baseline yet — skipping the \
-                 Byzantine grid (fresh run at {fresh})"
-            );
-            continue;
-        }
         deltas.extend(byzantine_deltas(&load(base), &load(fresh), min_wall_ms));
         compared_files += 1;
     }
@@ -109,18 +106,27 @@ fn main() {
         "bench_check: no comparable metrics found — baseline and fresh artifacts share no cells"
     );
 
+    // The core microbenches are sub-millisecond medians with no wall
+    // floor to exempt them, and CI runs bench_core right after the
+    // all-cores exp_scale smoke — residual load shifts their whole
+    // sample distribution by far more than grid-cell jitter. Double
+    // tolerance keeps them gated (a real step-function regression is
+    // 5-10x) without crying wolf.
+    let tol_for =
+        |d: &Delta| -> f64 { tolerance * if d.key.starts_with("core ") { 2.0 } else { 1.0 } };
     println!(
-        "{:<44} {:>12} {:>12} {:>9}   (tolerance +{:.0}%)",
+        "{:<44} {:>12} {:>12} {:>9}   (tolerance +{:.0}%, core +{:.0}%)",
         "metric",
         "baseline",
         "fresh",
         "delta",
-        tolerance * 100.0
+        tolerance * 100.0,
+        tolerance * 200.0
     );
     println!("{}", "-".repeat(84));
     let mut regressions = Vec::new();
     for d in &deltas {
-        let verdict = if d.regressed(tolerance) {
+        let verdict = if d.regressed(tol_for(d)) {
             regressions.push(d.key.clone());
             "  REGRESSED"
         } else {
@@ -131,16 +137,14 @@ fn main() {
     println!("{}", "-".repeat(84));
     if regressions.is_empty() {
         println!(
-            "bench_check: OK — {} metrics within +{:.0}% of baseline",
-            deltas.len(),
-            tolerance * 100.0
+            "bench_check: OK — {} metrics within tolerance of baseline",
+            deltas.len()
         );
     } else {
         eprintln!(
-            "bench_check: FAILED — {}/{} metrics regressed beyond +{:.0}%:",
+            "bench_check: FAILED — {}/{} metrics regressed beyond tolerance:",
             regressions.len(),
-            deltas.len(),
-            tolerance * 100.0
+            deltas.len()
         );
         for key in &regressions {
             eprintln!("  {key}");

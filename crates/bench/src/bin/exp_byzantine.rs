@@ -23,8 +23,9 @@
 //!   `cargo run --release -p dynspread-bench --bin exp_byzantine [--smoke] [OUT.json]`
 //!
 //! `--smoke` runs the fraction ∈ {0, 15%} columns only — the CI guard.
-//! Results go to `BENCH_byzantine.json` (default); `bench_check` accepts
-//! the file as an optional baseline (no regression gate yet).
+//! Results go to `BENCH_byzantine.json` (default); `bench_check
+//! --byzantine` gates fresh runs against the committed baseline (wall
+//! times on matched cells, plus coverage/violations must not regress).
 
 use dynspread_analysis::table::{fmt_f64, Table};
 use dynspread_bench::{derive_seed, par_map};
@@ -201,14 +202,21 @@ fn main() {
     // Fraction 0 collapses to one honest row per protocol.
     let mut jobs: Vec<(&'static str, f64, Option<MisbehaviorKind>, u64)> = Vec::new();
     for (pi, &p) in PROTOCOLS.iter().enumerate() {
-        for (fi, &frac) in fractions.iter().enumerate() {
+        for &frac in fractions {
             let kinds: Vec<Option<MisbehaviorKind>> = if frac == 0.0 {
                 vec![None]
             } else {
                 MisbehaviorKind::ALL.iter().copied().map(Some).collect()
             };
+            // Seed from the fraction's *value*, not its grid index: the
+            // smoke grid is a subset of the full grid's fractions, and
+            // bench_check matches cells on (protocol, fraction, kind) —
+            // an index-derived seed would hand the "same" cell different
+            // executions in smoke vs full runs, making their wall times
+            // incomparable.
+            let pct = (frac * 100.0) as u64;
             for (ki, kind) in kinds.into_iter().enumerate() {
-                let seed = derive_seed(base_seed, ((pi * 16 + fi) * 16 + ki) as u64);
+                let seed = derive_seed(base_seed, (pi as u64 * 101 + pct) * 16 + ki as u64);
                 jobs.push((p, frac, kind, seed));
             }
         }

@@ -28,6 +28,7 @@
 //! | `exp_async_vs_sync` | retransmission premium of the async ports vs the lossless sync reference |
 //! | `exp_scale` | n ∈ {1k, 2k, 4k, 8k} grid over flooding / single-source / multi-source / async single-source / async oblivious; writes `BENCH_runtime.json` |
 //! | `exp_oblivious_async` | drop × jitter sweep of the asynchronous two-phase oblivious pipeline |
+//! | `exp_profile` | wall-clock phase attribution of the engines (self-profiler); writes `BENCH_profile.json` |
 //! | `bench_check` | CI perf-regression gate: fresh `exp_scale --smoke` + `bench_core` vs the committed baselines (see [`check`]) |
 
 #![forbid(unsafe_code)]
@@ -89,6 +90,68 @@ pub fn run_single_source_with_policy<A: UnicastAdversary<SsMsg>>(
         &assignment,
         SimConfig::with_max_rounds(max_rounds),
     );
+    sim.run_to_completion()
+}
+
+/// Runs Single-Source-Unicast with wall-clock self-profiling enabled —
+/// the report carries [`RunReport::profile`] phase attribution. Used by
+/// `exp_profile`.
+pub fn run_single_source_profiled<A: UnicastAdversary<SsMsg>>(
+    n: usize,
+    k: usize,
+    adversary: A,
+    max_rounds: Round,
+) -> RunReport {
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let nodes = NodeId::all(n)
+        .map(|v| SingleSourceNode::with_policy(v, &assignment, RequestPolicy::Prioritized))
+        .collect();
+    let mut sim = UnicastSim::new(
+        "single-source-unicast",
+        nodes,
+        adversary,
+        &assignment,
+        SimConfig::with_max_rounds(max_rounds),
+    );
+    sim.enable_profiling();
+    sim.run_to_completion()
+}
+
+/// Runs Multi-Source-Unicast with wall-clock self-profiling enabled
+/// (see [`run_single_source_profiled`]).
+pub fn run_multi_source_profiled<A>(
+    assignment: &TokenAssignment,
+    adversary: A,
+    max_rounds: Round,
+) -> RunReport
+where
+    A: UnicastAdversary<dynspread_core::multi_source::MsMsg>,
+{
+    let (nodes, _map) = MultiSourceNode::nodes(assignment);
+    let mut sim = UnicastSim::new(
+        "multi-source-unicast",
+        nodes,
+        adversary,
+        assignment,
+        SimConfig::with_max_rounds(max_rounds),
+    );
+    sim.enable_profiling();
+    sim.run_to_completion()
+}
+
+/// Runs phased flooding with wall-clock self-profiling enabled
+/// (see [`run_single_source_profiled`]).
+pub fn run_phased_flooding_profiled<A>(
+    assignment: &TokenAssignment,
+    adversary: A,
+    cfg: SimConfig,
+) -> RunReport
+where
+    A: BroadcastAdversary<dynspread_core::flooding::BcastMsg>,
+{
+    let nodes = PhasedFlooding::nodes(assignment);
+    let mut sim = BroadcastSim::new("phased-flooding", nodes, adversary, assignment, cfg);
+    sim.enable_profiling();
     sim.run_to_completion()
 }
 

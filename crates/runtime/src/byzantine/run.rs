@@ -88,6 +88,7 @@ fn coverage_of<'a>(
 /// # Panics
 ///
 /// Panics if the plan's node count differs from the assignment's.
+#[allow(clippy::too_many_arguments)] // wrap→run→audit one-stop driver
 pub fn run_byzantine_single_source<A, L>(
     assignment: &TokenAssignment,
     adversary: A,
@@ -137,6 +138,7 @@ where
 /// # Panics
 ///
 /// Panics if the plan's node count differs from the assignment's.
+#[allow(clippy::too_many_arguments)] // wrap→run→audit one-stop driver
 pub fn run_byzantine_multi_source<A, L>(
     assignment: &TokenAssignment,
     adversary: A,

@@ -31,7 +31,9 @@ use crate::mailbox::Mailbox;
 use dynspread_graph::adversary::Adversary;
 use dynspread_graph::{DynamicGraph, NodeId, Round};
 use dynspread_sim::message::MessageClass;
+use dynspread_sim::profile::{self, Phase, Profiler};
 use dynspread_sim::token::{TokenAssignment, TokenSet};
+use dynspread_sim::trace::{emit, TraceRecord, Tracer};
 use dynspread_sim::tracker::TokenTracker;
 use dynspread_sim::RunReport;
 use rand::rngs::StdRng;
@@ -57,6 +59,8 @@ pub struct EventCtx<'a, M> {
     ops: &'a mut Vec<SendOp<M>>,
     dests: &'a mut Vec<NodeId>,
     timers: &'a mut Vec<(VirtualTime, u64)>,
+    retrans: &'a mut u64,
+    tracer: &'a mut Option<Box<dyn Tracer>>,
 }
 
 impl<M: Clone> EventCtx<'_, M> {
@@ -120,6 +124,34 @@ impl<M: Clone> EventCtx<'_, M> {
     /// id (delivered to [`EventProtocol::on_timer`]).
     pub fn set_timer(&mut self, delay: VirtualTime, id: u64) {
         self.timers.push((delay, id));
+    }
+
+    /// Reports a retransmission (a heartbeat re-send of an unanswered
+    /// request or announcement). Counted in
+    /// [`EventReport::retransmissions`] and traced as a `retransmit`
+    /// record; call it at the site that re-stages the send.
+    pub fn note_retransmission(&mut self) {
+        *self.retrans += 1;
+        emit(
+            self.tracer,
+            TraceRecord::Retransmission {
+                t: self.now,
+                node: self.me.value(),
+            },
+        );
+    }
+
+    /// Reports a backoff reset (progress observed, heartbeat interval
+    /// snapped back to its base). Traced as a `backoff_reset` record; no
+    /// counter — resets are interesting for trace analysis, not totals.
+    pub fn note_backoff_reset(&mut self) {
+        emit(
+            self.tracer,
+            TraceRecord::BackoffReset {
+                t: self.now,
+                node: self.me.value(),
+            },
+        );
     }
 
     /// Number of send ops staged so far in this dispatch — the bookmark a
@@ -211,6 +243,9 @@ pub struct EventReport {
     pub copies_scheduled: u64,
     /// Copies consumed from mailboxes.
     pub copies_delivered: u64,
+    /// Protocol-reported retransmissions (see
+    /// [`EventCtx::note_retransmission`]).
+    pub retransmissions: u64,
     /// Token learnings observed (0 when tracking is disabled).
     pub learnings: u64,
 }
@@ -219,13 +254,14 @@ impl std::fmt::Display for EventReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:?} at t={} ({} epochs): {} events, {} sent ({} unroutable) → {} scheduled → {} delivered, {} learnings",
+            "{:?} at t={} ({} epochs): {} events, {} sent ({} unroutable, {} retransmits) → {} scheduled → {} delivered, {} learnings",
             self.stopped,
             self.final_time,
             self.epochs,
             self.events,
             self.transmissions,
             self.unroutable,
+            self.retransmissions,
             self.copies_scheduled,
             self.copies_delivered,
             self.learnings
@@ -270,6 +306,11 @@ pub struct EventSim<P: EventProtocol, A: Adversary, L: LinkModel> {
     unroutable: u64,
     copies_scheduled: u64,
     copies_delivered: u64,
+    retransmissions: u64,
+    link_drops: u64,
+    link_dups: u64,
+    tracer: Option<Box<dyn Tracer>>,
+    prof: Option<Profiler>,
 }
 
 impl<P, A, L> EventSim<P, A, L>
@@ -320,7 +361,29 @@ where
             unroutable: 0,
             copies_scheduled: 0,
             copies_delivered: 0,
+            retransmissions: 0,
+            link_drops: 0,
+            link_dups: 0,
+            tracer: None,
+            prof: None,
         }
+    }
+
+    /// Installs a [`Tracer`] receiving the deterministic trace stream
+    /// (epoch boundaries, sends, per-copy link fates, deliveries, timers,
+    /// retransmissions, coverage deltas). Off by default; when off every
+    /// hook point is one predictable branch. Call before [`EventSim::run`].
+    pub fn set_tracer(&mut self, tracer: impl Tracer + 'static) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Enables wall-clock self-profiling: phase attribution is collected
+    /// from here on and surfaced via [`EventSim::run_report`] as
+    /// [`RunReport::profile`]. Call before [`EventSim::run`].
+    pub fn enable_profiling(&mut self) {
+        let mut prof = Profiler::new();
+        prof.begin();
+        self.prof = Some(prof);
     }
 
     /// Like [`EventSim::new`], but with a [`TokenTracker`] observing each
@@ -439,6 +502,11 @@ where
             violations_detected: 0,
             evidence_verdicts: 0,
             meter_sampling: 1,
+            link_sends: self.transmissions,
+            link_drops: self.link_drops,
+            link_duplicates: self.link_dups,
+            retransmissions: self.retransmissions,
+            profile: self.prof.as_ref().map(|p| Box::new(p.report())),
         }
     }
 
@@ -449,6 +517,18 @@ where
             let round = self.dg.round() + 1;
             let update = self.adversary.evolve(round, self.dg.current());
             self.dg.apply(update);
+            if self.tracer.is_some() {
+                let delta = self.dg.last_delta();
+                let (inserted, removed) = (delta.inserted.len() as u64, delta.removed.len() as u64);
+                emit(
+                    &mut self.tracer,
+                    TraceRecord::Round {
+                        r: round,
+                        inserted,
+                        removed,
+                    },
+                );
+            }
         }
     }
 
@@ -466,6 +546,8 @@ where
                 ops: &mut self.ops,
                 dests: &mut self.dests,
                 timers: &mut self.timers,
+                retrans: &mut self.retransmissions,
+                tracer: &mut self.tracer,
             };
             let node = &mut self.nodes[v.index()];
             match event {
@@ -474,8 +556,28 @@ where
                 Event::Timer { id, .. } => node.on_timer(id, &mut ctx),
             }
         }
+        profile::lap(&mut self.prof, Phase::Handler);
         let mut ops = std::mem::take(&mut self.ops);
         let dests = std::mem::take(&mut self.dests);
+        if let Some(summarize) = self.summarize {
+            // The sender's signed statements: recorded before the link
+            // (or routability) decides each copy's fate. Appended for all
+            // ops up front — same per-op, per-destination order as the
+            // planning pass below, and no RNG involved, so splitting the
+            // loops leaves the recorded transcripts (and the execution)
+            // unchanged while isolating transcript cost as its own phase.
+            for op in &ops {
+                for &to in &dests[op.first as usize..(op.first + op.count) as usize] {
+                    self.transcripts[v.index()].append(
+                        Direction::Sent,
+                        to,
+                        self.clock,
+                        summarize(&op.msg),
+                    );
+                }
+            }
+            profile::lap(&mut self.prof, Phase::Transcript);
+        }
         for op in ops.drain(..) {
             // Plan every destination's fate first, then materialize the
             // copies: all but the last clone the payload, the last takes
@@ -487,28 +589,69 @@ where
                     to.index() < self.nodes.len(),
                     "{v} sent to out-of-range node {to}"
                 );
-                if let Some(summarize) = self.summarize {
-                    // The sender's signed statement: recorded before the
-                    // link (or routability) decides the copy's fate.
-                    self.transcripts[v.index()].append(
-                        Direction::Sent,
-                        to,
-                        self.clock,
-                        summarize(&op.msg),
-                    );
-                }
                 self.transmissions += 1;
+                emit(
+                    &mut self.tracer,
+                    TraceRecord::Send {
+                        t: self.clock,
+                        from: v.value(),
+                        to: to.value(),
+                    },
+                );
                 if !self.dg.current().has_edge(v, to) {
                     // No edge, no channel: dropped at the source (see
                     // `EventCtx::send`).
                     self.unroutable += 1;
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::Unroutable {
+                            t: self.clock,
+                            from: v.value(),
+                            to: to.value(),
+                        },
+                    );
                     continue;
                 }
                 self.fates.clear();
                 self.link
                     .plan(v, to, self.clock, &mut self.rng, &mut self.fates);
+                match self.fates.len() {
+                    0 => {
+                        self.link_drops += 1;
+                        emit(
+                            &mut self.tracer,
+                            TraceRecord::Dropped {
+                                t: self.clock,
+                                from: v.value(),
+                                to: to.value(),
+                            },
+                        );
+                    }
+                    1 => {}
+                    k => self.link_dups += (k - 1) as u64,
+                }
                 for &delay in &self.fates {
                     self.plan.push((to, self.clock + delay));
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::Scheduled {
+                            t: self.clock,
+                            from: v.value(),
+                            to: to.value(),
+                            at: self.clock + delay,
+                        },
+                    );
+                }
+                if self.fates.len() > 1 {
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::Duplicated {
+                            t: self.clock,
+                            from: v.value(),
+                            to: to.value(),
+                            extra: (self.fates.len() - 1) as u32,
+                        },
+                    );
                 }
             }
             self.copies_scheduled += self.plan.len() as u64;
@@ -525,16 +668,39 @@ where
         }
         self.ops = ops;
         self.dests = dests;
+        profile::lap(&mut self.prof, Phase::LinkPlanning);
         for &(delay, id) in &self.timers {
             self.queue
                 .schedule(self.clock + delay, Event::Timer { node: v, id });
+            emit(
+                &mut self.tracer,
+                TraceRecord::TimerArmed {
+                    t: self.clock,
+                    node: v.value(),
+                    id,
+                    at: self.clock + delay,
+                },
+            );
         }
+        profile::lap(&mut self.prof, Phase::Timers);
         if let Some(tracker) = &mut self.tracker {
             let know = self.nodes[v.index()]
                 .known_tokens()
                 .expect("tracking requires known_tokens() = Some");
-            tracker.sync_node(v, know, self.dg.round());
+            let gained = tracker.sync_node(v, know, self.dg.round());
+            if gained > 0 {
+                emit(
+                    &mut self.tracer,
+                    TraceRecord::Coverage {
+                        t: self.clock,
+                        node: v.value(),
+                        gained: gained as u32,
+                        known: know.count() as u32,
+                    },
+                );
+            }
         }
+        profile::lap(&mut self.prof, Phase::TrackerSync);
     }
 
     /// Runs the execution until completion (with tracking), quiescence, or
@@ -559,8 +725,10 @@ where
             }
             self.clock = at;
             self.advance_epochs_to(at);
+            profile::lap(&mut self.prof, Phase::AdversaryEvolve);
             let (_, event) = self.queue.pop().expect("peeked");
             self.events += 1;
+            profile::lap(&mut self.prof, Phase::QueuePop);
             match event {
                 Event::Start(v) => self.dispatch(v, Event::Start(v)),
                 Event::Deliver { to, from, msg } => {
@@ -579,6 +747,15 @@ where
                             summarize(&env.msg),
                         );
                     }
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::Delivered {
+                            t: self.clock,
+                            from: env.from.value(),
+                            to: to.value(),
+                        },
+                    );
+                    profile::lap(&mut self.prof, Phase::Delivery);
                     self.dispatch(
                         to,
                         Event::Deliver {
@@ -588,7 +765,17 @@ where
                         },
                     );
                 }
-                Event::Timer { node, id } => self.dispatch(node, Event::Timer { node, id }),
+                Event::Timer { node, id } => {
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::TimerFired {
+                            t: self.clock,
+                            node: node.value(),
+                            id,
+                        },
+                    );
+                    self.dispatch(node, Event::Timer { node, id });
+                }
             }
         };
         EventReport {
@@ -600,6 +787,7 @@ where
             unroutable: self.unroutable,
             copies_scheduled: self.copies_scheduled,
             copies_delivered: self.copies_delivered,
+            retransmissions: self.retransmissions,
             learnings: self
                 .tracker
                 .as_ref()

@@ -105,6 +105,7 @@ pub mod link;
 pub mod mailbox;
 pub mod protocol;
 pub mod sync;
+pub mod trace;
 
 pub use byzantine::{check_evidence, Evidence, Misbehaving, MisbehaviorKind, MisbehaviorPlan};
 pub use engine::{EventCtx, EventProtocol, EventReport, EventSim, StopReason};
@@ -113,3 +114,4 @@ pub use link::{DropLink, LinkModel, LinkModelExt, PerfectLink};
 pub use mailbox::{Envelope, Mailbox};
 pub use protocol::{AsyncConfig, AsyncMultiSource, AsyncSingleSource};
 pub use sync::{BroadcastSynchronizer, UnicastSynchronizer};
+pub use trace::{JsonlTracer, NoopTracer, TraceRecord, Tracer};

@@ -53,7 +53,8 @@ mod single_source;
 
 pub use multi_source::{AsyncMsMsg, AsyncMultiSource};
 pub use oblivious::{
-    run_async_oblivious, AsyncOblMsg, AsyncOblivious, AsyncObliviousConfig, AsyncObliviousOutcome,
+    run_async_oblivious, run_async_oblivious_traced, AsyncOblMsg, AsyncOblivious,
+    AsyncObliviousConfig, AsyncObliviousOutcome,
 };
 pub use single_source::{AsyncSingleSource, AsyncSsMsg};
 

@@ -227,6 +227,7 @@ impl EventProtocol for AsyncMultiSource {
                     .expect("announced source must be a source");
                 if self.ledgers[idx].note_peer_complete(from) {
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                 }
                 ctx.send(from, AsyncMsMsg::Ack(*x));
                 if !self.is_complete() {
@@ -241,6 +242,7 @@ impl EventProtocol for AsyncMultiSource {
                     .expect("acked source must be a source");
                 if self.ledgers[idx].mark_informed(from) {
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                 }
             }
             AsyncMsMsg::Request(t) => {
@@ -255,6 +257,7 @@ impl EventProtocol for AsyncMultiSource {
                 self.core.release(*t);
                 if self.core.accept_token(*t) {
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                     let idx = self.map.source_index_of(*t);
                     self.have_count[idx] += 1;
                     if self.complete_wrt(idx) {
@@ -303,6 +306,7 @@ impl EventProtocol for AsyncMultiSource {
                         self.core.release(t);
                     } else {
                         ctx.send(u, AsyncMsMsg::Request(t));
+                        ctx.note_retransmission();
                         continue;
                     }
                 }

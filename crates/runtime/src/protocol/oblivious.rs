@@ -56,6 +56,7 @@ use dynspread_core::walk::{elect_centers, WalkCore};
 use dynspread_graph::adversary::Adversary;
 use dynspread_graph::NodeId;
 use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+use dynspread_sim::trace::{JsonlTracer, TraceRecord};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -286,6 +287,7 @@ impl EventProtocol for AsyncOblivious {
             AsyncOblMsg::CenterAnnounce => {
                 if self.walk.note_center(from) {
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                 }
             }
             AsyncOblMsg::Walk { token, seq } => {
@@ -298,6 +300,7 @@ impl EventProtocol for AsyncOblivious {
                     self.seen.insert(from, *seq);
                     if self.walk.accept(*token) {
                         self.pacer.note_progress();
+                        ctx.note_backoff_reset();
                     }
                 } else {
                     // Retransmission of an applied transfer: ownership
@@ -320,6 +323,7 @@ impl EventProtocol for AsyncOblivious {
                     self.transfer_seq.remove(&from);
                     self.walk.confirm_transfer(*token);
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                 }
                 // Stale acks (an earlier, since-reclaimed transfer) are
                 // ignored; the hand-off dedups any resulting double claim.
@@ -361,6 +365,7 @@ impl EventProtocol for AsyncOblivious {
         for (&u, &seq) in transfer_seq.iter() {
             let token = window.outstanding(u).expect("window and seq map in sync");
             ctx.send(u, AsyncOblMsg::Walk { token, seq });
+            ctx.note_retransmission();
         }
         // 3. Plan fresh steps into free transfer windows (ownership stays
         //    here until the ack: detach = false).
@@ -541,6 +546,31 @@ where
     L1: LinkModel,
     L2: LinkModel,
 {
+    run_async_oblivious_traced(assignment, adversary1, adversary2, link1, link2, cfg, None)
+}
+
+/// Like [`run_async_oblivious`], but with an optional shared
+/// [`JsonlTracer`] receiving the deterministic trace of *both* internal
+/// engines, stitched by `phase` boundary records (`p:1` for the walk,
+/// `p:2` for the multi-source spread; the few-sources fast path emits
+/// only `p:2`). The caller keeps a clone of the tracer and reads the
+/// combined JSONL after the run. `None` is exactly
+/// [`run_async_oblivious`].
+pub fn run_async_oblivious_traced<A1, A2, L1, L2>(
+    assignment: &TokenAssignment,
+    adversary1: A1,
+    adversary2: A2,
+    link1: L1,
+    link2: L2,
+    cfg: &AsyncObliviousConfig,
+    tracer: Option<JsonlTracer>,
+) -> AsyncObliviousOutcome
+where
+    A1: Adversary,
+    A2: Adversary,
+    L1: LinkModel,
+    L2: LinkModel,
+{
     let n = assignment.node_count();
     let k = assignment.token_count();
     let s = assignment.sources().len();
@@ -557,6 +587,10 @@ where
             cfg.seed ^ 0x5EED_0B71_0002u64,
             assignment,
         );
+        if let Some(tr) = &tracer {
+            tr.append(&TraceRecord::Phase { p: 2 });
+            sim.set_tracer(tr.clone());
+        }
         let phase2 = sim.run(cfg.phase2_max_time);
         let completed = phase2.stopped == StopReason::Complete;
         let tracker = sim.tracker().expect("tracking enabled");
@@ -601,6 +635,10 @@ where
         cfg.ticks_per_round,
         cfg.seed ^ 0x5EED_0B71_0001u64,
     );
+    if let Some(tr) = &tracer {
+        tr.append(&TraceRecord::Phase { p: 1 });
+        sim1.set_tracer(tr.clone());
+    }
     let phase1 = sim1.run(cfg.phase1_max_time);
 
     // ---- Hand-off: resolve claimants, snapshot ownership + knowledge. ----
@@ -655,6 +693,10 @@ where
         cfg.seed ^ 0x5EED_0B71_0002u64,
         &knowledge,
     );
+    if let Some(tr) = &tracer {
+        tr.append(&TraceRecord::Phase { p: 2 });
+        sim2.set_tracer(tr.clone());
+    }
     let phase2 = sim2.run(cfg.phase2_max_time);
     let completed = phase2.stopped == StopReason::Complete;
     let tracker = sim2.tracker().expect("tracking enabled");

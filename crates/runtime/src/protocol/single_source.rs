@@ -194,6 +194,7 @@ impl EventProtocol for AsyncSingleSource {
             AsyncSsMsg::Completeness => {
                 if self.ledger.note_peer_complete(from) {
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                 }
                 ctx.send(from, AsyncSsMsg::Ack);
                 if !self.is_complete() {
@@ -203,6 +204,7 @@ impl EventProtocol for AsyncSingleSource {
             AsyncSsMsg::Ack => {
                 if self.ledger.mark_informed(from) {
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                 }
             }
             AsyncSsMsg::Request(t) => {
@@ -218,6 +220,7 @@ impl EventProtocol for AsyncSingleSource {
                 self.core.release(*t);
                 if self.core.accept_token(*t) {
                     self.pacer.note_progress();
+                    ctx.note_backoff_reset();
                     if self.is_complete() {
                         // Incomplete-phase bookkeeping is over; announce.
                         let core = &mut self.core;
@@ -258,6 +261,7 @@ impl EventProtocol for AsyncSingleSource {
                     } else {
                         ctx.send(u, AsyncSsMsg::Request(t));
                         self.retransmitted_requests += 1;
+                        ctx.note_retransmission();
                         continue;
                     }
                 }

@@ -38,6 +38,7 @@ use dynspread_sim::meter::MessageMeter;
 use dynspread_sim::protocol::{BroadcastProtocol, Outbox, UnicastProtocol};
 use dynspread_sim::sim::SimConfig;
 use dynspread_sim::token::TokenAssignment;
+use dynspread_sim::trace::{emit, TraceRecord, Tracer};
 use dynspread_sim::tracker::TokenTracker;
 use dynspread_sim::RunReport;
 use rand::rngs::StdRng;
@@ -71,6 +72,11 @@ struct RoundCore<M> {
     transmissions: u64,
     copies_scheduled: u64,
     copies_delivered: u64,
+    /// Transmissions whose every copy the link dropped.
+    link_drops: u64,
+    /// Extra copies beyond one per surviving transmission.
+    link_dups: u64,
+    tracer: Option<Box<dyn Tracer>>,
     // Connectivity scratch (same incremental rule as the sync engines).
     uf: UnionFind,
     touched: Vec<bool>,
@@ -104,6 +110,9 @@ impl<M> RoundCore<M> {
             transmissions: 0,
             copies_scheduled: 0,
             copies_delivered: 0,
+            link_drops: 0,
+            link_dups: 0,
+            tracer: None,
             uf: UnionFind::new(n),
             touched: vec![false; n],
             receivers: Vec::new(),
@@ -138,19 +147,41 @@ impl<M> RoundCore<M> {
             chk.observe(self.dg.current())
                 .expect("adversary violated σ-edge stability");
         }
+        if self.tracer.is_some() {
+            let delta = self.dg.last_delta();
+            let (inserted, removed) = (delta.inserted.len() as u64, delta.removed.len() as u64);
+            emit(
+                &mut self.tracer,
+                TraceRecord::Round {
+                    r: round,
+                    inserted,
+                    removed,
+                },
+            );
+        }
         self.meter.begin_round(round);
     }
 
     /// Routes one transmission through the link model, scheduling each
-    /// surviving copy on the event queue.
+    /// surviving copy on the event queue. Emits `Send` plus the per-copy
+    /// link fate (`Scheduled`/`Dropped`/`Duplicated`) on the trace.
     fn transmit(&mut self, link: &impl LinkModel, round: Round, from: NodeId, to: NodeId, msg: &M)
     where
         M: Clone,
     {
         self.transmissions += 1;
+        emit(
+            &mut self.tracer,
+            TraceRecord::Send {
+                t: round,
+                from: from.value(),
+                to: to.value(),
+            },
+        );
         self.fates.clear();
         link.plan(from, to, round, &mut self.rng, &mut self.fates);
         self.copies_scheduled += self.fates.len() as u64;
+        self.note_fates(round, from, to);
         for &delay in &self.fates {
             self.queue.schedule(
                 round + delay,
@@ -160,6 +191,64 @@ impl<M> RoundCore<M> {
                     msg: msg.clone(),
                 },
             );
+        }
+    }
+
+    /// Counts and traces the link fate of one transmission whose plan is
+    /// currently in `self.fates`.
+    fn note_fates(&mut self, round: Round, from: NodeId, to: NodeId) {
+        match self.fates.len() {
+            0 => {
+                self.link_drops += 1;
+                emit(
+                    &mut self.tracer,
+                    TraceRecord::Dropped {
+                        t: round,
+                        from: from.value(),
+                        to: to.value(),
+                    },
+                );
+            }
+            1 => {
+                if self.tracer.is_some() {
+                    let at = round + self.fates[0];
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::Scheduled {
+                            t: round,
+                            from: from.value(),
+                            to: to.value(),
+                            at,
+                        },
+                    );
+                }
+            }
+            k => {
+                self.link_dups += (k - 1) as u64;
+                if self.tracer.is_some() {
+                    for i in 0..k {
+                        let at = round + self.fates[i];
+                        emit(
+                            &mut self.tracer,
+                            TraceRecord::Scheduled {
+                                t: round,
+                                from: from.value(),
+                                to: to.value(),
+                                at,
+                            },
+                        );
+                    }
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::Duplicated {
+                            t: round,
+                            from: from.value(),
+                            to: to.value(),
+                            extra: (k - 1) as u32,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -179,7 +268,7 @@ impl<M> RoundCore<M> {
     }
 
     fn report(&self, n: usize) -> RunReport {
-        RunReport::from_meters(
+        let mut report = RunReport::from_meters(
             self.algorithm_name.clone(),
             self.adversary_name.clone(),
             n,
@@ -189,7 +278,11 @@ impl<M> RoundCore<M> {
             &self.meter,
             self.dg.meter(),
             self.tracker.total_learnings(),
-        )
+        );
+        report.link_sends = self.transmissions;
+        report.link_drops = self.link_drops;
+        report.link_duplicates = self.link_dups;
+        report
     }
 }
 
@@ -269,6 +362,13 @@ where
             core,
             last_sent: Vec::new(),
         }
+    }
+
+    /// Installs a [`Tracer`] receiving the deterministic trace stream
+    /// (round boundaries, sends, per-copy link fates, deliveries,
+    /// coverage deltas). Off by default and free when off.
+    pub fn set_tracer(&mut self, tracer: impl Tracer + 'static) {
+        self.core.tracer = Some(Box::new(tracer));
     }
 
     /// The tracker (read-only global observer).
@@ -357,6 +457,14 @@ where
                 self.core.copies_delivered += 1;
                 self.nodes[i].receive(round, env.from, &env.msg);
                 self.core.mark_receiver(v);
+                emit(
+                    &mut self.core.tracer,
+                    TraceRecord::Delivered {
+                        t: round,
+                        from: env.from.value(),
+                        to: v.value(),
+                    },
+                );
             }
         }
         for node in self.nodes.iter_mut() {
@@ -369,8 +477,20 @@ where
             let id = core.receivers[idx];
             core.touched[id as usize] = false;
             let v = NodeId::new(id);
-            core.tracker
+            let gained = core
+                .tracker
                 .sync_node(v, self.nodes[v.index()].known_tokens(), round);
+            if gained > 0 {
+                emit(
+                    &mut core.tracer,
+                    TraceRecord::Coverage {
+                        t: round,
+                        node: v.value(),
+                        gained: gained as u32,
+                        known: self.nodes[v.index()].known_tokens().count() as u32,
+                    },
+                );
+            }
         }
         core.receivers.clear();
         self.last_sent = sent;
@@ -458,6 +578,12 @@ where
         }
     }
 
+    /// Installs a [`Tracer`] receiving the deterministic trace stream
+    /// (see [`UnicastSynchronizer::set_tracer`]).
+    pub fn set_tracer(&mut self, tracer: impl Tracer + 'static) {
+        self.core.tracer = Some(Box::new(tracer));
+    }
+
     /// The tracker (read-only global observer).
     pub fn tracker(&self) -> &TokenTracker {
         &self.core.tracker
@@ -534,17 +660,62 @@ where
                     plan,
                     transmissions,
                     copies_scheduled,
+                    link_drops,
+                    link_dups,
+                    tracer,
                     ..
                 } = &mut self.core;
                 meter.record_broadcast(msg.class());
+                emit(
+                    tracer,
+                    TraceRecord::Broadcast {
+                        t: round,
+                        from: v.value(),
+                    },
+                );
                 let neighbors = dg.current().neighbors(v);
                 plan.clear();
                 for &w in neighbors {
                     *transmissions += 1;
                     fates.clear();
                     self.link.plan(v, w, round, rng, fates);
+                    match fates.len() {
+                        0 => {
+                            *link_drops += 1;
+                            emit(
+                                tracer,
+                                TraceRecord::Dropped {
+                                    t: round,
+                                    from: v.value(),
+                                    to: w.value(),
+                                },
+                            );
+                        }
+                        1 => {}
+                        k => *link_dups += (k - 1) as u64,
+                    }
                     for &delay in fates.iter() {
                         plan.push((w, round + delay));
+                        emit(
+                            tracer,
+                            TraceRecord::Scheduled {
+                                t: round,
+                                from: v.value(),
+                                to: w.value(),
+                                at: round + delay,
+                            },
+                        );
+                    }
+                    if fates.len() > 1 {
+                        emit(
+                            tracer,
+                            TraceRecord::Duplicated {
+                                t: round,
+                                from: v.value(),
+                                to: w.value(),
+                                extra: (fates.len() - 1) as u32,
+                            },
+                        );
                     }
                 }
                 *copies_scheduled += plan.len() as u64;
@@ -575,6 +746,14 @@ where
                 self.core.copies_delivered += 1;
                 self.nodes[i].receive(round, env.from, &env.msg);
                 self.core.mark_receiver(v);
+                emit(
+                    &mut self.core.tracer,
+                    TraceRecord::Delivered {
+                        t: round,
+                        from: env.from.value(),
+                        to: v.value(),
+                    },
+                );
             }
         }
         for node in self.nodes.iter_mut() {
@@ -587,8 +766,20 @@ where
             let id = core.receivers[idx];
             core.touched[id as usize] = false;
             let v = NodeId::new(id);
-            core.tracker
+            let gained = core
+                .tracker
                 .sync_node(v, self.nodes[v.index()].known_tokens(), round);
+            if gained > 0 {
+                emit(
+                    &mut core.tracer,
+                    TraceRecord::Coverage {
+                        t: round,
+                        node: v.value(),
+                        gained: gained as u32,
+                        known: self.nodes[v.index()].known_tokens().count() as u32,
+                    },
+                );
+            }
         }
         core.receivers.clear();
         round

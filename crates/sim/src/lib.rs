@@ -23,6 +23,10 @@
 //!   protocols against adversaries, asserting the model invariants
 //!   (connectivity, bandwidth, neighbor-only delivery) every round and
 //!   producing [`run::RunReport`]s.
+//! * **Observability** ([`trace`], [`profile`]): the two-channel layer —
+//!   a deterministic structured trace (JSONL, a pure function of the
+//!   seed) and an opt-in wall-clock self-profiler with log2-bucketed
+//!   phase histograms. Both are off by default and free when disabled.
 //!
 //! # Examples
 //!
@@ -76,16 +80,20 @@
 pub mod adversary;
 pub mod message;
 pub mod meter;
+pub mod profile;
 pub mod protocol;
 pub mod run;
 pub mod sim;
 pub mod token;
+pub mod trace;
 pub mod tracker;
 
 pub use dynspread_graph::{Graph, NodeId, Round};
 pub use message::{MessageClass, MessagePayload};
 pub use meter::MessageMeter;
+pub use profile::{Phase, ProfileReport, Profiler};
 pub use run::RunReport;
 pub use sim::{BroadcastSim, SimConfig, UnicastSim};
 pub use token::{TokenAssignment, TokenId, TokenSet};
+pub use trace::{JsonlTracer, NoopTracer, TraceRecord, Tracer};
 pub use tracker::TokenTracker;

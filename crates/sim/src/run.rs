@@ -8,6 +8,7 @@
 
 use crate::message::MessageClass;
 use crate::meter::MessageMeter;
+use crate::profile::ProfileReport;
 use dynspread_graph::{Round, TopologyMeter};
 use std::sync::Arc;
 
@@ -69,6 +70,29 @@ pub struct RunReport {
     /// back — see `SimConfig::meter_sampling`. Recorded here so sampled
     /// reports are self-describing and reproducible.
     pub meter_sampling: u64,
+    /// Payloads handed to the link layer. For unicast this equals the
+    /// number of payload sends; for local broadcast it counts **per-link
+    /// copies** (one per neighbor of each broadcaster), so it differs
+    /// from [`broadcast_messages`](RunReport::broadcast_messages), which
+    /// meters one message per broadcast (Definition 1.1). The synchronous
+    /// engines count their implicit perfect links the same way, keeping
+    /// the synchronizer-equivalence contract byte-exact.
+    pub link_sends: u64,
+    /// Transmissions whose every delivery copy the link dropped. Always 0
+    /// under a perfect link and for the synchronous round engines.
+    pub link_drops: u64,
+    /// Extra delivery copies the link scheduled beyond one per surviving
+    /// transmission. Always 0 under a non-duplicating link.
+    pub link_duplicates: u64,
+    /// Protocol-reported retransmissions (heartbeat re-sends of
+    /// unanswered requests/announcements). Always 0 for the round-based
+    /// protocols; populated by the asynchronous event ports.
+    pub retransmissions: u64,
+    /// Wall-clock phase attribution, present only when self-profiling
+    /// was explicitly enabled on the engine. Never set on the replay
+    /// paths the determinism suite compares (wall times are not a
+    /// function of the seed).
+    pub profile: Option<Box<ProfileReport>>,
 }
 
 impl RunReport {
@@ -107,6 +131,11 @@ impl RunReport {
             violations_detected: 0,
             evidence_verdicts: 0,
             meter_sampling: meter.sampling(),
+            link_sends: 0,
+            link_drops: 0,
+            link_duplicates: 0,
+            retransmissions: 0,
+            profile: None,
         }
     }
 
@@ -161,6 +190,13 @@ impl std::fmt::Display for RunReport {
             write!(f, ", {} unroutable", self.unroutable)?;
         }
         writeln!(f)?;
+        if self.link_drops > 0 || self.link_duplicates > 0 || self.retransmissions > 0 {
+            writeln!(
+                f,
+                "  link: {} sends, {} dropped, {} duplicated, {} retransmissions",
+                self.link_sends, self.link_drops, self.link_duplicates, self.retransmissions
+            )?;
+        }
         if self.byzantine_nodes > 0 || self.violations_detected > 0 {
             writeln!(
                 f,
@@ -186,7 +222,11 @@ impl std::fmt::Display for RunReport {
             self.topology.insertions,
             self.topology.deletions,
             self.competitive_residual(1.0)
-        )
+        )?;
+        if let Some(profile) = &self.profile {
+            write!(f, "\n{profile}")?;
+        }
+        Ok(())
     }
 }
 
@@ -249,6 +289,24 @@ mod tests {
         assert!(!r.to_string().contains("unroutable"));
         r.unroutable = 7;
         assert!(r.to_string().contains("7 unroutable"));
+    }
+
+    #[test]
+    fn link_counters_default_to_zero_and_show_when_set() {
+        let mut r = sample_report();
+        assert_eq!(r.link_sends, 0);
+        assert_eq!(r.link_drops, 0, "perfect links never drop");
+        assert_eq!(r.link_duplicates, 0);
+        assert_eq!(r.retransmissions, 0, "round protocols never retransmit");
+        assert!(r.profile.is_none(), "profiling is opt-in");
+        assert!(!r.to_string().contains("link:"));
+        r.link_sends = 10;
+        r.link_drops = 3;
+        r.link_duplicates = 1;
+        r.retransmissions = 4;
+        assert!(r
+            .to_string()
+            .contains("link: 10 sends, 3 dropped, 1 duplicated, 4 retransmissions"));
     }
 
     #[test]

@@ -18,9 +18,11 @@
 use crate::adversary::{BroadcastAdversary, SentRecord, UnicastAdversary};
 use crate::message::{MessageClass, MessagePayload, MAX_TOKENS_PER_MESSAGE};
 use crate::meter::MessageMeter;
+use crate::profile::{self, Phase, Profiler};
 use crate::protocol::{BroadcastProtocol, Outbox, UnicastProtocol};
 use crate::run::RunReport;
 use crate::token::TokenAssignment;
+use crate::trace::{emit, TraceRecord, Tracer};
 use crate::tracker::TokenTracker;
 use dynspread_graph::dynamic::GraphUpdate;
 use dynspread_graph::stability::StabilityChecker;
@@ -149,6 +151,9 @@ pub struct UnicastSim<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> {
     scratch: RoundScratch,
     algorithm_name: Arc<str>,
     adversary_name: Arc<str>,
+    tracer: Option<Box<dyn Tracer>>,
+    prof: Option<Profiler>,
+    link_sends: u64,
 }
 
 impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
@@ -194,7 +199,27 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
             last_sent: Vec::new(),
             algorithm_name: Arc::from(algorithm_name.into()),
             adversary_name,
+            tracer: None,
+            prof: None,
+            link_sends: 0,
         }
+    }
+
+    /// Installs a [`Tracer`] receiving this engine's deterministic trace
+    /// stream (round boundaries, sends, deliveries, coverage deltas).
+    /// Tracing is off by default; when off, every hook point is one
+    /// predictable branch.
+    pub fn set_tracer(&mut self, tracer: impl Tracer + 'static) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Enables wall-clock self-profiling: phase attribution is collected
+    /// from here on and attached to reports as
+    /// [`RunReport::profile`].
+    pub fn enable_profiling(&mut self) {
+        let mut prof = Profiler::new();
+        prof.begin();
+        self.prof = Some(prof);
     }
 
     /// The tracker (read-only global observer).
@@ -244,6 +269,7 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
             );
         }
         self.dg.apply(update);
+        profile::lap(&mut self.prof, Phase::AdversaryEvolve);
         if self.cfg.check_connectivity {
             let removed = self.dg.last_delta().removed.len();
             assert!(
@@ -254,6 +280,19 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
         if let Some(chk) = self.stability.as_mut() {
             chk.observe(self.dg.current())
                 .expect("adversary violated σ-edge stability");
+        }
+        profile::lap(&mut self.prof, Phase::Connectivity);
+        if self.tracer.is_some() {
+            let delta = self.dg.last_delta();
+            let (inserted, removed) = (delta.inserted.len() as u64, delta.removed.len() as u64);
+            emit(
+                &mut self.tracer,
+                TraceRecord::Round {
+                    r: round,
+                    inserted,
+                    removed,
+                },
+            );
         }
         self.meter.begin_round(round);
         if self.cfg.charge_neighbor_discovery {
@@ -281,25 +320,57 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
                     "round {round}: {v} exceeded the bandwidth constraint"
                 );
                 self.meter.record_unicast(msg.class());
+                self.link_sends += 1;
+                emit(
+                    &mut self.tracer,
+                    TraceRecord::Send {
+                        t: round,
+                        from: v.value(),
+                        to: to.value(),
+                    },
+                );
                 sent.push(SentRecord { from: v, to, msg });
             }
         }
+        profile::lap(&mut self.prof, Phase::ProtocolSend);
         // 3. Delivery (synchronous: all sends happen before any receive).
         for rec in &sent {
             self.nodes[rec.to.index()].receive(round, rec.from, &rec.msg);
             self.scratch.mark(rec.to);
+            emit(
+                &mut self.tracer,
+                TraceRecord::Delivered {
+                    t: round,
+                    from: rec.from.value(),
+                    to: rec.to.value(),
+                },
+            );
         }
+        profile::lap(&mut self.prof, Phase::Delivery);
         for node in self.nodes.iter_mut() {
             node.end_round(round);
         }
+        profile::lap(&mut self.prof, Phase::EndRound);
         // 4. Global observation — incremental: only nodes that received a
         //    message this round can have learned tokens, so only they are
         //    diffed (in ascending ID order, preserving the learning-log
         //    order of a whole-network sweep).
-        let (tracker, nodes) = (&mut self.tracker, &self.nodes);
+        let (tracker, nodes, tracer) = (&mut self.tracker, &self.nodes, &mut self.tracer);
         self.scratch.drain_receivers(|v| {
-            tracker.sync_node(v, nodes[v.index()].known_tokens(), round);
+            let gained = tracker.sync_node(v, nodes[v.index()].known_tokens(), round);
+            if gained > 0 {
+                emit(
+                    tracer,
+                    TraceRecord::Coverage {
+                        t: round,
+                        node: v.value(),
+                        gained: gained as u32,
+                        known: nodes[v.index()].known_tokens().count() as u32,
+                    },
+                );
+            }
         });
+        profile::lap(&mut self.prof, Phase::TrackerSync);
         self.last_sent = sent;
         round
     }
@@ -326,7 +397,7 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
     /// Names are shared `Arc<str>`s captured at construction, so building a
     /// report allocates no strings.
     pub fn report(&self) -> RunReport {
-        RunReport::from_meters(
+        let mut report = RunReport::from_meters(
             self.algorithm_name.clone(),
             self.adversary_name.clone(),
             self.nodes.len(),
@@ -336,7 +407,10 @@ impl<P: UnicastProtocol, A: UnicastAdversary<P::Msg>> UnicastSim<P, A> {
             &self.meter,
             self.dg.meter(),
             self.tracker.total_learnings(),
-        )
+        );
+        report.link_sends = self.link_sends;
+        report.profile = self.prof.as_ref().map(|p| Box::new(p.report()));
+        report
     }
 }
 
@@ -352,6 +426,9 @@ pub struct BroadcastSim<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> {
     scratch: RoundScratch,
     algorithm_name: Arc<str>,
     adversary_name: Arc<str>,
+    tracer: Option<Box<dyn Tracer>>,
+    prof: Option<Profiler>,
+    link_sends: u64,
 }
 
 impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
@@ -395,7 +472,24 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
             stability,
             algorithm_name: Arc::from(algorithm_name.into()),
             adversary_name,
+            tracer: None,
+            prof: None,
+            link_sends: 0,
         }
+    }
+
+    /// Installs a tracer (channel 1 of the observability layer). See
+    /// [`UnicastSim::set_tracer`] for the determinism contract.
+    pub fn set_tracer(&mut self, tracer: impl Tracer + 'static) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Enables wall-clock self-profiling (channel 2). See
+    /// [`UnicastSim::enable_profiling`].
+    pub fn enable_profiling(&mut self) {
+        let mut prof = Profiler::new();
+        prof.begin();
+        self.prof = Some(prof);
     }
 
     /// The tracker (read-only global observer).
@@ -438,6 +532,7 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
             .iter_mut()
             .map(|node| node.broadcast(round))
             .collect();
+        profile::lap(&mut self.prof, Phase::ProtocolSend);
         // 2. …then the (strongly adaptive) adversary picks the topology;
         //    deltas and unchanged rounds are applied to the live snapshot.
         let update = self.adversary.evolve(round, self.dg.current(), &choices);
@@ -449,6 +544,7 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
             );
         }
         self.dg.apply(update);
+        profile::lap(&mut self.prof, Phase::AdversaryEvolve);
         if self.cfg.check_connectivity {
             let removed = self.dg.last_delta().removed.len();
             assert!(
@@ -459,6 +555,19 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
         if let Some(chk) = self.stability.as_mut() {
             chk.observe(self.dg.current())
                 .expect("adversary violated σ-edge stability");
+        }
+        profile::lap(&mut self.prof, Phase::Connectivity);
+        if self.tracer.is_some() {
+            let delta = self.dg.last_delta();
+            let (inserted, removed) = (delta.inserted.len() as u64, delta.removed.len() as u64);
+            emit(
+                &mut self.tracer,
+                TraceRecord::Round {
+                    r: round,
+                    inserted,
+                    removed,
+                },
+            );
         }
         self.meter.begin_round(round);
         // 3. Metering + delivery: one message per broadcasting node.
@@ -479,23 +588,55 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
                     class_counts[msg.class().index()] += 1;
                 }
                 total += 1;
-                // Deliver to all round-r neighbors.
-                for &w in self.dg.current().neighbors(v) {
+                emit(
+                    &mut self.tracer,
+                    TraceRecord::Broadcast {
+                        t: round,
+                        from: v.value(),
+                    },
+                );
+                // Deliver to all round-r neighbors. Each delivery is one
+                // per-link copy for `link_sends` (see `RunReport::link_sends`).
+                let neighbors = self.dg.current().neighbors(v);
+                self.link_sends += neighbors.len() as u64;
+                for &w in neighbors {
                     self.nodes[w.index()].receive(round, v, msg);
                     self.scratch.mark(w);
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::Delivered {
+                            t: round,
+                            from: v.value(),
+                            to: w.value(),
+                        },
+                    );
                 }
             }
         }
         self.meter.record_broadcast_batch(&class_counts, total);
+        profile::lap(&mut self.prof, Phase::Delivery);
         for node in self.nodes.iter_mut() {
             node.end_round(round);
         }
+        profile::lap(&mut self.prof, Phase::EndRound);
         // 4. Global observation — incremental over this round's receivers
         //    (ascending ID order; see `UnicastSim::step`).
-        let (tracker, nodes) = (&mut self.tracker, &self.nodes);
+        let (tracker, nodes, tracer) = (&mut self.tracker, &self.nodes, &mut self.tracer);
         self.scratch.drain_receivers(|v| {
-            tracker.sync_node(v, nodes[v.index()].known_tokens(), round);
+            let gained = tracker.sync_node(v, nodes[v.index()].known_tokens(), round);
+            if gained > 0 {
+                emit(
+                    tracer,
+                    TraceRecord::Coverage {
+                        t: round,
+                        node: v.value(),
+                        gained: gained as u32,
+                        known: nodes[v.index()].known_tokens().count() as u32,
+                    },
+                );
+            }
         });
+        profile::lap(&mut self.prof, Phase::TrackerSync);
         round
     }
 
@@ -521,7 +662,7 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
     /// Names are shared `Arc<str>`s captured at construction, so building a
     /// report allocates no strings.
     pub fn report(&self) -> RunReport {
-        RunReport::from_meters(
+        let mut report = RunReport::from_meters(
             self.algorithm_name.clone(),
             self.adversary_name.clone(),
             self.nodes.len(),
@@ -531,7 +672,10 @@ impl<P: BroadcastProtocol, A: BroadcastAdversary<P::Msg>> BroadcastSim<P, A> {
             &self.meter,
             self.dg.meter(),
             self.tracker.total_learnings(),
-        )
+        );
+        report.link_sends = self.link_sends;
+        report.profile = self.prof.as_ref().map(|p| Box::new(p.report()));
+        report
     }
 }
 

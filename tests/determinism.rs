@@ -7,6 +7,7 @@
 //! and the `Unchanged` fast path of periodic rewiring — and learning logs
 //! match a whole-network reference sweep.
 
+use dynspread::core::flooding::PhasedFlooding;
 use dynspread::core::multi_source::MultiSourceNode;
 use dynspread::core::single_source::SingleSourceNode;
 use dynspread::graph::generators::Topology;
@@ -14,7 +15,11 @@ use dynspread::graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewirin
 use dynspread::graph::NodeId;
 use dynspread::runtime::engine::{EventSim, StopReason};
 use dynspread::runtime::link::{DropLink, LinkModelExt};
-use dynspread::runtime::protocol::{AsyncConfig, AsyncSingleSource};
+use dynspread::runtime::protocol::{
+    run_async_oblivious_traced, AsyncConfig, AsyncObliviousConfig, AsyncSingleSource,
+};
+use dynspread::runtime::sync::{BroadcastSynchronizer, UnicastSynchronizer};
+use dynspread::runtime::trace::JsonlTracer;
 use dynspread::sim::{RunReport, SimConfig, TokenAssignment, UnicastSim};
 use dynspread_bench::{derive_seed, par_map};
 
@@ -153,4 +158,129 @@ fn async_par_map_grid_is_byte_identical_to_serial() {
     assert_eq!(replay, serial);
     // The grid is not degenerate: different seeds change the execution.
     assert_ne!(serial[1], serial[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Channel-1 trace determinism: the serialized JSONL stream is a pure
+// function of the seed. One traced run per protocol arm, over lossy and
+// jittery links wherever the arm supports them; each arm's trace must be
+// byte-identical under replay.
+// ---------------------------------------------------------------------------
+
+/// Traced bounded run of one protocol arm; returns the JSONL stream.
+/// Rounds are capped so the lossy sync arms terminate regardless of
+/// whether loss lets them finish — trace identity does not require
+/// completion.
+fn trace_arm(arm: &str, seed: u64) -> String {
+    let tracer = JsonlTracer::default();
+    match arm {
+        "flooding" => {
+            let assignment = TokenAssignment::round_robin_sources(12, 8, 4);
+            let mut sim = BroadcastSynchronizer::new(
+                "flood",
+                PhasedFlooding::nodes(&assignment),
+                PeriodicRewiring::new(Topology::RandomTree, 3, seed),
+                &assignment,
+                SimConfig::with_max_rounds(300),
+                DropLink::new(0.15),
+                derive_seed(seed, 0x71),
+            );
+            sim.set_tracer(tracer.clone());
+            let _ = sim.run_to_completion();
+        }
+        "single-source" => {
+            let assignment = TokenAssignment::single_source(14, 8, NodeId::new(0));
+            let mut sim = UnicastSynchronizer::new(
+                "ss",
+                SingleSourceNode::nodes(&assignment),
+                EdgeMarkovian::new(0.08, 0.2, 2, seed),
+                &assignment,
+                SimConfig::with_max_rounds(300),
+                DropLink::new(0.15),
+                derive_seed(seed, 0x72),
+            );
+            sim.set_tracer(tracer.clone());
+            let _ = sim.run_to_completion();
+        }
+        "multi-source" => {
+            let assignment = TokenAssignment::round_robin_sources(14, 10, 4);
+            let (nodes, _map) = MultiSourceNode::nodes(&assignment);
+            let mut sim = UnicastSynchronizer::new(
+                "ms",
+                nodes,
+                ChurnAdversary::new(Topology::SparseConnected(2.0), 2, 3, seed),
+                &assignment,
+                SimConfig::with_max_rounds(300),
+                DropLink::new(0.1),
+                derive_seed(seed, 0x73),
+            );
+            sim.set_tracer(tracer.clone());
+            let _ = sim.run_to_completion();
+        }
+        "async-single-source" => {
+            let assignment = TokenAssignment::single_source(10, 6, NodeId::new(0));
+            let mut sim = EventSim::with_tracking(
+                AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+                EdgeMarkovian::new(0.08, 0.2, 2, seed),
+                DropLink::new(0.2).with_jitter(2),
+                2,
+                derive_seed(seed, 0x74),
+                &assignment,
+            );
+            sim.set_tracer(tracer.clone());
+            let _ = sim.run(50_000);
+        }
+        "async-oblivious" => {
+            let assignment = TokenAssignment::n_gossip(12);
+            let cfg = AsyncObliviousConfig {
+                seed: derive_seed(seed, 0x75),
+                source_threshold: Some(1.0),
+                center_probability: Some(0.25),
+                phase1_deadline: 20_000,
+                phase1_max_time: 50_000,
+                ..AsyncObliviousConfig::default()
+            };
+            let _ = run_async_oblivious_traced(
+                &assignment,
+                PeriodicRewiring::new(Topology::Gnp(0.25), 3, derive_seed(seed, 1)),
+                PeriodicRewiring::new(Topology::RandomTree, 3, derive_seed(seed, 2)),
+                DropLink::new(0.3).with_jitter(2),
+                DropLink::new(0.3).with_jitter(2),
+                &cfg,
+                Some(tracer.clone()),
+            );
+        }
+        other => unreachable!("unknown arm {other}"),
+    }
+    tracer.take_jsonl()
+}
+
+const TRACE_ARMS: [&str; 5] = [
+    "flooding",
+    "single-source",
+    "multi-source",
+    "async-single-source",
+    "async-oblivious",
+];
+
+#[test]
+fn trace_jsonl_is_byte_identical_under_replay_for_every_arm() {
+    for arm in TRACE_ARMS {
+        let first = trace_arm(arm, 41);
+        let replay = trace_arm(arm, 41);
+        assert!(!first.is_empty(), "{arm}: traced run emitted nothing");
+        assert!(first.ends_with('\n'), "{arm}: trace is not line-terminated");
+        if let Some(div) = dynspread::analysis::first_divergence(&first, &replay) {
+            panic!("{arm}: same-seed traces diverged\n{div}");
+        }
+        // Every line round-trips through the record parser.
+        let counts = dynspread::analysis::kind_counts(&first);
+        assert!(
+            !counts.contains_key("invalid"),
+            "{arm}: unparseable trace lines: {counts:?}"
+        );
+        // The trace is seed-sensitive, not constant.
+        let other = trace_arm(arm, 42);
+        assert_ne!(first, other, "{arm}: trace ignores its seed");
+    }
 }

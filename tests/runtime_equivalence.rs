@@ -266,3 +266,70 @@ fn lossy_link_changes_the_execution_but_still_completes() {
     );
     assert_eq!(delivered, scheduled, "zero-latency copies all arrive");
 }
+
+/// Tracing is a pure observer: a run with a [`NoopTracer`] installed (and
+/// one with a recording [`JsonlTracer`]) yields a `RunReport` and
+/// learning log byte-identical to the untraced run — and under a perfect
+/// link, the per-kind link counters introduced with the observability
+/// layer are sends-only (zero drops, duplicates, and retransmissions) on
+/// both engine families.
+#[test]
+fn tracing_is_invisible_to_the_run_and_perfect_links_count_zero_faults() {
+    use dynspread::runtime::trace::{JsonlTracer, NoopTracer};
+
+    let (n, k) = (16, 12);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let cfg = SimConfig::with_max_rounds(MAX_ROUNDS);
+    let run = |tracer: u8| {
+        let mut sim = UnicastSynchronizer::new(
+            "ss",
+            SingleSourceNode::nodes(&assignment),
+            PeriodicRewiring::new(Topology::RandomTree, 3, 13),
+            &assignment,
+            cfg.clone(),
+            PerfectLink,
+            999,
+        );
+        let jsonl = JsonlTracer::new();
+        match tracer {
+            0 => {}
+            1 => sim.set_tracer(NoopTracer),
+            _ => sim.set_tracer(jsonl.clone()),
+        }
+        let report = sim.run_to_completion();
+        let log = format!("{:?}", sim.tracker().log());
+        (format!("{report:?}"), log, jsonl.take_jsonl(), report)
+    };
+
+    let (untraced, log_untraced, _, report) = run(0);
+    let (noop, log_noop, _, _) = run(1);
+    let (recorded, log_recorded, jsonl, _) = run(2);
+    assert_eq!(untraced, noop, "NoopTracer perturbed the run");
+    assert_eq!(untraced, recorded, "JsonlTracer perturbed the run");
+    assert_eq!(log_untraced, log_noop);
+    assert_eq!(log_untraced, log_recorded);
+    assert!(!jsonl.is_empty(), "recording tracer captured nothing");
+
+    // Perfect link: every send is scheduled exactly once and the sync
+    // protocols never retransmit.
+    assert!(report.completed, "{report}");
+    assert!(report.link_sends > 0, "sends counter never populated");
+    assert_eq!(report.link_drops, 0);
+    assert_eq!(report.link_duplicates, 0);
+    assert_eq!(report.retransmissions, 0);
+
+    // Same zeros on the synchronous engine itself.
+    let mut sync_sim = UnicastSim::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 13),
+        &assignment,
+        cfg,
+    );
+    let rs = sync_sim.run_to_completion();
+    assert!(rs.completed);
+    assert!(rs.link_sends > 0);
+    assert_eq!(rs.link_drops, 0);
+    assert_eq!(rs.link_duplicates, 0);
+    assert_eq!(rs.retransmissions, 0);
+}

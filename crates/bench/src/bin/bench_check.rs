@@ -12,7 +12,8 @@
 //!     --tolerance 0.30 --min-wall-ms 40 \
 //!     --runtime BENCH_runtime.json BENCH_runtime.fresh.json \
 //!     --core BENCH_core.json BENCH_core.fresh.json \
-//!     --byzantine BENCH_byzantine.json BENCH_byzantine.fresh.json
+//!     --byzantine BENCH_byzantine.json BENCH_byzantine.fresh.json \
+//!     --faults BENCH_faults.json BENCH_faults.fresh.json
 //! ```
 //!
 //! The default 30% tolerance absorbs shared-runner noise, and grid
@@ -31,11 +32,14 @@
 //! baselines in the same PR — the gate then documents the new level
 //! instead of blocking it.
 //!
-//! `--byzantine` joins the gate like the other artifacts — a committed
-//! `BENCH_byzantine.json` baseline exists, so a missing baseline file is
-//! an error, and the comparison uses the same tolerance and wall floor.
+//! `--byzantine` and `--faults` join the gate like the other artifacts —
+//! committed `BENCH_byzantine.json` / `BENCH_faults.json` baselines
+//! exist, so a missing baseline file is an error, and both comparisons
+//! use the same tolerance and wall floor.
 
-use dynspread_bench::check::{byzantine_deltas, core_deltas, runtime_deltas, Delta, Json};
+use dynspread_bench::check::{
+    byzantine_deltas, core_deltas, faults_deltas, runtime_deltas, Delta, Json,
+};
 
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path)
@@ -53,6 +57,7 @@ fn main() {
     let mut min_wall_ms = 40.0f64;
     let mut runtime_files: Vec<(String, String)> = Vec::new();
     let mut byzantine_files: Vec<(String, String)> = Vec::new();
+    let mut faults_files: Vec<(String, String)> = Vec::new();
     let mut deltas: Vec<Delta> = Vec::new();
     let mut compared_files = 0usize;
     let mut i = 0;
@@ -81,6 +86,10 @@ fn main() {
                 byzantine_files.push((args[i + 1].clone(), args[i + 2].clone()));
                 i += 3;
             }
+            "--faults" => {
+                faults_files.push((args[i + 1].clone(), args[i + 2].clone()));
+                i += 3;
+            }
             "--core" => {
                 let (base, fresh) = (&args[i + 1], &args[i + 2]);
                 deltas.extend(core_deltas(&load(base), &load(fresh)));
@@ -95,6 +104,10 @@ fn main() {
     }
     for (base, fresh) in &byzantine_files {
         deltas.extend(byzantine_deltas(&load(base), &load(fresh), min_wall_ms));
+        compared_files += 1;
+    }
+    for (base, fresh) in &faults_files {
+        deltas.extend(faults_deltas(&load(base), &load(fresh), min_wall_ms));
         compared_files += 1;
     }
     assert!(

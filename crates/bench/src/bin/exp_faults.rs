@@ -1,0 +1,285 @@
+//! `exp_faults` — crash-recovery and partition degradation of the async
+//! protocol ports.
+//!
+//! Sweeps crash fraction × recovery delay × partition episodes over all
+//! three async protocols, each cell one seeded run through the
+//! `dynspread_runtime::faults` drivers: a pure-data [`FaultPlan`], the
+//! engine's crash/recovery/partition machinery, and the protocols'
+//! self-healing hooks. Tabulated per cell:
+//!
+//! * **done** — whether the run still reached full dissemination (it
+//!   must: every planted fault is crash-*recovery*, so the protocols
+//!   are expected to heal);
+//! * **coverage** — mean fraction of the token universe known by the
+//!   nodes still up at the end (the degradation metric);
+//! * **crash / recov / part** — fault events that actually fired, so
+//!   degradation can be read against injected adversity.
+//!
+//! The binary asserts completion on every cell and exact zeros on the
+//! fault-free column — a liveness sweep of the self-healing paths that
+//! doubles as the perf baseline for `bench_check --faults`.
+//!
+//! Usage:
+//!   `cargo run --release -p dynspread-bench --bin exp_faults [--smoke] [OUT.json]`
+//!
+//! `--smoke` runs the crash fraction ∈ {0, 20%} scenarios only — the CI
+//! guard. Results go to `BENCH_faults.json` (default); `bench_check
+//! --faults` gates fresh runs against the committed baseline.
+
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::{derive_seed, par_map};
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
+use dynspread_graph::{Graph, NodeId};
+use dynspread_runtime::faults::{
+    run_faulty_multi_source, run_faulty_oblivious, run_faulty_single_source, FaultPlan,
+    RecoveryMode,
+};
+use dynspread_runtime::link::{DropLink, LinkModelExt};
+use dynspread_runtime::protocol::{AsyncConfig, AsyncObliviousConfig};
+use dynspread_sim::token::TokenAssignment;
+use std::io::Write as _;
+use std::time::Instant;
+
+const PROTOCOLS: [&str; 3] = [
+    "async-single-source",
+    "async-multi-source",
+    "async-oblivious",
+];
+
+/// Nodes per cell — large enough that 10% rounds to ≥ 2 crashed nodes.
+const N: usize = 24;
+
+/// `(crash %, recovery delay, partition episodes)` — the swept
+/// scenarios. Crashes land in the first 10 ticks — before any node can
+/// have collected a full token set even on the fastest (single-source,
+/// complete-graph) cell — so the down, incomplete nodes hold every run
+/// open until the planned recoveries fire and the counters reflect the
+/// whole plan.
+const SCENARIOS: [(u32, u64, u32); 5] = [
+    (0, 0, 0),
+    (10, 200, 0),
+    (10, 200, 1),
+    (20, 1000, 0),
+    (20, 1000, 1),
+];
+
+struct Cell {
+    protocol: &'static str,
+    crash_pct: u32,
+    recovery_delay: u64,
+    episodes: u32,
+    completed: bool,
+    coverage: f64,
+    crashes: u64,
+    recoveries: u64,
+    partitions: u64,
+    wall_ns: u64,
+}
+
+fn plan_for(crash_pct: u32, recovery_delay: u64, episodes: u32, seed: u64) -> FaultPlan {
+    let mut plan = if crash_pct == 0 {
+        FaultPlan::none(N)
+    } else {
+        FaultPlan::crash_recovery(
+            N,
+            f64::from(crash_pct) / 100.0,
+            10,
+            recovery_delay,
+            RecoveryMode::Amnesia,
+            seed,
+        )
+    };
+    if episodes == 1 {
+        plan = plan.with_random_partition(5, 150);
+    }
+    plan
+}
+
+fn run_cell(protocol: &'static str, crash_pct: u32, recovery_delay: u64, episodes: u32) -> Cell {
+    // Seeds derive from the scenario's *values*, not its grid index, so
+    // a smoke cell is byte-identical to the same cell in the full grid
+    // and their wall times stay comparable in bench_check.
+    let base_seed = 20_260_807u64;
+    let pi = PROTOCOLS.iter().position(|&p| p == protocol).unwrap() as u64;
+    let seed = derive_seed(
+        base_seed,
+        pi * 1009 + u64::from(crash_pct) * 17 + recovery_delay + u64::from(episodes),
+    );
+    let plan = plan_for(
+        crash_pct,
+        recovery_delay,
+        episodes,
+        derive_seed(seed, 0xF17),
+    );
+    let link = || DropLink::new(0.1).with_jitter(1);
+    let start = Instant::now();
+    let (completed, coverage, crashes, recoveries, partitions) = match protocol {
+        "async-single-source" => {
+            let a = TokenAssignment::single_source(N, 8, NodeId::new(0));
+            let out = run_faulty_single_source(
+                &a,
+                StaticAdversary::new(Graph::complete(N)),
+                link(),
+                2,
+                seed,
+                AsyncConfig::default(),
+                &plan,
+                500_000,
+            );
+            (
+                out.completed,
+                out.live_coverage,
+                out.report.crashes,
+                out.report.recoveries,
+                out.report.partition_episodes,
+            )
+        }
+        "async-multi-source" => {
+            let a = TokenAssignment::round_robin_sources(N, 12, 4);
+            let out = run_faulty_multi_source(
+                &a,
+                StaticAdversary::new(Graph::complete(N)),
+                link(),
+                2,
+                seed,
+                AsyncConfig::default(),
+                &plan,
+                500_000,
+            );
+            (
+                out.completed,
+                out.live_coverage,
+                out.report.crashes,
+                out.report.recoveries,
+                out.report.partition_episodes,
+            )
+        }
+        "async-oblivious" => {
+            let a = TokenAssignment::n_gossip(N);
+            let cfg = AsyncObliviousConfig {
+                seed,
+                source_threshold: Some(1.0),
+                center_probability: Some(0.2),
+                phase1_deadline: 20_000,
+                phase1_max_time: 50_000,
+                phase2_max_time: 500_000,
+                ..AsyncObliviousConfig::default()
+            };
+            // The walk phase runs fault-free; the plan hits the spread
+            // phase, where recovery resyncs pull the rejoiners back up.
+            let out = run_faulty_oblivious(
+                &a,
+                StaticAdversary::new(Graph::complete(N)),
+                PeriodicRewiring::new(Topology::RandomTree, 3, derive_seed(seed, 0xF18)),
+                link(),
+                link(),
+                &cfg,
+                &FaultPlan::none(N),
+                &plan,
+            );
+            (
+                out.completed,
+                out.live_coverage,
+                out.report.crashes,
+                out.report.recoveries,
+                out.report.partition_episodes,
+            )
+        }
+        other => unreachable!("unknown protocol arm {other}"),
+    };
+    assert!(
+        completed,
+        "{protocol} at {crash_pct}%/{recovery_delay}/{episodes}ep did not self-heal"
+    );
+    if crash_pct == 0 && episodes == 0 {
+        assert_eq!(crashes, 0, "{protocol}: fault-free run recorded crashes");
+        assert_eq!(partitions, 0, "{protocol}: fault-free run saw a partition");
+    }
+    Cell {
+        protocol,
+        crash_pct,
+        recovery_delay,
+        episodes,
+        completed,
+        coverage,
+        crashes,
+        recoveries,
+        partitions,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_faults.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scenarios: Vec<(u32, u64, u32)> = SCENARIOS
+        .iter()
+        .copied()
+        .filter(|&(pct, _, _)| !smoke || pct == 0 || pct == 20)
+        .collect();
+    println!(
+        "Fault grid: n = {N}, scenarios {scenarios:?} × {PROTOCOLS:?}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut jobs: Vec<(&'static str, u32, u64, u32)> = Vec::new();
+    for &p in &PROTOCOLS {
+        for &(pct, delay, eps) in &scenarios {
+            jobs.push((p, pct, delay, eps));
+        }
+    }
+    let cells = par_map(jobs, |(p, pct, delay, eps)| run_cell(p, pct, delay, eps));
+
+    let mut table = Table::new(&[
+        "protocol", "crash %", "delay", "part", "done", "coverage", "crash", "recov", "part",
+        "wall ms",
+    ]);
+    let mut json_cells = Vec::new();
+    for c in &cells {
+        table.row_owned(vec![
+            c.protocol.to_string(),
+            c.crash_pct.to_string(),
+            c.recovery_delay.to_string(),
+            c.episodes.to_string(),
+            c.completed.to_string(),
+            fmt_f64(c.coverage),
+            c.crashes.to_string(),
+            c.recoveries.to_string(),
+            c.partitions.to_string(),
+            fmt_f64(c.wall_ns as f64 / 1e6),
+        ]);
+        json_cells.push(format!(
+            "    {{\"protocol\": \"{}\", \"crash_pct\": {}, \"recovery_delay\": {}, \"episodes\": {}, \"completed\": {}, \"coverage\": {:.4}, \"crashes\": {}, \"recoveries\": {}, \"partitions\": {}, \"wall_ms\": {:.1}}}",
+            c.protocol,
+            c.crash_pct,
+            c.recovery_delay,
+            c.episodes,
+            c.completed,
+            c.coverage,
+            c.crashes,
+            c.recoveries,
+            c.partitions,
+            c.wall_ns as f64 / 1e6,
+        ));
+    }
+    println!("{}", table.render());
+    println!("coverage = mean live-node fraction of the token universe;");
+    println!("crash/recov/part = fault events fired (completion asserted per cell).");
+
+    let json = format!(
+        "{{\n  \"n\": {N},\n  \"smoke\": {smoke},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        json_cells.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_faults.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_faults.json");
+    eprintln!("wrote {out_path}");
+}

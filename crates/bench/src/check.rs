@@ -372,6 +372,54 @@ pub fn byzantine_deltas(baseline: &Json, fresh: &Json, min_wall_ms: f64) -> Vec<
     deltas
 }
 
+/// Pairs up the fault-grid cells of two `BENCH_faults.json` documents by
+/// `(protocol, crash_pct, episodes)` and returns the `wall_ms` deltas
+/// for every cell present in both, with the same baseline wall floor as
+/// [`runtime_deltas`]. The recovery delay is not part of the key: the
+/// swept grid never reuses a `(crash %, episodes)` pair with two
+/// delays, so the shorter key keeps a future delay re-tune from
+/// silently orphaning every baseline cell.
+pub fn faults_deltas(baseline: &Json, fresh: &Json, min_wall_ms: f64) -> Vec<Delta> {
+    let empty: &[Json] = &[];
+    let base_cells = baseline
+        .get("cells")
+        .and_then(Json::as_array)
+        .unwrap_or(empty);
+    let fresh_cells = fresh.get("cells").and_then(Json::as_array).unwrap_or(empty);
+    let cell_key = |c: &Json| -> Option<(String, u64, u64)> {
+        Some((
+            c.get("protocol")?.as_str()?.to_string(),
+            c.get("crash_pct")?.as_f64()? as u64,
+            c.get("episodes")?.as_f64()? as u64,
+        ))
+    };
+    let mut deltas = Vec::new();
+    for fc in fresh_cells {
+        let Some(key) = cell_key(fc) else { continue };
+        let Some(bc) = base_cells
+            .iter()
+            .find(|bc| cell_key(bc) == Some(key.clone()))
+        else {
+            continue;
+        };
+        let base_wall = bc.get("wall_ms").and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if base_wall < min_wall_ms {
+            continue;
+        }
+        if let (Some(b), Some(f)) = (
+            bc.get("wall_ms").and_then(Json::as_f64),
+            fc.get("wall_ms").and_then(Json::as_f64),
+        ) {
+            deltas.push(Delta {
+                key: format!("faults {}/{}%/{}ep wall_ms", key.0, key.1, key.2),
+                baseline: b,
+                fresh: f,
+            });
+        }
+    }
+    deltas
+}
+
 /// The `BENCH_core.json` metrics the gate compares: the live data plane's
 /// absolute per-round costs (speedup ratios are deliberately ungated).
 pub fn core_deltas(baseline: &Json, fresh: &Json) -> Vec<Delta> {
@@ -561,6 +609,33 @@ mod tests {
         assert_eq!(deltas[0].key, "byz async-oblivious/15%/drop-acks wall_ms");
         assert!(deltas[0].regressed(0.20), "+25% beats a 20% tolerance");
         assert_eq!(byzantine_deltas(&baseline, &fresh, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn faults_deltas_match_on_protocol_crash_pct_and_episodes() {
+        let cell = |p: &str, pct: f64, eps: f64, wall: f64| {
+            Json::Obj(vec![
+                ("protocol".into(), Json::Str(p.into())),
+                ("crash_pct".into(), Json::Num(pct)),
+                ("episodes".into(), Json::Num(eps)),
+                ("wall_ms".into(), Json::Num(wall)),
+            ])
+        };
+        let doc = |cells: Vec<Json>| Json::Obj(vec![("cells".into(), Json::Arr(cells))]);
+        let baseline = doc(vec![
+            cell("async-oblivious", 20.0, 1.0, 90.0),
+            cell("async-single-source", 20.0, 1.0, 6.0),
+        ]);
+        let fresh = doc(vec![
+            cell("async-oblivious", 20.0, 1.0, 120.0),
+            cell("async-single-source", 20.0, 1.0, 7.0),
+            cell("async-oblivious", 10.0, 0.0, 70.0), // no baseline
+        ]);
+        let deltas = faults_deltas(&baseline, &fresh, 40.0);
+        assert_eq!(deltas.len(), 1, "sub-floor and unmatched cells skipped");
+        assert_eq!(deltas[0].key, "faults async-oblivious/20%/1ep wall_ms");
+        assert!(deltas[0].regressed(0.30), "+33% beats a 30% tolerance");
+        assert_eq!(faults_deltas(&baseline, &fresh, 0.0).len(), 2);
     }
 
     #[test]

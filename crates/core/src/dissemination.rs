@@ -294,6 +294,19 @@ impl CompletenessLedger {
     pub fn informed_count(&self) -> usize {
         self.informed.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Forgets everything: clears both `R_v` and `S_v`.
+    ///
+    /// This models **crash-amnesia** in the fault harness — the ledgers
+    /// are volatile state, so a node rejoining without a durable snapshot
+    /// starts them blank and re-earns every bit through the announce/ack
+    /// and probe paths (both idempotent, so peers tolerate the repeats).
+    /// The monotonicity contract above holds *within one incarnation* of
+    /// the node; `reset` is the incarnation boundary.
+    pub fn reset(&mut self) {
+        self.informed.fill(0);
+        self.known_complete.fill(0);
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +399,19 @@ mod tests {
         assert_eq!(ledger.informed_count(), 2);
         assert!(!ledger.needs_inform(NodeId::new(64)));
         assert!(ledger.needs_inform(NodeId::new(63)));
+    }
+
+    #[test]
+    fn ledger_reset_clears_both_sides() {
+        let mut ledger = CompletenessLedger::new(70);
+        assert!(ledger.note_peer_complete(NodeId::new(69)));
+        assert!(ledger.mark_informed(NodeId::new(1)));
+        ledger.reset();
+        assert!(!ledger.any_peer_complete());
+        assert_eq!(ledger.informed_count(), 0);
+        assert!(ledger.needs_inform(NodeId::new(1)));
+        // A fresh incarnation re-earns the bits normally.
+        assert!(ledger.note_peer_complete(NodeId::new(69)));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! decision from a per-node seeded RNG so runs stay replay-identical.
 
 use crate::engine::{EventCtx, EventProtocol};
+use crate::faults::RecoveryMode;
 use crate::protocol::{AsyncMsMsg, AsyncOblMsg, AsyncSsMsg};
 use crate::protocol::{AsyncMultiSource, AsyncOblivious, AsyncSingleSource};
 use dynspread_graph::NodeId;
@@ -502,6 +503,20 @@ impl<P: Tamper> EventProtocol for Misbehaving<P> {
         let mark = ctx.staged_ops();
         self.inner.on_timer(id, ctx);
         self.tamper_outgoing(ctx, mark, true);
+    }
+
+    fn on_recover(&mut self, mode: RecoveryMode, ctx: &mut EventCtx<'_, P::Msg>) {
+        // A liar that crashes rejoins lying: forward the hook and tamper
+        // the rejoin traffic like any other claim slot.
+        let mark = ctx.staged_ops();
+        self.inner.on_recover(mode, ctx);
+        self.tamper_outgoing(ctx, mark, true);
+    }
+
+    fn on_heal(&mut self, ctx: &mut EventCtx<'_, P::Msg>) {
+        let mark = ctx.staged_ops();
+        self.inner.on_heal(ctx);
+        self.tamper_outgoing(ctx, mark, false);
     }
 
     fn known_tokens(&self) -> Option<&TokenSet> {

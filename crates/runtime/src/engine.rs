@@ -26,6 +26,7 @@
 
 use crate::byzantine::transcript::{AuditMsg, Direction, MsgSummary, Transcript};
 use crate::event::{EventQueue, VirtualTime};
+use crate::faults::{FaultPlan, RecoveryMode};
 use crate::link::LinkModel;
 use crate::mailbox::Mailbox;
 use dynspread_graph::adversary::Adversary;
@@ -204,6 +205,26 @@ pub trait EventProtocol {
         let _ = (id, ctx);
     }
 
+    /// Called when this node rejoins after a crash scheduled by a
+    /// [`FaultPlan`]. Timers from before the crash never fire (the engine
+    /// invalidates them), so the node must re-arm everything it needs
+    /// here. The default simply re-runs [`on_start`](EventProtocol::on_start)
+    /// — correct for stateless protocols; stateful ones override it to
+    /// reconcile what `mode` says survived the outage.
+    fn on_recover(&mut self, mode: RecoveryMode, ctx: &mut EventCtx<'_, Self::Msg>) {
+        let _ = mode;
+        self.on_start(ctx);
+    }
+
+    /// Called on every live node when a partition episode heals. The
+    /// default does nothing; protocols with retransmission backoff
+    /// override it to snap their pacing back to base, so resynchronization
+    /// across the healed cut is not delayed by an interval that backed
+    /// off against the partition.
+    fn on_heal(&mut self, ctx: &mut EventCtx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
     /// Exposes token knowledge for global observation, if this protocol
     /// solves a dissemination problem. Returning `Some` enables the
     /// engine's [`TokenTracker`] and completion-based termination.
@@ -270,10 +291,26 @@ impl std::fmt::Display for EventReport {
 }
 
 /// The internal event alphabet.
+///
+/// `Timer` carries the arming node's incarnation: a timer armed before a
+/// crash is dead on arrival in any later incarnation, which is what lets
+/// `on_recover` re-arm from scratch without racing ghosts of the previous
+/// life. Fault-free runs keep every generation at 0, so the field changes
+/// nothing there. The fault variants (`Crash`, `Recover`,
+/// `PartitionStart`, `PartitionHeal`) are scheduled up-front by
+/// [`EventSim::set_fault_plan`] — FIFO-within-tick then guarantees they
+/// pop *before* any same-tick delivery, which is scheduled later; `Heal`
+/// is a dispatch-only pseudo-event fanned out to live nodes when a
+/// `PartitionHeal` pops, never queued itself.
 enum Event<M> {
     Start(NodeId),
     Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, id: u64 },
+    Timer { node: NodeId, id: u64, gen: u32 },
+    Crash(NodeId),
+    Recover { node: NodeId, mode: RecoveryMode },
+    PartitionStart(u32),
+    PartitionHeal(u32),
+    Heal,
 }
 
 /// The asynchronous discrete-event engine.
@@ -291,6 +328,15 @@ pub struct EventSim<P: EventProtocol, A: Adversary, L: LinkModel> {
     rng: StdRng,
     clock: VirtualTime,
     tracker: Option<TokenTracker>,
+    // Fault injection (None = fault-free: `down` stays all-false and
+    // `incarnation` all-zero, so every path below behaves identically to
+    // an engine without these fields).
+    fault_plan: Option<FaultPlan>,
+    down: Vec<bool>,
+    incarnation: Vec<u32>,
+    crashes: u64,
+    recoveries: u64,
+    partition_episodes: u64,
     // Transcript auditing (None = disabled, the default: honest runs pay
     // one pointer check per dispatch and nothing else).
     summarize: Option<fn(&P::Msg) -> MsgSummary>,
@@ -349,6 +395,12 @@ where
             rng: StdRng::seed_from_u64(seed),
             clock: 0,
             tracker: None,
+            fault_plan: None,
+            down: vec![false; n],
+            incarnation: vec![0; n],
+            crashes: 0,
+            recoveries: 0,
+            partition_episodes: 0,
             summarize: None,
             transcripts: Vec::new(),
             ops: Vec::new(),
@@ -421,6 +473,72 @@ where
     /// The tracker, when tracking is enabled.
     pub fn tracker(&self) -> Option<&TokenTracker> {
         self.tracker.as_ref()
+    }
+
+    /// Installs a [`FaultPlan`], scheduling its crash, recovery, and
+    /// partition-boundary events into the queue. Call before
+    /// [`EventSim::run`].
+    ///
+    /// The engine enforces the *node* semantics (down nodes consume no
+    /// deliveries, fire no timers, send nothing; recoveries dispatch
+    /// [`EventProtocol::on_recover`]; heals dispatch
+    /// [`EventProtocol::on_heal`] to live nodes) and counts episodes —
+    /// the *link* semantics of a partition (cross-cut copies dropped) are
+    /// enforced by wrapping the link model in
+    /// [`PartitionLink`](crate::faults::PartitionLink) over the same
+    /// plan, which the `run_faulty_*` drivers do for you.
+    ///
+    /// An empty plan ([`FaultPlan::none`]) schedules nothing and leaves
+    /// the run byte-identical to one without a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's node count differs from the engine's, or if
+    /// the run already started.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            plan.node_count(),
+            self.nodes.len(),
+            "fault plan sized for a different network"
+        );
+        assert!(
+            self.clock == 0 && self.events == 0,
+            "set_fault_plan must precede run()"
+        );
+        for v in plan.crashed_nodes() {
+            let f = plan.fault_of(v).expect("listed as crashed");
+            self.queue.schedule(f.crash_at, Event::Crash(v));
+            if let Some(at) = f.recover_at {
+                self.queue.schedule(
+                    at,
+                    Event::Recover {
+                        node: v,
+                        mode: f.mode,
+                    },
+                );
+            }
+        }
+        for (i, ep) in plan.episodes().iter().enumerate() {
+            self.queue
+                .schedule(ep.start, Event::PartitionStart(i as u32));
+            self.queue.schedule(ep.end, Event::PartitionHeal(i as u32));
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// Whether node `v` is currently crashed.
+    pub fn is_down(&self, v: NodeId) -> bool {
+        self.down[v.index()]
+    }
+
+    /// Number of nodes currently crashed.
+    pub fn down_count(&self) -> usize {
+        self.down.iter().filter(|&&d| d).count()
+    }
+
+    /// Fault counters so far: `(crashes, recoveries, partition episodes)`.
+    pub fn fault_counters(&self) -> (u64, u64, u64) {
+        (self.crashes, self.recoveries, self.partition_episodes)
     }
 
     /// Enables per-node transcript recording (the accountability layer's
@@ -506,6 +624,9 @@ where
             link_drops: self.link_drops,
             link_duplicates: self.link_dups,
             retransmissions: self.retransmissions,
+            crashes: self.crashes,
+            recoveries: self.recoveries,
+            partition_episodes: self.partition_episodes,
             profile: self.prof.as_ref().map(|p| Box::new(p.report())),
         }
     }
@@ -554,6 +675,11 @@ where
                 Event::Start(_) => node.on_start(&mut ctx),
                 Event::Deliver { from, msg, .. } => node.on_message(from, &msg, &mut ctx),
                 Event::Timer { id, .. } => node.on_timer(id, &mut ctx),
+                Event::Recover { mode, .. } => node.on_recover(mode, &mut ctx),
+                Event::Heal => node.on_heal(&mut ctx),
+                Event::Crash(_) | Event::PartitionStart(_) | Event::PartitionHeal(_) => {
+                    unreachable!("handled in the run loop, never dispatched")
+                }
             }
         }
         profile::lap(&mut self.prof, Phase::Handler);
@@ -669,9 +795,10 @@ where
         self.ops = ops;
         self.dests = dests;
         profile::lap(&mut self.prof, Phase::LinkPlanning);
+        let gen = self.incarnation[v.index()];
         for &(delay, id) in &self.timers {
             self.queue
-                .schedule(self.clock + delay, Event::Timer { node: v, id });
+                .schedule(self.clock + delay, Event::Timer { node: v, id, gen });
             emit(
                 &mut self.tracer,
                 TraceRecord::TimerArmed {
@@ -731,6 +858,13 @@ where
             profile::lap(&mut self.prof, Phase::QueuePop);
             match event {
                 Event::Start(v) => self.dispatch(v, Event::Start(v)),
+                Event::Deliver { to, .. } if self.down[to.index()] => {
+                    // The receiver is crashed: the copy evaporates — not
+                    // delivered, not traced, not in the transcript. (The
+                    // copy was still *scheduled*, so link counters saw
+                    // it; crash loss is a receiver property, not a link
+                    // property.)
+                }
                 Event::Deliver { to, from, msg } => {
                     // Arrival goes through the mailbox, then is consumed.
                     self.mailboxes[to.index()].deliver(self.clock, from, msg);
@@ -765,17 +899,82 @@ where
                         },
                     );
                 }
-                Event::Timer { node, id } => {
+                Event::Timer { node, id, gen } => {
+                    if self.down[node.index()] || gen != self.incarnation[node.index()] {
+                        // Down node, or a timer armed in a previous
+                        // incarnation: discarded silently. This is what
+                        // makes `on_recover`'s re-arming safe — the old
+                        // life's heartbeat chain can never interleave
+                        // with the new one.
+                    } else {
+                        emit(
+                            &mut self.tracer,
+                            TraceRecord::TimerFired {
+                                t: self.clock,
+                                node: node.value(),
+                                id,
+                            },
+                        );
+                        self.dispatch(node, Event::Timer { node, id, gen });
+                    }
+                }
+                Event::Crash(v) => {
+                    debug_assert!(!self.down[v.index()], "{v} crashed twice");
+                    self.down[v.index()] = true;
+                    // Bumping the incarnation orphans every timer the
+                    // node has in flight, even ones that would fire
+                    // after its recovery.
+                    self.incarnation[v.index()] += 1;
+                    self.crashes += 1;
                     emit(
                         &mut self.tracer,
-                        TraceRecord::TimerFired {
+                        TraceRecord::NodeCrashed {
                             t: self.clock,
-                            node: node.value(),
-                            id,
+                            node: v.value(),
                         },
                     );
-                    self.dispatch(node, Event::Timer { node, id });
                 }
+                Event::Recover { node, mode } => {
+                    debug_assert!(self.down[node.index()], "{node} recovered while up");
+                    self.down[node.index()] = false;
+                    self.recoveries += 1;
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::NodeRecovered {
+                            t: self.clock,
+                            node: node.value(),
+                        },
+                    );
+                    self.dispatch(node, Event::Recover { node, mode });
+                }
+                Event::PartitionStart(episode) => {
+                    self.partition_episodes += 1;
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::PartitionStarted {
+                            t: self.clock,
+                            episode,
+                        },
+                    );
+                }
+                Event::PartitionHeal(episode) => {
+                    emit(
+                        &mut self.tracer,
+                        TraceRecord::PartitionHealed {
+                            t: self.clock,
+                            episode,
+                        },
+                    );
+                    // Every live node gets the heal hook, in ascending
+                    // ID order (crashed nodes re-pace via `on_recover`
+                    // instead when their time comes).
+                    for v in NodeId::all(self.nodes.len()) {
+                        if !self.down[v.index()] {
+                            self.dispatch(v, Event::Heal);
+                        }
+                    }
+                }
+                Event::Heal => unreachable!("Heal is dispatch-only, never queued"),
             }
         };
         EventReport {
@@ -881,6 +1080,148 @@ mod tests {
         assert_eq!(&*report.algorithm, "blind");
         assert!(!report.completed, "no tracking ⇒ never reported complete");
         assert!(report.to_string().contains("1 unroutable"));
+    }
+
+    /// Re-arms a 1-tick heartbeat forever, broadcasting on every beat.
+    struct Ticker {
+        ticks: u64,
+        received: u64,
+        recoveries: u64,
+        heals: u64,
+    }
+
+    impl Ticker {
+        fn new() -> Self {
+            Ticker {
+                ticks: 0,
+                received: 0,
+                recoveries: 0,
+                heals: 0,
+            }
+        }
+    }
+
+    impl EventProtocol for Ticker {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut EventCtx<'_, ()>) {
+            ctx.set_timer(1, 0);
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: &(), _ctx: &mut EventCtx<'_, ()>) {
+            self.received += 1;
+        }
+
+        fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, ()>) {
+            self.ticks += 1;
+            ctx.broadcast(());
+            ctx.set_timer(1, 0);
+        }
+
+        fn on_recover(&mut self, _mode: RecoveryMode, ctx: &mut EventCtx<'_, ()>) {
+            self.recoveries += 1;
+            self.on_start(ctx);
+        }
+
+        fn on_heal(&mut self, _ctx: &mut EventCtx<'_, ()>) {
+            self.heals += 1;
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_are_silent_and_recover_with_fresh_timers() {
+        use crate::faults::{FaultPlan, NodeFault};
+        let nodes = vec![Ticker::new(), Ticker::new()];
+        let adversary = StaticAdversary::new(Graph::complete(2));
+        let mut sim = EventSim::new(nodes, adversary, PerfectLink, 1, 5);
+        let plan = FaultPlan::none(2).plant(
+            NodeId::new(1),
+            NodeFault {
+                crash_at: 5,
+                recover_at: Some(10),
+                mode: RecoveryMode::Amnesia,
+            },
+        );
+        sim.set_fault_plan(plan);
+        let report = sim.run(20);
+        assert_eq!(report.stopped, StopReason::TimeLimit);
+        assert_eq!(sim.fault_counters(), (1, 1, 0));
+        assert!(!sim.is_down(NodeId::new(1)), "recovered by t=10");
+        let up = sim.node(NodeId::new(0));
+        let faulted = sim.node(NodeId::new(1));
+        assert_eq!(up.recoveries, 0);
+        assert_eq!(faulted.recoveries, 1);
+        // Node 1 beats at t=1..4 (4 beats), is dark over [5, 10), then its
+        // post-recovery chain beats at t=11.. — the pre-crash timer chain
+        // is dead, so exactly one chain runs.
+        assert_eq!(faulted.ticks, 4 + (20 - 11 + 1));
+        // Node 0 never stops: one beat per tick from t=1.
+        assert_eq!(up.ticks, 20);
+        // Deliveries into the outage window evaporated: node 1 misses
+        // node 0's beats sent at t=5..9 (delivered same tick under a
+        // perfect link, while node 1 was down) and the t=10 beat arrives
+        // after recovery.
+        assert_eq!(faulted.received, up.ticks - 5);
+        // Node 0 heard nothing while node 1 was dark.
+        assert_eq!(up.received, faulted.ticks);
+        let rr = sim.run_report("ticker");
+        assert_eq!(
+            (rr.crashes, rr.recoveries, rr.partition_episodes),
+            (1, 1, 0)
+        );
+        assert!(rr.to_string().contains("faults: 1 crashes, 1 recoveries"));
+    }
+
+    #[test]
+    fn partition_heal_dispatches_on_heal_to_live_nodes_only() {
+        use crate::faults::{FaultPlan, NodeFault};
+        let nodes = vec![Ticker::new(), Ticker::new(), Ticker::new()];
+        let adversary = StaticAdversary::new(Graph::complete(3));
+        let mut sim = EventSim::new(nodes, adversary, PerfectLink, 1, 5);
+        let plan = FaultPlan::none(3)
+            .with_partition(3, 8, vec![false, true, true])
+            .plant(
+                NodeId::new(2),
+                NodeFault {
+                    crash_at: 4,
+                    recover_at: None,
+                    mode: RecoveryMode::Amnesia,
+                },
+            );
+        sim.set_fault_plan(plan);
+        let report = sim.run(15);
+        assert_eq!(report.stopped, StopReason::TimeLimit);
+        assert_eq!(sim.fault_counters(), (1, 0, 1));
+        assert_eq!(sim.down_count(), 1);
+        assert_eq!(sim.node(NodeId::new(0)).heals, 1);
+        assert_eq!(sim.node(NodeId::new(1)).heals, 1);
+        assert_eq!(
+            sim.node(NodeId::new(2)).heals,
+            0,
+            "crash-stopped node never hears the heal"
+        );
+        // Note: without a PartitionLink wrap the cut does not affect the
+        // link — this test only exercises the boundary events.
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        use crate::faults::FaultPlan;
+        let run = |with_plan: bool| {
+            let nodes = vec![Ticker::new(), Ticker::new()];
+            let adversary = StaticAdversary::new(Graph::complete(2));
+            let mut sim = EventSim::new(nodes, adversary, PerfectLink, 1, 5);
+            if with_plan {
+                sim.set_fault_plan(FaultPlan::none(2));
+            }
+            let report = sim.run(50);
+            (
+                format!("{report:?}"),
+                sim.node(NodeId::new(0)).received,
+                sim.fault_counters(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! Drivers that run the asynchronous ports under a [`FaultPlan`] and
+//! report how far dissemination got despite the outages.
+//!
+//! Each driver mirrors its honest counterpart exactly — same engine
+//! seeds, same hand-off logic, same configuration — with two additions:
+//! the engine gets the plan via
+//! [`EventSim::set_fault_plan`](crate::engine::EventSim::set_fault_plan)
+//! (node semantics: silence, recovery, heal hooks) and the link is
+//! wrapped in [`PartitionLink`] over the same plan (link semantics:
+//! cross-cut copies dropped). An empty plan ([`FaultPlan::none`])
+//! therefore reproduces the honest run byte for byte, and any
+//! degradation measured under a real plan is attributable to the
+//! injected faults alone.
+//!
+//! Degradation is reported as **live coverage**: the mean fraction of
+//! the token universe known, at the end of the run, by the nodes that
+//! are up at the end of the run. Under crash-recovery plans every node
+//! is live again and full dissemination (`completed`) is still the bar;
+//! under crash-stop plans the dead nodes are excluded — they can never
+//! learn anything — and live coverage measures what the survivors
+//! salvaged.
+
+use super::plan::{FaultPlan, PartitionLink};
+use crate::engine::{EventProtocol, EventReport, EventSim, StopReason};
+use crate::event::VirtualTime;
+use crate::link::LinkModel;
+use crate::protocol::{
+    AsyncConfig, AsyncMultiSource, AsyncOblivious, AsyncObliviousConfig, AsyncSingleSource,
+};
+use dynspread_core::multi_source::SourceMap;
+use dynspread_core::oblivious::{center_count, degree_threshold, source_threshold};
+use dynspread_graph::adversary::Adversary;
+use dynspread_graph::NodeId;
+use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+use dynspread_sim::RunReport;
+use std::sync::Arc;
+
+/// Outcome of a single-phase faulty run (single- or multi-source).
+#[derive(Clone, Debug)]
+pub struct FaultyOutcome {
+    /// The engine-level report.
+    pub event: EventReport,
+    /// The workspace-level report, with the crash/recovery/partition
+    /// counters filled by the engine.
+    pub report: RunReport,
+    /// Mean fraction of the token universe known by the nodes still up
+    /// at the end of the run (1.0 when none are).
+    pub live_coverage: f64,
+    /// Whether the run reached full dissemination (all nodes, including
+    /// any that never recovered — impossible under crash-stop plans
+    /// unless nobody crashed).
+    pub completed: bool,
+}
+
+/// Mean coverage of the `k`-token universe over the nodes selected by
+/// `include` (their index order matching the knowledge iterator); `1.0`
+/// when no node is selected.
+pub fn coverage_over<'a>(
+    k: usize,
+    knowledge: impl Iterator<Item = &'a TokenSet>,
+    mut include: impl FnMut(NodeId) -> bool,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut picked = 0usize;
+    for (i, know) in knowledge.enumerate() {
+        if include(NodeId::new(i as u32)) {
+            sum += know.count() as f64 / k.max(1) as f64;
+            picked += 1;
+        }
+    }
+    if picked == 0 {
+        1.0
+    } else {
+        sum / picked as f64
+    }
+}
+
+/// Runs [`AsyncSingleSource`] under `plan`: the engine silences crashed
+/// nodes and drives the recovery/heal hooks, the wrapped link drops
+/// cross-partition copies.
+///
+/// # Panics
+///
+/// Panics if the plan's node count differs from the assignment's.
+#[allow(clippy::too_many_arguments)] // plan→wrap→run one-stop driver
+pub fn run_faulty_single_source<A, L>(
+    assignment: &TokenAssignment,
+    adversary: A,
+    link: L,
+    ticks_per_round: VirtualTime,
+    seed: u64,
+    cfg: AsyncConfig,
+    plan: &FaultPlan,
+    max_time: VirtualTime,
+) -> FaultyOutcome
+where
+    A: Adversary,
+    L: LinkModel,
+{
+    assert_eq!(plan.node_count(), assignment.node_count(), "plan size");
+    let schedule = Arc::new(plan.clone());
+    let nodes = AsyncSingleSource::nodes(assignment, cfg);
+    let mut sim = EventSim::with_tracking(
+        nodes,
+        adversary,
+        PartitionLink::new(link, schedule),
+        ticks_per_round,
+        seed,
+        assignment,
+    );
+    sim.set_fault_plan(plan.clone());
+    let event = sim.run(max_time);
+    let report = sim.run_report("faulty-async-single-source");
+    let tracker = sim.tracker().expect("tracking enabled");
+    let n = assignment.node_count();
+    let live_coverage = coverage_over(
+        assignment.token_count(),
+        NodeId::all(n).map(|v| tracker.knowledge(v)),
+        |v| !sim.is_down(v),
+    );
+    let completed = event.stopped == StopReason::Complete;
+    FaultyOutcome {
+        event,
+        report,
+        live_coverage,
+        completed,
+    }
+}
+
+/// Runs [`AsyncMultiSource`] under `plan`; see
+/// [`run_faulty_single_source`].
+///
+/// # Panics
+///
+/// Panics if the plan's node count differs from the assignment's.
+#[allow(clippy::too_many_arguments)] // plan→wrap→run one-stop driver
+pub fn run_faulty_multi_source<A, L>(
+    assignment: &TokenAssignment,
+    adversary: A,
+    link: L,
+    ticks_per_round: VirtualTime,
+    seed: u64,
+    cfg: AsyncConfig,
+    plan: &FaultPlan,
+    max_time: VirtualTime,
+) -> FaultyOutcome
+where
+    A: Adversary,
+    L: LinkModel,
+{
+    assert_eq!(plan.node_count(), assignment.node_count(), "plan size");
+    let schedule = Arc::new(plan.clone());
+    let (nodes, _map) = AsyncMultiSource::nodes(assignment, cfg);
+    let mut sim = EventSim::with_tracking(
+        nodes,
+        adversary,
+        PartitionLink::new(link, schedule),
+        ticks_per_round,
+        seed,
+        assignment,
+    );
+    sim.set_fault_plan(plan.clone());
+    let event = sim.run(max_time);
+    let report = sim.run_report("faulty-async-multi-source");
+    let tracker = sim.tracker().expect("tracking enabled");
+    let n = assignment.node_count();
+    let live_coverage = coverage_over(
+        assignment.token_count(),
+        NodeId::all(n).map(|v| tracker.knowledge(v)),
+        |v| !sim.is_down(v),
+    );
+    let completed = event.stopped == StopReason::Complete;
+    FaultyOutcome {
+        event,
+        report,
+        live_coverage,
+        completed,
+    }
+}
+
+/// Outcome of a full two-phase faulty oblivious run.
+#[derive(Clone, Debug)]
+pub struct FaultyObliviousOutcome {
+    /// Phase-1 report (absent on the direct few-sources path).
+    pub phase1: Option<EventReport>,
+    /// Phase-2 report.
+    pub phase2: EventReport,
+    /// The workspace-level report (phase-2 engine), fault counters
+    /// summed over both phases.
+    pub report: RunReport,
+    /// Tokens whose resolved phase-1 claimant was down at the hand-off
+    /// and that were re-homed to a live node still knowing them — the
+    /// crash analogue of the Byzantine driver's `stolen_recovered`.
+    pub crash_reclaimed: usize,
+    /// Tokens resolved to a non-center owner at the hand-off.
+    pub stranded_tokens: usize,
+    /// Mean coverage over the nodes up at the end of phase 2.
+    pub live_coverage: f64,
+    /// Whether phase 2 reached full dissemination.
+    pub completed: bool,
+}
+
+/// Runs the full two-phase oblivious pipeline with `plan1` faulting the
+/// walk phase and `plan2` the spread phase (each phase's engine restarts
+/// the virtual clock, so the plans' times are phase-local; pass
+/// [`FaultPlan::none`] to leave a phase unfaulted).
+///
+/// The hand-off is the crash-tolerant variant of
+/// [`run_async_oblivious`](crate::protocol::run_async_oblivious)'s:
+/// responsibility is never destroyed by a crash (a down node keeps its
+/// walk state), but a claimant that is still down when phase 1 ends
+/// cannot serve as a phase-2 source. Such tokens are re-homed to a live
+/// node that knows them — preferring a live center, then any live
+/// knower, then the token's original assignment holder — and counted in
+/// [`FaultyObliviousOutcome::crash_reclaimed`]. Among multiple claimants
+/// (a churned or crash-severed mid-transfer edge) a live center beats a
+/// live walker beats anything down.
+///
+/// # Panics
+///
+/// Panics if either plan's node count differs from the assignment's.
+#[allow(clippy::too_many_arguments)] // two phases, each fully configured
+pub fn run_faulty_oblivious<A1, A2, L1, L2>(
+    assignment: &TokenAssignment,
+    adversary1: A1,
+    adversary2: A2,
+    link1: L1,
+    link2: L2,
+    cfg: &AsyncObliviousConfig,
+    plan1: &FaultPlan,
+    plan2: &FaultPlan,
+) -> FaultyObliviousOutcome
+where
+    A1: Adversary,
+    A2: Adversary,
+    L1: LinkModel,
+    L2: LinkModel,
+{
+    let n = assignment.node_count();
+    let k = assignment.token_count();
+    assert_eq!(plan1.node_count(), n, "phase-1 plan size");
+    assert_eq!(plan2.node_count(), n, "phase-2 plan size");
+    let s = assignment.sources().len();
+    let threshold = cfg.source_threshold.unwrap_or_else(|| source_threshold(n));
+
+    if (s as f64) <= threshold {
+        // Few sources: the pipeline is a single multi-source run and
+        // only the phase-2 plan applies.
+        let out = run_faulty_multi_source(
+            assignment,
+            adversary2,
+            link2,
+            cfg.ticks_per_round,
+            cfg.seed ^ 0x5EED_0B71_0002u64,
+            cfg.retransmit,
+            plan2,
+            cfg.phase2_max_time,
+        );
+        return FaultyObliviousOutcome {
+            phase1: None,
+            phase2: out.event,
+            report: out.report,
+            crash_reclaimed: 0,
+            stranded_tokens: 0,
+            live_coverage: out.live_coverage,
+            completed: out.completed,
+        };
+    }
+
+    // ---- Phase 1: the walk phase, faulted by plan1. ----
+    let f = center_count(n, k);
+    let p_center = cfg
+        .center_probability
+        .unwrap_or_else(|| (f / n as f64).min(1.0));
+    let gamma = cfg
+        .degree_threshold
+        .unwrap_or_else(|| degree_threshold(n, f));
+    let nodes = AsyncOblivious::nodes(
+        assignment,
+        p_center,
+        gamma,
+        cfg.seed,
+        cfg.retransmit,
+        cfg.phase1_deadline,
+    );
+    let mut sim1 = EventSim::new(
+        nodes,
+        adversary1,
+        PartitionLink::new(link1, Arc::new(plan1.clone())),
+        cfg.ticks_per_round,
+        cfg.seed ^ 0x5EED_0B71_0001u64,
+    );
+    sim1.set_fault_plan(plan1.clone());
+    let phase1 = sim1.run(cfg.phase1_max_time);
+    let (c1, r1, p1) = sim1.fault_counters();
+
+    // ---- Crash-tolerant hand-off. ----
+    // Claimant preference: up beats down, then center beats walker, then
+    // (scanning ascending, replacing only on strict improvement) the
+    // lowest ID.
+    let rank = |sim: &EventSim<AsyncOblivious, A1, _>, v: NodeId| -> u8 {
+        u8::from(!sim.is_down(v)) * 2 + u8::from(sim.node(v).is_center())
+    };
+    let mut owner_of: Vec<Option<NodeId>> = vec![None; k];
+    for v in NodeId::all(n) {
+        for t in sim1.node(v).responsible_tokens() {
+            let slot = &mut owner_of[t.index()];
+            match *slot {
+                None => *slot = Some(v),
+                Some(prev) => {
+                    if rank(&sim1, v) > rank(&sim1, prev) {
+                        *slot = Some(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut ownership = TokenAssignment::empty(n, k);
+    let mut knowledge = TokenAssignment::empty(n, k);
+    let mut stranded = 0usize;
+    let mut crash_reclaimed = 0usize;
+    for (ti, owner) in owner_of.iter().enumerate() {
+        let t = TokenId::new(ti as u32);
+        let mut v = owner.expect("responsibility is never destroyed: every token has a claimant");
+        if sim1.is_down(v) {
+            // Every claimant crash-stopped mid-walk. Re-home the token to
+            // a live node that knows it (knowledge is durable, so the
+            // crashed owner's upstream senders still do), preferring a
+            // center; the original assignment holder is the last resort
+            // (it may itself be down — then the token is lost with it).
+            crash_reclaimed += 1;
+            let knows = |u: NodeId| {
+                !sim1.is_down(u) && sim1.node(u).known_tokens().is_some_and(|kn| kn.contains(t))
+            };
+            v = NodeId::all(n)
+                .find(|&u| knows(u) && sim1.node(u).is_center())
+                .or_else(|| NodeId::all(n).find(|&u| knows(u)))
+                .unwrap_or_else(|| {
+                    assignment
+                        .holders(t)
+                        .next()
+                        .expect("every token has an initial holder")
+                });
+        }
+        ownership.add_holder(t, v);
+        if !sim1.node(v).is_center() {
+            stranded += 1;
+        }
+    }
+    for v in NodeId::all(n) {
+        let know = sim1
+            .node(v)
+            .known_tokens()
+            .expect("walk nodes expose knowledge");
+        for t in know.iter() {
+            knowledge.add_holder(t, v);
+        }
+    }
+    let map = Arc::new(SourceMap::from_assignment(&ownership));
+
+    // ---- Phase 2: Multi-Source-Unicast from the owners, faulted by
+    // plan2. ----
+    let nodes2: Vec<AsyncMultiSource> = NodeId::all(n)
+        .map(|v| AsyncMultiSource::new(v, &knowledge, Arc::clone(&map), cfg.retransmit))
+        .collect();
+    let mut sim2 = EventSim::with_tracking(
+        nodes2,
+        adversary2,
+        PartitionLink::new(link2, Arc::new(plan2.clone())),
+        cfg.ticks_per_round,
+        cfg.seed ^ 0x5EED_0B71_0002u64,
+        &knowledge,
+    );
+    sim2.set_fault_plan(plan2.clone());
+    let phase2 = sim2.run(cfg.phase2_max_time);
+
+    let mut report = sim2.run_report("faulty-async-oblivious");
+    report.crashes += c1;
+    report.recoveries += r1;
+    report.partition_episodes += p1;
+    let tracker = sim2.tracker().expect("tracking enabled");
+    let live_coverage = coverage_over(k, NodeId::all(n).map(|v| tracker.knowledge(v)), |v| {
+        !sim2.is_down(v)
+    });
+    let completed = phase2.stopped == StopReason::Complete;
+
+    FaultyObliviousOutcome {
+        phase1: Some(phase1),
+        phase2,
+        report,
+        crash_reclaimed,
+        stranded_tokens: stranded,
+        live_coverage,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::plan::{NodeFault, RecoveryMode};
+    use crate::link::{DropLink, LinkModelExt, PerfectLink};
+    use dynspread_graph::generators::Topology;
+    use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
+    use dynspread_graph::Graph;
+
+    #[test]
+    fn coverage_over_excludes_and_degenerates() {
+        let mut full = TokenSet::new(4);
+        for i in 0..4 {
+            full.insert(TokenId::new(i));
+        }
+        let empty = TokenSet::new(4);
+        let sets = [full, empty];
+        let all = coverage_over(4, sets.iter(), |_| true);
+        assert!((all - 0.5).abs() < 1e-12);
+        let first = coverage_over(4, sets.iter(), |v| v.index() == 0);
+        assert!((first - 1.0).abs() < 1e-12);
+        assert_eq!(coverage_over(4, sets.iter(), |_| false), 1.0);
+    }
+
+    #[test]
+    fn empty_plan_reproduces_the_honest_single_source_run() {
+        let n = 8;
+        let assignment = TokenAssignment::single_source(n, 5, NodeId::new(0));
+        let out = run_faulty_single_source(
+            &assignment,
+            PeriodicRewiring::new(Topology::RandomTree, 3, 7),
+            DropLink::new(0.2).with_jitter(2),
+            2,
+            41,
+            AsyncConfig::default(),
+            &FaultPlan::none(n),
+            100_000,
+        );
+        // The honest twin: same seeds, unwrapped link, no plan.
+        let nodes = AsyncSingleSource::nodes(&assignment, AsyncConfig::default());
+        let mut sim = EventSim::with_tracking(
+            nodes,
+            PeriodicRewiring::new(Topology::RandomTree, 3, 7),
+            DropLink::new(0.2).with_jitter(2),
+            2,
+            41,
+            &assignment,
+        );
+        let honest = sim.run(100_000);
+        assert_eq!(format!("{:?}", out.event), format!("{honest:?}"));
+        assert_eq!(out.report.crashes, 0);
+        assert_eq!(out.report.recoveries, 0);
+        assert_eq!(out.report.partition_episodes, 0);
+        assert!(out.completed);
+        assert!((out.live_coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_recovery_plan_still_completes_and_counts() {
+        let n = 10;
+        let assignment = TokenAssignment::single_source(n, 6, NodeId::new(0));
+        let plan = FaultPlan::crash_recovery(n, 0.2, 200, 300, RecoveryMode::Amnesia, 5)
+            .with_random_partition(100, 400);
+        let out = run_faulty_multi_source(
+            &assignment,
+            PeriodicRewiring::new(Topology::RandomTree, 3, 9),
+            DropLink::new(0.2).with_jitter(2),
+            2,
+            43,
+            AsyncConfig::default(),
+            &plan,
+            500_000,
+        );
+        assert!(out.completed, "{}", out.report);
+        assert_eq!(out.report.crashes, 2);
+        assert_eq!(out.report.recoveries, 2);
+        assert_eq!(out.report.partition_episodes, 1);
+        assert!((out.live_coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crashed_owner_tokens_are_rehomed_at_the_handoff() {
+        let n = 8;
+        let assignment = TokenAssignment::n_gossip(n);
+        // Exactly one center (probability 0 still forces one), everyone
+        // high-degree on the complete graph: every walker hands its token
+        // to the center on the first heartbeat (t=2, confirmed same tick
+        // under PerfectLink). Crashing the center at t=10 therefore
+        // leaves every token with a down sole claimant.
+        let seed = 29;
+        let is_center = dynspread_core::walk::elect_centers(n, 0.0, seed);
+        let center = NodeId::new(
+            is_center
+                .iter()
+                .position(|&c| c)
+                .expect("one center forced") as u32,
+        );
+        let plan1 = FaultPlan::none(n).plant(
+            center,
+            NodeFault {
+                crash_at: 10,
+                recover_at: None,
+                mode: RecoveryMode::Amnesia,
+            },
+        );
+        let cfg = AsyncObliviousConfig {
+            seed,
+            source_threshold: Some(1.0),
+            center_probability: Some(0.0),
+            degree_threshold: Some(1.0),
+            phase1_deadline: 2_000,
+            phase1_max_time: 4_000,
+            ..AsyncObliviousConfig::default()
+        };
+        let out = run_faulty_oblivious(
+            &assignment,
+            StaticAdversary::new(Graph::complete(n)),
+            StaticAdversary::new(Graph::complete(n)),
+            PerfectLink,
+            PerfectLink,
+            &cfg,
+            &plan1,
+            &FaultPlan::none(n),
+        );
+        assert_eq!(
+            out.crash_reclaimed, n,
+            "every token was claimed by the crashed center"
+        );
+        // The walkers' own tokens re-home to their live original holders
+        // (knowledge is durable); the center's own token falls back to
+        // the center itself, which is back up in the fault-free phase 2.
+        assert!(out.completed, "{}", out.report);
+        assert_eq!(out.report.crashes, 1);
+        assert_eq!(out.report.recoveries, 0);
+    }
+
+    #[test]
+    fn faulty_oblivious_is_replay_identical() {
+        let n = 12;
+        let assignment = TokenAssignment::n_gossip(n);
+        let plan1 = FaultPlan::crash_recovery(n, 0.25, 100, 150, RecoveryMode::Amnesia, 3);
+        let plan2 = FaultPlan::crash_recovery(n, 0.25, 200, 300, RecoveryMode::DurableSnapshot, 4)
+            .with_random_partition(50, 250);
+        let cfg = AsyncObliviousConfig {
+            seed: 31,
+            source_threshold: Some(1.0),
+            center_probability: Some(0.3),
+            phase1_deadline: 5_000,
+            phase1_max_time: 12_000,
+            ..AsyncObliviousConfig::default()
+        };
+        let run = || {
+            run_faulty_oblivious(
+                &assignment,
+                PeriodicRewiring::new(Topology::Gnp(0.3), 3, 61),
+                PeriodicRewiring::new(Topology::RandomTree, 3, 62),
+                DropLink::new(0.3).with_jitter(2),
+                DropLink::new(0.3).with_jitter(2),
+                &cfg,
+                &plan1,
+                &plan2,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(format!("{:?}", a.phase1), format!("{:?}", b.phase1));
+        assert_eq!(format!("{:?}", a.phase2), format!("{:?}", b.phase2));
+        assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+        assert_eq!(a.crash_reclaimed, b.crash_reclaimed);
+        assert_eq!(a.stranded_tokens, b.stranded_tokens);
+        assert!(a.completed, "{}", a.report);
+    }
+}

@@ -44,6 +44,15 @@
 //!   would deadlock, and agree with the synchronous references wherever the
 //!   models coincide (see `tests/async_conformance.rs` and
 //!   `crates/runtime/README.md` for the conformance contract).
+//! * **Crash faults & partitions** ([`faults`]): a seeded pure-data
+//!   [`faults::FaultPlan`] schedules crash-stop and crash-recovery
+//!   outages (amnesia or durable-snapshot semantics) plus partition/heal
+//!   episodes; the engine silences down nodes, replays nothing stale, and
+//!   drives the ports' [`engine::EventProtocol::on_recover`] /
+//!   [`engine::EventProtocol::on_heal`] self-healing hooks, while
+//!   [`faults::PartitionLink`] drops cross-cut copies without consuming
+//!   randomness — so a fault-free plan is byte-identical to no plan at
+//!   all.
 //! * **Byzantine injection + accountability** ([`byzantine`]): a seeded
 //!   [`byzantine::MisbehaviorPlan`] wraps any async port in
 //!   [`byzantine::Misbehaving`] nodes that equivocate, forge transfers,
@@ -101,6 +110,7 @@
 pub mod byzantine;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod mailbox;
 pub mod protocol;
@@ -110,6 +120,7 @@ pub mod trace;
 pub use byzantine::{check_evidence, Evidence, Misbehaving, MisbehaviorKind, MisbehaviorPlan};
 pub use engine::{EventCtx, EventProtocol, EventReport, EventSim, StopReason};
 pub use event::{EventQueue, VirtualTime};
+pub use faults::{FaultPlan, PartitionLink, RecoveryMode};
 pub use link::{DropLink, LinkModel, LinkModelExt, PerfectLink};
 pub use mailbox::{Envelope, Mailbox};
 pub use protocol::{AsyncConfig, AsyncMultiSource, AsyncSingleSource};

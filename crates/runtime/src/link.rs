@@ -45,6 +45,18 @@ pub trait LinkModel {
         fates: &mut Vec<VirtualTime>,
     );
 
+    /// A conservative lower bound on the delay of any copy this model can
+    /// ever schedule: every fate appended by `plan` is `>= min_latency()`.
+    ///
+    /// This is the lookahead bound a conservatively-synchronized sharded
+    /// engine needs — a shard that has processed everything up to `t` can
+    /// safely advance to `t + min_latency()` before looking at its peers.
+    /// Combinators must keep the bound sound (never larger than a delay
+    /// they can produce); `0` is always sound, and is the default.
+    fn min_latency(&self) -> VirtualTime {
+        0
+    }
+
     /// Human-readable description, e.g. `perfect+lossy(0.3)`.
     fn describe(&self) -> String;
 }
@@ -137,6 +149,10 @@ impl LinkModel for PerfectLink {
         fates.push(0);
     }
 
+    fn min_latency(&self) -> VirtualTime {
+        0
+    }
+
     fn describe(&self) -> String {
         "perfect".to_string()
     }
@@ -190,6 +206,12 @@ where
         }
     }
 
+    fn min_latency(&self) -> VirtualTime {
+        // Either branch can carry a transmission, so only their common
+        // lower bound is sound.
+        self.matched.min_latency().min(self.other.min_latency())
+    }
+
     fn describe(&self) -> String {
         format!(
             "per-edge({} | {})",
@@ -222,6 +244,11 @@ impl<L: LinkModel> LinkModel for FixedLatency<L> {
         }
     }
 
+    fn min_latency(&self) -> VirtualTime {
+        // Every inner copy is shifted by exactly `delay`.
+        self.inner.min_latency() + self.delay
+    }
+
     fn describe(&self) -> String {
         format!("{}+lat({})", self.inner.describe(), self.delay)
     }
@@ -250,6 +277,11 @@ impl<L: LinkModel> LinkModel for JitterLatency<L> {
                 *d += rng.gen_range(0..=self.max_extra);
             }
         }
+    }
+
+    fn min_latency(&self) -> VirtualTime {
+        // Jitter only ever adds (the extra draw can be 0).
+        self.inner.min_latency()
     }
 
     fn describe(&self) -> String {
@@ -290,6 +322,11 @@ impl<L: LinkModel> LinkModel for Lossy<L> {
         }
     }
 
+    fn min_latency(&self) -> VirtualTime {
+        // Dropping copies never changes a surviving copy's delay.
+        self.inner.min_latency()
+    }
+
     fn describe(&self) -> String {
         format!("{}+lossy({})", self.inner.describe(), self.p)
     }
@@ -323,6 +360,11 @@ impl<L: LinkModel> LinkModel for Duplicating<L> {
                 }
             }
         }
+    }
+
+    fn min_latency(&self) -> VirtualTime {
+        // Duplicates inherit their original's delay.
+        self.inner.min_latency()
     }
 
     fn describe(&self) -> String {
@@ -426,6 +468,42 @@ mod tests {
             link.describe(),
             "per-edge(perfect+lat(5) | perfect+lossy(1))"
         );
+    }
+
+    #[test]
+    fn min_latency_bounds_every_planned_fate() {
+        // Structural expectations per combinator.
+        assert_eq!(PerfectLink.min_latency(), 0);
+        assert_eq!(PerfectLink.with_latency(4).min_latency(), 4);
+        assert_eq!(PerfectLink.with_latency(4).with_jitter(3).min_latency(), 4);
+        assert_eq!(PerfectLink.with_latency(4).lossy(0.5).min_latency(), 4);
+        assert_eq!(
+            PerfectLink.with_latency(4).duplicating(0.5).min_latency(),
+            4
+        );
+        assert_eq!(
+            PerfectLink
+                .with_latency(2)
+                .per_edge(PerfectLink.with_latency(5), |from, _| from
+                    == NodeId::new(0))
+                .min_latency(),
+            2,
+            "per-edge takes the smaller branch bound"
+        );
+        // Soundness: no planned fate ever undercuts the bound.
+        let link = PerfectLink
+            .with_latency(3)
+            .duplicating(0.4)
+            .lossy(0.3)
+            .with_jitter(5);
+        let bound = link.min_latency();
+        assert_eq!(bound, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            for d in plan_once(&link, &mut rng) {
+                assert!(d >= bound, "fate {d} under the min_latency bound {bound}");
+            }
+        }
     }
 
     #[test]

@@ -162,6 +162,16 @@ impl Retransmitter {
     pub fn current(&self) -> VirtualTime {
         self.current
     }
+
+    /// Snaps the pacer back to its construction state: the next armed
+    /// delay is `base` again and no progress is pending. Used when the
+    /// network heals (a partition ends) or a node rejoins after a crash —
+    /// a capped backoff from before the outage would otherwise delay
+    /// resynchronization by up to `max_interval` ticks.
+    pub fn reset(&mut self) {
+        self.current = self.base;
+        self.progress = false;
+    }
 }
 
 /// Per-neighbor outstanding-request windows (window size 1).
@@ -255,6 +265,20 @@ mod tests {
         r.note_progress();
         assert_eq!(r.next_delay(), 3);
         assert_eq!(r.next_delay(), 6, "progress flag is consumed");
+    }
+
+    #[test]
+    fn reset_restores_base_and_clears_progress() {
+        let mut r = Retransmitter::new(AsyncConfig {
+            base_interval: 2,
+            max_interval: 32,
+        });
+        assert_eq!(r.next_delay(), 4);
+        assert_eq!(r.next_delay(), 8);
+        r.note_progress();
+        r.reset();
+        assert_eq!(r.current(), 2, "reset snaps to base immediately");
+        assert_eq!(r.next_delay(), 4, "and the progress flag is gone");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use super::{AsyncConfig, RequestWindow, Retransmitter};
 use crate::engine::{EventCtx, EventProtocol};
+use crate::faults::RecoveryMode;
 use dynspread_core::dissemination::{CompletenessLedger, DisseminationCore};
 use dynspread_core::multi_source::SourceMap;
 use dynspread_graph::NodeId;
@@ -278,6 +279,33 @@ impl EventProtocol for AsyncMultiSource {
                 }
             }
         }
+    }
+
+    fn on_recover(&mut self, mode: RecoveryMode, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        if mode == RecoveryMode::Amnesia {
+            // Volatile state is gone: open request windows (tokens become
+            // assignable again) and every per-source ledger — both who we
+            // believe complete and who acked us. Token knowledge (`core`,
+            // and with it `have_count`) is durable.
+            let core = &mut self.core;
+            self.window.clear_all(|t| core.release(t));
+            for ledger in &mut self.ledgers {
+                ledger.reset();
+            }
+        }
+        // Rejoin like a fresh start: re-announce what we are complete
+        // for, probe if incomplete, arm a prompt heartbeat.
+        self.pacer.reset();
+        self.on_start(ctx);
+    }
+
+    fn on_heal(&mut self, ctx: &mut EventCtx<'_, AsyncMsMsg>) {
+        // Snap a partition-capped backoff back to base so the reunited
+        // side is re-probed promptly; no timer armed here (incomplete
+        // nodes always have one pending, quiet complete nodes answer
+        // probes).
+        self.pacer.note_progress();
+        ctx.note_backoff_reset();
     }
 
     fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, AsyncMsMsg>) {

@@ -49,6 +49,7 @@
 use super::{AsyncConfig, AsyncMultiSource, RequestWindow, Retransmitter};
 use crate::engine::{EventCtx, EventProtocol, EventReport, EventSim, StopReason};
 use crate::event::VirtualTime;
+use crate::faults::RecoveryMode;
 use crate::link::LinkModel;
 use dynspread_core::multi_source::SourceMap;
 use dynspread_core::oblivious::{center_count, degree_threshold, source_threshold};
@@ -329,6 +330,42 @@ impl EventProtocol for AsyncOblivious {
                 // ignored; the hand-off dedups any resulting double claim.
             }
         }
+    }
+
+    fn on_recover(&mut self, mode: RecoveryMode, ctx: &mut EventCtx<'_, AsyncOblMsg>) {
+        if mode == RecoveryMode::Amnesia {
+            // Open transfers are volatile: responsibility was never
+            // released (the ack did not arrive before the crash), so the
+            // tokens go back on the walk queue, and the per-edge sequence
+            // bindings and receiver-side dedup map are forgotten. A stale
+            // retransmission can then be re-applied, transiently giving a
+            // token a second claimant — the hand-off already resolves
+            // that, and conservation holds either way. `next_seq` is the
+            // one piece of send state modeled as durably persisted:
+            // restarting at 1 would make every post-recovery transfer
+            // look like a stale replay to peers whose `seen` entries for
+            // us survived.
+            let AsyncOblivious { walk, window, .. } = self;
+            window.clear_all(|t| walk.reclaim(t));
+            self.transfer_seq.clear();
+            self.seen.clear();
+        }
+        // The engine invalidated the pre-crash heartbeat.
+        self.timer_armed = false;
+        self.pacer.reset();
+        if self.walk.is_center() {
+            ctx.broadcast(AsyncOblMsg::CenterAnnounce);
+        }
+        self.ensure_heartbeat(ctx);
+    }
+
+    fn on_heal(&mut self, ctx: &mut EventCtx<'_, AsyncOblMsg>) {
+        // Snap a partition-capped backoff back to base; re-arm in case
+        // the node still owes walk work (a frozen or quiescent node
+        // stays quiet).
+        self.pacer.note_progress();
+        ctx.note_backoff_reset();
+        self.ensure_heartbeat(ctx);
     }
 
     fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, AsyncOblMsg>) {

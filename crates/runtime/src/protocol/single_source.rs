@@ -19,6 +19,7 @@
 
 use super::{AsyncConfig, RequestWindow, Retransmitter};
 use crate::engine::{EventCtx, EventProtocol};
+use crate::faults::RecoveryMode;
 use dynspread_core::dissemination::{CompletenessLedger, DisseminationCore};
 use dynspread_graph::NodeId;
 use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
@@ -236,6 +237,33 @@ impl EventProtocol for AsyncSingleSource {
                 }
             }
         }
+    }
+
+    fn on_recover(&mut self, mode: RecoveryMode, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        if mode == RecoveryMode::Amnesia {
+            // Volatile state is gone: open request windows (their tokens
+            // become assignable again) and everything learned about the
+            // peers — who is complete, who acked us. Token knowledge is
+            // durable, so `core` survives and completeness is kept.
+            let core = &mut self.core;
+            self.window.clear_all(|t| core.release(t));
+            self.ledger.reset();
+        }
+        // Either way the pre-crash heartbeat is invalidated by the
+        // engine, so rejoin exactly like a fresh start — probe or
+        // announce, and arm a prompt (base-interval) heartbeat.
+        self.pacer.reset();
+        self.on_start(ctx);
+    }
+
+    fn on_heal(&mut self, ctx: &mut EventCtx<'_, AsyncSsMsg>) {
+        // A backoff capped out during the partition would delay
+        // resynchronization by up to `max_interval`; snap it back so the
+        // next heartbeat re-probes the reunited side promptly. No timer
+        // is armed here: an incomplete node always has one pending, and
+        // a complete quiet node is re-awakened by probes.
+        self.pacer.note_progress();
+        ctx.note_backoff_reset();
     }
 
     fn on_timer(&mut self, _id: u64, ctx: &mut EventCtx<'_, AsyncSsMsg>) {

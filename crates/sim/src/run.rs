@@ -88,6 +88,16 @@ pub struct RunReport {
     /// unanswered requests/announcements). Always 0 for the round-based
     /// protocols; populated by the asynchronous event ports.
     pub retransmissions: u64,
+    /// Nodes that crashed under a fault plan. Always 0 for the
+    /// synchronous round engines and fault-free event runs; set only by
+    /// the `dynspread-runtime` fault harness.
+    pub crashes: u64,
+    /// Crashed nodes that recovered (`crashes − recoveries` nodes were
+    /// still down at the end of the run). 0 without a fault plan.
+    pub recoveries: u64,
+    /// Partition episodes whose start the run reached. 0 without a fault
+    /// plan.
+    pub partition_episodes: u64,
     /// Wall-clock phase attribution, present only when self-profiling
     /// was explicitly enabled on the engine. Never set on the replay
     /// paths the determinism suite compares (wall times are not a
@@ -135,6 +145,9 @@ impl RunReport {
             link_drops: 0,
             link_duplicates: 0,
             retransmissions: 0,
+            crashes: 0,
+            recoveries: 0,
+            partition_episodes: 0,
             profile: None,
         }
     }
@@ -202,6 +215,13 @@ impl std::fmt::Display for RunReport {
                 f,
                 "  byzantine: {} nodes, {} violations detected, {} indicted",
                 self.byzantine_nodes, self.violations_detected, self.evidence_verdicts
+            )?;
+        }
+        if self.crashes > 0 || self.recoveries > 0 || self.partition_episodes > 0 {
+            writeln!(
+                f,
+                "  faults: {} crashes, {} recoveries, {} partition episodes",
+                self.crashes, self.recoveries, self.partition_episodes
             )?;
         }
         for c in MessageClass::ALL {
@@ -321,5 +341,20 @@ mod tests {
         r.evidence_verdicts = 2;
         let s = r.to_string();
         assert!(s.contains("byzantine: 3 nodes, 5 violations detected, 2 indicted"));
+    }
+
+    #[test]
+    fn fault_counters_default_to_zero_and_show_when_set() {
+        let mut r = sample_report();
+        assert_eq!(r.crashes, 0, "fault-free runs schedule no crashes");
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.partition_episodes, 0);
+        assert!(!r.to_string().contains("faults:"));
+        r.crashes = 4;
+        r.recoveries = 3;
+        r.partition_episodes = 1;
+        assert!(r
+            .to_string()
+            .contains("faults: 4 crashes, 3 recoveries, 1 partition episodes"));
     }
 }

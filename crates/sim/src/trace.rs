@@ -178,6 +178,37 @@ pub enum TraceRecord {
         /// The node whose pacer reset.
         node: u32,
     },
+    /// A node crashed per the fault plan: from here until recovery it
+    /// consumes no deliveries, fires no timers, and sends nothing.
+    NodeCrashed {
+        /// Virtual time of the crash.
+        t: u64,
+        /// The crashed node.
+        node: u32,
+    },
+    /// A crashed node rejoined per the fault plan (its `on_recover` hook
+    /// runs at this instant).
+    NodeRecovered {
+        /// Virtual time of the recovery.
+        t: u64,
+        /// The recovering node.
+        node: u32,
+    },
+    /// A partition episode began: cross-cut copies drop until it heals.
+    PartitionStarted {
+        /// Virtual time the cut appeared.
+        t: u64,
+        /// Episode index within the fault plan (0-based).
+        episode: u32,
+    },
+    /// A partition episode healed (the `on_heal` hooks run at this
+    /// instant).
+    PartitionHealed {
+        /// Virtual time the cut healed.
+        t: u64,
+        /// Episode index within the fault plan (0-based).
+        episode: u32,
+    },
     /// A per-node coverage delta observed at tracker sync: `node` learned
     /// `gained` new tokens and now knows `known`.
     Coverage {
@@ -209,6 +240,10 @@ impl TraceRecord {
             TraceRecord::TimerFired { .. } => "timer_fired",
             TraceRecord::Retransmission { .. } => "retransmit",
             TraceRecord::BackoffReset { .. } => "backoff_reset",
+            TraceRecord::NodeCrashed { .. } => "crash",
+            TraceRecord::NodeRecovered { .. } => "recover",
+            TraceRecord::PartitionStarted { .. } => "part",
+            TraceRecord::PartitionHealed { .. } => "heal",
             TraceRecord::Coverage { .. } => "cov",
         }
     }
@@ -255,8 +290,15 @@ impl TraceRecord {
             TraceRecord::TimerFired { t, node, id } => {
                 let _ = write!(out, ",\"t\":{t},\"node\":{node},\"id\":{id}");
             }
-            TraceRecord::Retransmission { t, node } | TraceRecord::BackoffReset { t, node } => {
+            TraceRecord::Retransmission { t, node }
+            | TraceRecord::BackoffReset { t, node }
+            | TraceRecord::NodeCrashed { t, node }
+            | TraceRecord::NodeRecovered { t, node } => {
                 let _ = write!(out, ",\"t\":{t},\"node\":{node}");
+            }
+            TraceRecord::PartitionStarted { t, episode }
+            | TraceRecord::PartitionHealed { t, episode } => {
+                let _ = write!(out, ",\"t\":{t},\"ep\":{episode}");
             }
             TraceRecord::Coverage {
                 t,
@@ -367,6 +409,22 @@ impl TraceRecord {
             "backoff_reset" => TraceRecord::BackoffReset {
                 t: get("t")?,
                 node: get("node")? as u32,
+            },
+            "crash" => TraceRecord::NodeCrashed {
+                t: get("t")?,
+                node: get("node")? as u32,
+            },
+            "recover" => TraceRecord::NodeRecovered {
+                t: get("t")?,
+                node: get("node")? as u32,
+            },
+            "part" => TraceRecord::PartitionStarted {
+                t: get("t")?,
+                episode: get("ep")? as u32,
+            },
+            "heal" => TraceRecord::PartitionHealed {
+                t: get("t")?,
+                episode: get("ep")? as u32,
             },
             "cov" => TraceRecord::Coverage {
                 t: get("t")?,
@@ -512,6 +570,10 @@ mod tests {
             },
             TraceRecord::Retransmission { t: 12, node: 3 },
             TraceRecord::BackoffReset { t: 12, node: 3 },
+            TraceRecord::NodeCrashed { t: 15, node: 6 },
+            TraceRecord::NodeRecovered { t: 40, node: 6 },
+            TraceRecord::PartitionStarted { t: 20, episode: 0 },
+            TraceRecord::PartitionHealed { t: 60, episode: 0 },
             TraceRecord::Coverage {
                 t: 12,
                 node: 5,
@@ -545,6 +607,12 @@ mod tests {
         rec.write_jsonl(&mut b);
         assert_eq!(a, b);
         assert_eq!(a, "{\"k\":\"send\",\"t\":1,\"from\":2,\"to\":3}\n");
+        let mut c = String::new();
+        TraceRecord::NodeCrashed { t: 5, node: 2 }.write_jsonl(&mut c);
+        assert_eq!(c, "{\"k\":\"crash\",\"t\":5,\"node\":2}\n");
+        let mut d = String::new();
+        TraceRecord::PartitionHealed { t: 9, episode: 1 }.write_jsonl(&mut d);
+        assert_eq!(d, "{\"k\":\"heal\",\"t\":9,\"ep\":1}\n");
     }
 
     #[test]

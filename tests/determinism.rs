@@ -14,6 +14,7 @@ use dynspread::graph::generators::Topology;
 use dynspread::graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewiring};
 use dynspread::graph::NodeId;
 use dynspread::runtime::engine::{EventSim, StopReason};
+use dynspread::runtime::faults::{FaultPlan, PartitionLink, RecoveryMode};
 use dynspread::runtime::link::{DropLink, LinkModelExt};
 use dynspread::runtime::protocol::{
     run_async_oblivious_traced, AsyncConfig, AsyncObliviousConfig, AsyncSingleSource,
@@ -230,6 +231,36 @@ fn trace_arm(arm: &str, seed: u64) -> String {
             sim.set_tracer(tracer.clone());
             let _ = sim.run(50_000);
         }
+        "faulted-async-single-source" => {
+            // The async-single-source arm plus a fault plan: crashes,
+            // recoveries, and a partition/heal cycle all land inside the
+            // traced window, so the four fault record kinds are on the
+            // stream.
+            let assignment = TokenAssignment::single_source(10, 6, NodeId::new(0));
+            let plan = FaultPlan::crash_recovery(
+                10,
+                0.2,
+                60,
+                60,
+                RecoveryMode::Amnesia,
+                derive_seed(seed, 3),
+            )
+            .with_random_partition(30, 200);
+            let mut sim = EventSim::with_tracking(
+                AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+                EdgeMarkovian::new(0.08, 0.2, 2, seed),
+                PartitionLink::new(
+                    DropLink::new(0.2).with_jitter(2),
+                    std::sync::Arc::new(plan.clone()),
+                ),
+                2,
+                derive_seed(seed, 0x76),
+                &assignment,
+            );
+            sim.set_fault_plan(plan);
+            sim.set_tracer(tracer.clone());
+            let _ = sim.run(50_000);
+        }
         "async-oblivious" => {
             let assignment = TokenAssignment::n_gossip(12);
             let cfg = AsyncObliviousConfig {
@@ -255,11 +286,12 @@ fn trace_arm(arm: &str, seed: u64) -> String {
     tracer.take_jsonl()
 }
 
-const TRACE_ARMS: [&str; 5] = [
+const TRACE_ARMS: [&str; 6] = [
     "flooding",
     "single-source",
     "multi-source",
     "async-single-source",
+    "faulted-async-single-source",
     "async-oblivious",
 ];
 
@@ -279,6 +311,15 @@ fn trace_jsonl_is_byte_identical_under_replay_for_every_arm() {
             !counts.contains_key("invalid"),
             "{arm}: unparseable trace lines: {counts:?}"
         );
+        if arm == "faulted-async-single-source" {
+            // The fault plan's whole repertoire made it onto the stream.
+            for kind in ["crash", "recover", "part", "heal"] {
+                assert!(
+                    counts.contains_key(kind),
+                    "{arm}: no {kind} records: {counts:?}"
+                );
+            }
+        }
         // The trace is seed-sensitive, not constant.
         let other = trace_arm(arm, 42);
         assert_ne!(first, other, "{arm}: trace ignores its seed");

@@ -229,6 +229,69 @@ fn honest_byzantine_wrap_is_an_identity_and_counters_default_to_zero() {
     assert_eq!(out.honest_coverage, 1.0);
 }
 
+/// The crash/recovery/partition counters are part of the equivalence
+/// contract too: sync engines and fault-free event runs report zeros
+/// (with the Display line hidden), and routing a run through the faulty
+/// driver with an empty [`FaultPlan`] is an identity — same engine
+/// report, same workspace report, byte for byte.
+#[test]
+fn fault_counters_default_to_zero_and_empty_plan_is_identity() {
+    use dynspread::runtime::engine::EventSim;
+    use dynspread::runtime::faults::{run_faulty_single_source, FaultPlan};
+    use dynspread::runtime::link::DropLink;
+    use dynspread::runtime::protocol::{AsyncConfig, AsyncSingleSource};
+
+    let (n, k) = (10, 6);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+
+    // Sync engine: the counters exist but are always zero and invisible.
+    let mut sync_sim = UnicastSim::new(
+        "ss",
+        SingleSourceNode::nodes(&assignment),
+        StaticAdversary::new(Graph::cycle(n)),
+        &assignment,
+        SimConfig::with_max_rounds(MAX_ROUNDS),
+    );
+    let rs = sync_sim.run_to_completion();
+    assert!(rs.completed);
+    assert_eq!(rs.crashes, 0);
+    assert_eq!(rs.recoveries, 0);
+    assert_eq!(rs.partition_episodes, 0);
+    assert!(!format!("{rs}").contains("faults:"));
+
+    // Fault-free event run, no plan installed.
+    let mut honest = EventSim::with_tracking(
+        AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+        PeriodicRewiring::new(Topology::RandomTree, 3, 9),
+        DropLink::new(0.2).with_jitter(1),
+        2,
+        33,
+        &assignment,
+    );
+    let honest_event = honest.run(200_000);
+    let honest_report = honest.run_report("faulty-async-single-source");
+    assert_eq!(honest_report.crashes, 0);
+    assert_eq!(honest_report.recoveries, 0);
+    assert_eq!(honest_report.partition_episodes, 0);
+    assert!(!format!("{honest_report}").contains("faults:"));
+
+    // Same run through the faulty driver with an empty plan.
+    let out = run_faulty_single_source(
+        &assignment,
+        PeriodicRewiring::new(Topology::RandomTree, 3, 9),
+        DropLink::new(0.2).with_jitter(1),
+        2,
+        33,
+        AsyncConfig::default(),
+        &FaultPlan::none(n),
+        200_000,
+    );
+    assert_eq!(format!("{:?}", out.event), format!("{honest_event:?}"));
+    assert_eq!(format!("{:?}", out.report), format!("{honest_report:?}"));
+    assert!(out.completed);
+    assert_eq!(out.live_coverage, 1.0);
+}
+
 /// Sanity: the equivalence is *not* vacuous — a lossy link produces a
 /// different execution (more rounds or different message counts) but the
 /// run still completes under a dynamic adversary.

@@ -68,6 +68,95 @@ fn n_gossip_at_scale_with_the_oblivious_algorithm() {
 
 #[test]
 #[ignore = "large-scale run; use --release"]
+fn fault_stress_self_healing_at_scale() {
+    // 40-node runs of all three async protocols under a hostile link
+    // (30% drop + duplication + jitter) with 15% of the nodes going
+    // through crash-recovery (amnesia) and one partition/heal episode.
+    // Every protocol must still reach full dissemination — the recovery
+    // and heal hooks resynchronize the rejoining nodes — ownership must
+    // be conserved through the oblivious hand-off (the driver panics if
+    // a token loses its last claimant), and the most complex pipeline
+    // must replay byte-identically from its seeds.
+    use dynspread::graph::oblivious::StaticAdversary;
+    use dynspread::graph::Graph;
+    use dynspread::runtime::faults::{
+        run_faulty_multi_source, run_faulty_oblivious, run_faulty_single_source, FaultPlan,
+        RecoveryMode,
+    };
+    use dynspread::runtime::link::{DropLink, LinkModelExt};
+    use dynspread::runtime::protocol::{AsyncConfig, AsyncObliviousConfig};
+
+    let n = 40usize;
+    let link = || DropLink::new(0.3).duplicating(0.3).with_jitter(2);
+    let plan = || {
+        FaultPlan::crash_recovery(n, 0.15, 2_000, 3_000, RecoveryMode::Amnesia, 81)
+            .with_random_partition(1_000, 5_000)
+    };
+    assert_eq!(plan().crashed_nodes().count(), 6, "15% of 40 nodes");
+
+    let ss_assignment = TokenAssignment::single_source(n, 40, NodeId::new(0));
+    let ss = run_faulty_single_source(
+        &ss_assignment,
+        PeriodicRewiring::new(Topology::RandomTree, 3, 82),
+        link(),
+        2,
+        83,
+        AsyncConfig::default(),
+        &plan(),
+        10_000_000,
+    );
+    assert!(ss.completed, "single-source: {}", ss.report);
+    assert_eq!(ss.report.crashes, 6);
+    assert_eq!(ss.report.recoveries, 6);
+    assert_eq!(ss.report.partition_episodes, 1);
+
+    let ms_assignment = TokenAssignment::round_robin_sources(n, 40, 8);
+    let ms = run_faulty_multi_source(
+        &ms_assignment,
+        PeriodicRewiring::new(Topology::RandomTree, 3, 84),
+        link(),
+        2,
+        85,
+        AsyncConfig::default(),
+        &plan(),
+        10_000_000,
+    );
+    assert!(ms.completed, "multi-source: {}", ms.report);
+    assert_eq!(ms.report.crashes, 6);
+
+    let obl_assignment = TokenAssignment::n_gossip(n);
+    let cfg = AsyncObliviousConfig {
+        seed: 86,
+        source_threshold: Some(1.0),
+        center_probability: Some(0.2),
+        phase1_deadline: 30_000,
+        phase1_max_time: 80_000,
+        ..AsyncObliviousConfig::default()
+    };
+    let run = || {
+        run_faulty_oblivious(
+            &obl_assignment,
+            StaticAdversary::new(Graph::complete(n)),
+            PeriodicRewiring::new(Topology::RandomTree, 3, 87),
+            link(),
+            link(),
+            &cfg,
+            &plan(),
+            &plan(),
+        )
+    };
+    let obl = run();
+    assert!(obl.completed, "oblivious: {}", obl.report);
+    assert_eq!(obl.report.crashes, 12, "six per phase");
+    assert_eq!(obl.report.partition_episodes, 2);
+    let again = run();
+    assert_eq!(format!("{:?}", obl.report), format!("{:?}", again.report));
+    assert_eq!(obl.crash_reclaimed, again.crash_reclaimed);
+    assert_eq!(obl.stranded_tokens, again.stranded_tokens);
+}
+
+#[test]
+#[ignore = "large-scale run; use --release"]
 fn byzantine_stress_soundness_at_scale() {
     // 40-node gossip under a hostile link (30% drop + duplication +
     // jitter) with 15% of the nodes malicious, cycling through every

@@ -13,7 +13,8 @@
 //!     --runtime BENCH_runtime.json BENCH_runtime.fresh.json \
 //!     --core BENCH_core.json BENCH_core.fresh.json \
 //!     --byzantine BENCH_byzantine.json BENCH_byzantine.fresh.json \
-//!     --faults BENCH_faults.json BENCH_faults.fresh.json
+//!     --faults BENCH_faults.json BENCH_faults.fresh.json \
+//!     --sessions BENCH_sessions.json BENCH_sessions.fresh.json
 //! ```
 //!
 //! The default 30% tolerance absorbs shared-runner noise, and grid
@@ -32,13 +33,16 @@
 //! baselines in the same PR — the gate then documents the new level
 //! instead of blocking it.
 //!
-//! `--byzantine` and `--faults` join the gate like the other artifacts —
-//! committed `BENCH_byzantine.json` / `BENCH_faults.json` baselines
-//! exist, so a missing baseline file is an error, and both comparisons
-//! use the same tolerance and wall floor.
+//! `--byzantine`, `--faults`, and `--sessions` join the gate like the
+//! other artifacts — committed `BENCH_byzantine.json` /
+//! `BENCH_faults.json` / `BENCH_sessions.json` baselines exist, so a
+//! missing baseline file is an error, and the comparisons use the same
+//! tolerance and wall floor (the session grid's *virtual* metrics —
+//! latency percentiles and envelope load — are deterministic and gated
+//! with no floor at all).
 
 use dynspread_bench::check::{
-    byzantine_deltas, core_deltas, faults_deltas, runtime_deltas, Delta, Json,
+    byzantine_deltas, core_deltas, faults_deltas, runtime_deltas, sessions_deltas, Delta, Json,
 };
 
 fn load(path: &str) -> Json {
@@ -58,6 +62,7 @@ fn main() {
     let mut runtime_files: Vec<(String, String)> = Vec::new();
     let mut byzantine_files: Vec<(String, String)> = Vec::new();
     let mut faults_files: Vec<(String, String)> = Vec::new();
+    let mut sessions_files: Vec<(String, String)> = Vec::new();
     let mut deltas: Vec<Delta> = Vec::new();
     let mut compared_files = 0usize;
     let mut i = 0;
@@ -90,6 +95,10 @@ fn main() {
                 faults_files.push((args[i + 1].clone(), args[i + 2].clone()));
                 i += 3;
             }
+            "--sessions" => {
+                sessions_files.push((args[i + 1].clone(), args[i + 2].clone()));
+                i += 3;
+            }
             "--core" => {
                 let (base, fresh) = (&args[i + 1], &args[i + 2]);
                 deltas.extend(core_deltas(&load(base), &load(fresh)));
@@ -108,6 +117,10 @@ fn main() {
     }
     for (base, fresh) in &faults_files {
         deltas.extend(faults_deltas(&load(base), &load(fresh), min_wall_ms));
+        compared_files += 1;
+    }
+    for (base, fresh) in &sessions_files {
+        deltas.extend(sessions_deltas(&load(base), &load(fresh), min_wall_ms));
         compared_files += 1;
     }
     assert!(

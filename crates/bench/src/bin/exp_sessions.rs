@@ -1,0 +1,199 @@
+//! `exp_sessions` — multi-session service throughput of the session mux.
+//!
+//! Sweeps arrival-trace shape (session count × job size × inter-arrival
+//! spacing) over one shared 24-node network, each cell one seeded
+//! [`SessionWorkload::uniform`] trace replayed through
+//! `Scenario::run_sessions`: every session is a private single-source
+//! dissemination job multiplexed over the same long-lived engine, links,
+//! and virtual clock. Tabulated per cell:
+//!
+//! * **done** — sessions that reached full dissemination (every cell
+//!   asserts all of them do);
+//! * **p50 / p95 / max** — per-session completion latency percentiles on
+//!   the shared virtual clock (`completed_at − arrival`);
+//! * **overlap** — sessions that arrived before an earlier session had
+//!   finished, i.e. how concurrent the trace actually was (asserted
+//!   positive on every multi-session cell);
+//! * **msgs** — aggregate envelope load staged by all sessions.
+//!
+//! The binary asserts zero envelope decode errors and zero foreign
+//! drops on every cell — a wire-format soundness sweep of the session
+//! layer that doubles as the perf baseline for `bench_check --sessions`.
+//!
+//! Usage:
+//!   `cargo run --release -p dynspread-bench --bin exp_sessions [--smoke] [OUT.json]`
+//!
+//! `--smoke` runs the 5- and 20-session traces only — the CI guard,
+//! which keeps the ISSUE's ≥ 20-session overlapping acceptance workload
+//! in every PR run. Results go to `BENCH_sessions.json` (default);
+//! `bench_check --sessions` gates fresh runs against the committed
+//! baseline.
+
+use dynspread_analysis::table::{fmt_f64, Table};
+use dynspread_bench::{derive_seed, par_map};
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_runtime::link::{DropLink, LinkModelExt};
+use dynspread_runtime::{Scenario, SessionWorkload};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Nodes on the shared network — every session's job spans all of them.
+const N: usize = 24;
+
+/// `(sessions, k, spacing)` — the swept arrival traces. Spacing is the
+/// upper bound on the uniform inter-arrival gap, so lower spacing at a
+/// fixed count means a more concurrent service.
+const SCENARIOS: [(usize, usize, u64); 5] = [
+    (5, 4, 400),
+    (10, 4, 200),
+    (20, 4, 100),
+    (20, 8, 100),
+    (40, 4, 50),
+];
+
+struct Cell {
+    sessions: usize,
+    k: usize,
+    spacing: u64,
+    completed: usize,
+    overlapped: usize,
+    p50: u64,
+    p95: u64,
+    max: u64,
+    messages: u64,
+    events: u64,
+    wall_ns: u64,
+}
+
+fn run_cell(sessions: usize, k: usize, spacing: u64) -> Cell {
+    // Seeds derive from the scenario's *values*, not its grid index, so
+    // a smoke cell is byte-identical to the same cell in the full grid
+    // and their wall times stay comparable in bench_check.
+    let base_seed = 20_260_807u64;
+    let seed = derive_seed(base_seed, sessions as u64 * 1009 + k as u64 * 31 + spacing);
+    let workload = SessionWorkload::uniform(N, sessions, k, spacing, derive_seed(seed, 0x5E5));
+    let start = Instant::now();
+    let out = Scenario::new(N, k)
+        .topology(PeriodicRewiring::new(
+            Topology::RandomTree,
+            3,
+            derive_seed(seed, 0x70B),
+        ))
+        .link(DropLink::new(0.1).with_jitter(1))
+        .seed(seed)
+        .name("exp-sessions")
+        .workload(&workload)
+        .run_sessions();
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    assert_eq!(
+        out.completed_sessions(),
+        sessions,
+        "{sessions}x{k}/{spacing}: not every session completed"
+    );
+    assert_eq!(out.decode_errors, 0, "envelope decode errors");
+    assert_eq!(out.foreign_drops, 0, "foreign-session drops");
+
+    // How concurrent the trace actually was: a session overlaps if it
+    // arrived before some earlier session finished.
+    let overlapped = out
+        .sessions
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| {
+            out.sessions[..*i]
+                .iter()
+                .any(|earlier| earlier.completed_at.is_some_and(|done| s.arrival < done))
+        })
+        .count();
+    if sessions >= 10 {
+        assert!(
+            overlapped > 0,
+            "{sessions}x{k}/{spacing}: trace never overlapped"
+        );
+    }
+
+    Cell {
+        sessions,
+        k,
+        spacing,
+        completed: out.completed_sessions(),
+        overlapped,
+        p50: out.latency_percentile(0.50).expect("completed sessions"),
+        p95: out.latency_percentile(0.95).expect("completed sessions"),
+        max: out.latency_percentile(1.0).expect("completed sessions"),
+        messages: out.total_session_messages(),
+        events: out.event.events,
+        wall_ns,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_sessions.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scenarios: Vec<(usize, usize, u64)> = SCENARIOS
+        .iter()
+        .copied()
+        .filter(|&(s, _, _)| !smoke || s == 5 || s == 20)
+        .collect();
+    println!(
+        "Session grid: n = {N}, (sessions, k, spacing) {scenarios:?}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let cells = par_map(scenarios, |(s, k, sp)| run_cell(s, k, sp));
+
+    let mut table = Table::new(&[
+        "sessions", "k", "spacing", "done", "overlap", "p50", "p95", "max", "msgs", "wall ms",
+    ]);
+    let mut json_cells = Vec::new();
+    for c in &cells {
+        table.row_owned(vec![
+            c.sessions.to_string(),
+            c.k.to_string(),
+            c.spacing.to_string(),
+            c.completed.to_string(),
+            c.overlapped.to_string(),
+            c.p50.to_string(),
+            c.p95.to_string(),
+            c.max.to_string(),
+            c.messages.to_string(),
+            fmt_f64(c.wall_ns as f64 / 1e6),
+        ]);
+        json_cells.push(format!(
+            "    {{\"sessions\": {}, \"k\": {}, \"spacing\": {}, \"completed\": {}, \"overlapped\": {}, \"p50_latency\": {}, \"p95_latency\": {}, \"max_latency\": {}, \"messages\": {}, \"events\": {}, \"wall_ms\": {:.1}}}",
+            c.sessions,
+            c.k,
+            c.spacing,
+            c.completed,
+            c.overlapped,
+            c.p50,
+            c.p95,
+            c.max,
+            c.messages,
+            c.events,
+            c.wall_ns as f64 / 1e6,
+        ));
+    }
+    println!("{}", table.render());
+    println!("p50/p95/max = per-session completion latency on the shared virtual clock;");
+    println!("overlap = sessions that arrived before an earlier one finished;");
+    println!("msgs = envelopes staged by all sessions (completion asserted per cell).");
+
+    let json = format!(
+        "{{\n  \"n\": {N},\n  \"smoke\": {smoke},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        json_cells.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_sessions.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_sessions.json");
+    eprintln!("wrote {out_path}");
+}

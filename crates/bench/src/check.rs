@@ -420,6 +420,68 @@ pub fn faults_deltas(baseline: &Json, fresh: &Json, min_wall_ms: f64) -> Vec<Del
     deltas
 }
 
+/// Pairs up the session-grid cells of two `BENCH_sessions.json`
+/// documents by `(sessions, k, spacing)`.
+///
+/// Unlike the other grids, most of what `exp_sessions` measures is
+/// *virtual*: per-session latency percentiles and the aggregate
+/// envelope load are pure functions of the seeds, identical on every
+/// replay of an unchanged service layer. Those deltas (`p95_latency`,
+/// `messages`) are therefore gated with **no wall floor** — on a
+/// healthy PR they are exactly 0%, and any drift is a behavioral change
+/// in the mux or the protocols, not runner noise. The `wall_ms` delta
+/// keeps the usual baseline floor from [`runtime_deltas`].
+pub fn sessions_deltas(baseline: &Json, fresh: &Json, min_wall_ms: f64) -> Vec<Delta> {
+    let empty: &[Json] = &[];
+    let base_cells = baseline
+        .get("cells")
+        .and_then(Json::as_array)
+        .unwrap_or(empty);
+    let fresh_cells = fresh.get("cells").and_then(Json::as_array).unwrap_or(empty);
+    let cell_key = |c: &Json| -> Option<(u64, u64, u64)> {
+        Some((
+            c.get("sessions")?.as_f64()? as u64,
+            c.get("k")?.as_f64()? as u64,
+            c.get("spacing")?.as_f64()? as u64,
+        ))
+    };
+    let mut deltas = Vec::new();
+    for fc in fresh_cells {
+        let Some(key) = cell_key(fc) else { continue };
+        let Some(bc) = base_cells.iter().find(|bc| cell_key(bc) == Some(key)) else {
+            continue;
+        };
+        let label = format!("sessions {}x{}/{}", key.0, key.1, key.2);
+        for metric in ["p95_latency", "messages"] {
+            if let (Some(b), Some(f)) = (
+                bc.get(metric).and_then(Json::as_f64),
+                fc.get(metric).and_then(Json::as_f64),
+            ) {
+                deltas.push(Delta {
+                    key: format!("{label} {metric}"),
+                    baseline: b,
+                    fresh: f,
+                });
+            }
+        }
+        let base_wall = bc.get("wall_ms").and_then(Json::as_f64).unwrap_or(f64::MAX);
+        if base_wall < min_wall_ms {
+            continue;
+        }
+        if let (Some(b), Some(f)) = (
+            bc.get("wall_ms").and_then(Json::as_f64),
+            fc.get("wall_ms").and_then(Json::as_f64),
+        ) {
+            deltas.push(Delta {
+                key: format!("{label} wall_ms"),
+                baseline: b,
+                fresh: f,
+            });
+        }
+    }
+    deltas
+}
+
 /// The `BENCH_core.json` metrics the gate compares: the live data plane's
 /// absolute per-round costs (speedup ratios are deliberately ungated).
 pub fn core_deltas(baseline: &Json, fresh: &Json) -> Vec<Delta> {
@@ -636,6 +698,35 @@ mod tests {
         assert_eq!(deltas[0].key, "faults async-oblivious/20%/1ep wall_ms");
         assert!(deltas[0].regressed(0.30), "+33% beats a 30% tolerance");
         assert_eq!(faults_deltas(&baseline, &fresh, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn sessions_deltas_gate_virtual_metrics_without_a_wall_floor() {
+        let cell = |s: f64, p95: f64, msgs: f64, wall: f64| {
+            Json::Obj(vec![
+                ("sessions".into(), Json::Num(s)),
+                ("k".into(), Json::Num(4.0)),
+                ("spacing".into(), Json::Num(100.0)),
+                ("p95_latency".into(), Json::Num(p95)),
+                ("messages".into(), Json::Num(msgs)),
+                ("wall_ms".into(), Json::Num(wall)),
+            ])
+        };
+        let doc = |cells: Vec<Json>| Json::Obj(vec![("cells".into(), Json::Arr(cells))]);
+        let baseline = doc(vec![cell(20.0, 900.0, 5000.0, 8.0)]);
+        let fresh = doc(vec![
+            cell(20.0, 1300.0, 5000.0, 9.0),
+            cell(40.0, 700.0, 9000.0, 20.0), // no baseline
+        ]);
+        // The 8 ms baseline wall is under the floor, but the virtual
+        // metrics are still compared: +44% p95 is a real behavioral
+        // regression, not runner jitter.
+        let deltas = sessions_deltas(&baseline, &fresh, 40.0);
+        assert_eq!(deltas.len(), 2, "p95 + messages; wall under the floor");
+        assert_eq!(deltas[0].key, "sessions 20x4/100 p95_latency");
+        assert!(deltas[0].regressed(0.30));
+        assert!(!deltas[1].regressed(0.0), "messages unchanged");
+        assert_eq!(sessions_deltas(&baseline, &fresh, 0.0).len(), 3);
     }
 
     #[test]

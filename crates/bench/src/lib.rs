@@ -29,6 +29,7 @@
 //! | `exp_scale` | n ∈ {1k, 2k, 4k, 8k} grid over flooding / single-source / multi-source / async single-source / async oblivious; writes `BENCH_runtime.json` |
 //! | `exp_oblivious_async` | drop × jitter sweep of the asynchronous two-phase oblivious pipeline |
 //! | `exp_profile` | wall-clock phase attribution of the engines (self-profiler); writes `BENCH_profile.json` |
+//! | `exp_sessions` | multi-session service sweep: arrival traces replayed through `Scenario::run_sessions`, per-session latency percentiles + aggregate envelope load; writes `BENCH_sessions.json` |
 //! | `bench_check` | CI perf-regression gate: fresh `exp_scale --smoke` + `bench_core` vs the committed baselines (see [`check`]) |
 
 #![forbid(unsafe_code)]

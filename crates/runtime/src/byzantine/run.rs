@@ -6,24 +6,25 @@
 //! ([`MisbehaviorPlan::honest`]) reproduces the honest run byte for
 //! byte, and any degradation measured under a malicious plan is
 //! attributable to the injected misbehavior alone.
+//!
+//! Since the [`Scenario`] API unified the
+//! driver zoo, these functions are thin wrappers over the builder —
+//! kept for source compatibility and asserted byte-identical to their
+//! historical outputs by `tests/legacy_identity.rs`. New code should
+//! call the builder directly (it also composes Byzantine plans with
+//! fault plans and tracing).
 
-use super::evidence::{check_evidence, AuditSetup, Evidence};
+use super::evidence::Evidence;
 use super::misbehave::MisbehaviorPlan;
-use crate::engine::{EventProtocol, EventReport, EventSim, StopReason};
+use crate::engine::EventReport;
 use crate::event::VirtualTime;
 use crate::link::LinkModel;
-use crate::protocol::{
-    AsyncConfig, AsyncMultiSource, AsyncOblivious, AsyncObliviousConfig, AsyncSingleSource,
-};
-use dynspread_core::multi_source::SourceMap;
-use dynspread_core::oblivious::{center_count, degree_threshold, source_threshold};
-use dynspread_core::walk::elect_centers;
+use crate::protocol::{AsyncConfig, AsyncObliviousConfig};
+use crate::scenario::Scenario;
 use dynspread_graph::adversary::Adversary;
-use dynspread_graph::NodeId;
-use dynspread_sim::token::{TokenAssignment, TokenId};
+use dynspread_sim::token::TokenAssignment;
 use dynspread_sim::RunReport;
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 /// Outcome of a single-phase Byzantine run (single- or multi-source).
 #[derive(Clone, Debug)]
@@ -54,34 +55,14 @@ fn verdict_count(evidence: &[Evidence]) -> u64 {
 }
 
 /// Fills the Byzantine counters of a [`RunReport`].
-fn stamp_report(report: &mut RunReport, plan: &MisbehaviorPlan, evidence: &[Evidence]) {
+pub(crate) fn stamp_report(report: &mut RunReport, plan: &MisbehaviorPlan, evidence: &[Evidence]) {
     report.byzantine_nodes = plan.byzantine_nodes();
     report.violations_detected = evidence.len() as u64;
     report.evidence_verdicts = verdict_count(evidence);
 }
 
-/// Mean honest-node coverage from final knowledge sets.
-fn coverage_of<'a>(
-    plan: &MisbehaviorPlan,
-    k: usize,
-    knowledge: impl Iterator<Item = &'a dynspread_sim::token::TokenSet>,
-) -> f64 {
-    let mut sum = 0.0;
-    let mut honest = 0usize;
-    for (i, know) in knowledge.enumerate() {
-        if !plan.is_malicious(NodeId::new(i as u32)) {
-            sum += know.count() as f64 / k.max(1) as f64;
-            honest += 1;
-        }
-    }
-    if honest == 0 {
-        1.0
-    } else {
-        sum / honest as f64
-    }
-}
-
-/// Runs [`AsyncSingleSource`] with the plan's nodes wrapped in
+/// Runs [`AsyncSingleSource`](crate::protocol::AsyncSingleSource) with
+/// the plan's nodes wrapped in
 /// [`Misbehaving`](super::Misbehaving), records transcripts, and audits
 /// the run.
 ///
@@ -104,35 +85,27 @@ where
     L: LinkModel,
 {
     assert_eq!(plan.node_count(), assignment.node_count(), "plan size");
-    let nodes = plan.wrap(AsyncSingleSource::nodes(assignment, cfg));
-    let mut sim =
-        EventSim::with_tracking(nodes, adversary, link, ticks_per_round, seed, assignment);
-    sim.record_transcripts();
-    let event = sim.run(max_time);
-    let setup = AuditSetup::single_source(assignment);
-    let evidence = check_evidence(&setup, sim.transcripts());
-    let mut report = sim.run_report("byz-async-single-source");
-    stamp_report(&mut report, plan, &evidence);
-    let tracker = sim.tracker().expect("tracking enabled");
-    let n = assignment.node_count();
-    let honest_coverage = coverage_of(
-        plan,
-        assignment.token_count(),
-        NodeId::all(n).map(|v| tracker.knowledge(v)),
-    );
-    let injected = NodeId::all(n).map(|v| sim.node(v).injected()).sum();
-    let completed = event.stopped == StopReason::Complete;
+    let out = Scenario::from_assignment(assignment.clone())
+        .topology(adversary)
+        .link(link)
+        .ticks_per_round(ticks_per_round)
+        .seed(seed)
+        .retransmit(cfg)
+        .byzantine(plan.clone())
+        .max_time(max_time)
+        .name("byz-async-single-source")
+        .run_single_source();
     ByzantineOutcome {
-        event,
-        report,
-        evidence,
-        honest_coverage,
-        injected,
-        completed,
+        event: out.event,
+        report: out.report,
+        evidence: out.evidence,
+        honest_coverage: out.honest_coverage,
+        injected: out.injected,
+        completed: out.completed,
     }
 }
 
-/// Runs [`AsyncMultiSource`] under the plan; see
+/// Runs [`AsyncMultiSource`](crate::protocol::AsyncMultiSource) under the plan; see
 /// [`run_byzantine_single_source`].
 ///
 /// # Panics
@@ -154,32 +127,23 @@ where
     L: LinkModel,
 {
     assert_eq!(plan.node_count(), assignment.node_count(), "plan size");
-    let (nodes, map) = AsyncMultiSource::nodes(assignment, cfg);
-    let nodes = plan.wrap(nodes);
-    let mut sim =
-        EventSim::with_tracking(nodes, adversary, link, ticks_per_round, seed, assignment);
-    sim.record_transcripts();
-    let event = sim.run(max_time);
-    let setup = AuditSetup::multi_source(assignment, &map);
-    let evidence = check_evidence(&setup, sim.transcripts());
-    let mut report = sim.run_report("byz-async-multi-source");
-    stamp_report(&mut report, plan, &evidence);
-    let tracker = sim.tracker().expect("tracking enabled");
-    let n = assignment.node_count();
-    let honest_coverage = coverage_of(
-        plan,
-        assignment.token_count(),
-        NodeId::all(n).map(|v| tracker.knowledge(v)),
-    );
-    let injected = NodeId::all(n).map(|v| sim.node(v).injected()).sum();
-    let completed = event.stopped == StopReason::Complete;
+    let out = Scenario::from_assignment(assignment.clone())
+        .topology(adversary)
+        .link(link)
+        .ticks_per_round(ticks_per_round)
+        .seed(seed)
+        .retransmit(cfg)
+        .byzantine(plan.clone())
+        .max_time(max_time)
+        .name("byz-async-multi-source")
+        .run_multi_source();
     ByzantineOutcome {
-        event,
-        report,
-        evidence,
-        honest_coverage,
-        injected,
-        completed,
+        event: out.event,
+        report: out.report,
+        evidence: out.evidence,
+        honest_coverage: out.honest_coverage,
+        injected: out.injected,
+        completed: out.completed,
     }
 }
 
@@ -242,162 +206,23 @@ where
     L1: LinkModel,
     L2: LinkModel,
 {
-    let n = assignment.node_count();
-    let k = assignment.token_count();
-    assert_eq!(plan.node_count(), n, "plan size");
-    let s = assignment.sources().len();
-    let threshold = cfg.source_threshold.unwrap_or_else(|| source_threshold(n));
-
-    if (s as f64) <= threshold {
-        // Few sources: the pipeline is a single multi-source run.
-        let out = run_byzantine_multi_source(
-            assignment,
-            adversary2,
-            link2,
-            cfg.ticks_per_round,
-            cfg.seed ^ 0x5EED_0B71_0002u64,
-            cfg.retransmit,
-            plan,
-            cfg.phase2_max_time,
-        );
-        return ByzantineObliviousOutcome {
-            phase1: None,
-            phase2: out.event,
-            report: out.report,
-            evidence: out.evidence,
-            stolen_recovered: 0,
-            stranded_tokens: 0,
-            honest_coverage: out.honest_coverage,
-            byzantine_nodes: plan.byzantine_nodes(),
-            injected: out.injected,
-            completed: out.completed,
-        };
-    }
-
-    // ---- Phase 1: the walk phase, with wrapped nodes. ----
-    let f = center_count(n, k);
-    let p_center = cfg
-        .center_probability
-        .unwrap_or_else(|| (f / n as f64).min(1.0));
-    let gamma = cfg
-        .degree_threshold
-        .unwrap_or_else(|| degree_threshold(n, f));
-    let is_center = elect_centers(n, p_center, cfg.seed);
-    let nodes = plan.wrap(AsyncOblivious::nodes(
-        assignment,
-        p_center,
-        gamma,
-        cfg.seed,
-        cfg.retransmit,
-        cfg.phase1_deadline,
-    ));
-    let mut sim1 = EventSim::new(
-        nodes,
-        adversary1,
-        link1,
-        cfg.ticks_per_round,
-        cfg.seed ^ 0x5EED_0B71_0001u64,
-    );
-    sim1.record_transcripts();
-    let phase1 = sim1.run(cfg.phase1_max_time);
-
-    // ---- Audit phase 1 against the *inner* (honest-state) claims. ----
-    let final_claims: Vec<Vec<TokenId>> = NodeId::all(n)
-        .map(|v| sim1.node(v).inner().responsible_tokens().collect())
-        .collect();
-    let setup1 = AuditSetup::oblivious(assignment, is_center.clone(), final_claims.clone());
-    let mut evidence = check_evidence(&setup1, sim1.transcripts());
-
-    // ---- Byzantine-tolerant hand-off. ----
-    let mut owner_of: Vec<Option<NodeId>> = vec![None; k];
-    for v in NodeId::all(n) {
-        let node = sim1.node(v).inner();
-        for t in node.responsible_tokens() {
-            let slot = &mut owner_of[t.index()];
-            match *slot {
-                None => *slot = Some(v),
-                Some(prev) => {
-                    if node.is_center() && !sim1.node(prev).inner().is_center() {
-                        *slot = Some(v);
-                    }
-                }
-            }
-        }
-    }
-    let mut ownership = TokenAssignment::empty(n, k);
-    let mut knowledge = TokenAssignment::empty(n, k);
-    let mut stranded = 0usize;
-    let mut stolen_recovered = 0usize;
-    for (ti, owner) in owner_of.iter().enumerate() {
-        let t = TokenId::new(ti as u32);
-        let v = match *owner {
-            Some(v) => v,
-            None => {
-                // Every claimant was destroyed (forged-ack theft):
-                // recover from the token's original holder, which still
-                // knows it (knowledge is monotone).
-                stolen_recovered += 1;
-                assignment
-                    .holders(t)
-                    .next()
-                    .expect("every token has an initial holder")
-            }
-        };
-        ownership.add_holder(t, v);
-        if !is_center[v.index()] {
-            stranded += 1;
-        }
-    }
-    for v in NodeId::all(n) {
-        let know = sim1
-            .node(v)
-            .known_tokens()
-            .expect("walk nodes expose knowledge");
-        for t in know.iter() {
-            knowledge.add_holder(t, v);
-        }
-    }
-    let map = Arc::new(SourceMap::from_assignment(&ownership));
-
-    // ---- Phase 2: wrapped multi-source from the resolved owners. ----
-    let nodes2 = plan.wrap(
-        NodeId::all(n)
-            .map(|v| AsyncMultiSource::new(v, &knowledge, Arc::clone(&map), cfg.retransmit))
-            .collect(),
-    );
-    let mut sim2 = EventSim::with_tracking(
-        nodes2,
-        adversary2,
-        link2,
-        cfg.ticks_per_round,
-        cfg.seed ^ 0x5EED_0B71_0002u64,
-        &knowledge,
-    );
-    sim2.record_transcripts();
-    let phase2 = sim2.run(cfg.phase2_max_time);
-
-    let setup2 = AuditSetup::multi_source(&knowledge, &map);
-    evidence.extend(check_evidence(&setup2, sim2.transcripts()));
-
-    let mut report = sim2.run_report("byz-async-oblivious");
-    stamp_report(&mut report, plan, &evidence);
-    let tracker = sim2.tracker().expect("tracking enabled");
-    let honest_coverage = coverage_of(plan, k, NodeId::all(n).map(|v| tracker.knowledge(v)));
-    let injected: u64 = NodeId::all(n)
-        .map(|v| sim1.node(v).injected() + sim2.node(v).injected())
-        .sum();
-    let completed = phase2.stopped == StopReason::Complete;
-
+    assert_eq!(plan.node_count(), assignment.node_count(), "plan size");
+    let out = Scenario::from_assignment(assignment.clone())
+        .topology(adversary1)
+        .link(link1)
+        .byzantine(plan.clone())
+        .name("byz-async-oblivious")
+        .run_oblivious(adversary2, link2, cfg, None);
     ByzantineObliviousOutcome {
-        phase1: Some(phase1),
-        phase2,
-        report,
-        evidence,
-        stolen_recovered,
-        stranded_tokens: stranded,
-        honest_coverage,
-        byzantine_nodes: plan.byzantine_nodes(),
-        injected,
-        completed,
+        phase1: out.phase1,
+        phase2: out.phase2,
+        report: out.report,
+        evidence: out.evidence,
+        stolen_recovered: out.stolen_recovered,
+        stranded_tokens: out.stranded_tokens,
+        honest_coverage: out.honest_coverage,
+        byzantine_nodes: out.byzantine_nodes,
+        injected: out.injected,
+        completed: out.completed,
     }
 }

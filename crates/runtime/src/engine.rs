@@ -46,10 +46,10 @@ use std::sync::Arc;
 /// logical send — not once per destination — is what makes the fan-out
 /// path zero-clone: the engine clones it only per *surviving delivery
 /// copy*, moving the original into the last one.
-struct SendOp<M> {
-    msg: M,
-    first: u32,
-    count: u32,
+pub(crate) struct SendOp<M> {
+    pub(crate) msg: M,
+    pub(crate) first: u32,
+    pub(crate) count: u32,
 }
 
 /// What a node may do while handling an event.
@@ -186,6 +186,36 @@ impl<M: Clone> EventCtx<'_, M> {
                 self.ops.remove(i);
             }
         }
+    }
+
+    /// Runs `f` against a sub-context of a *different* message type that
+    /// stages into the caller-provided buffers, sharing this context's
+    /// clock, identity, neighbor view, retransmission counter, and tracer.
+    ///
+    /// This is the session-multiplexing hook: `SessionMux` dispatches an
+    /// inner per-session protocol through a sub-context, then re-stages
+    /// the captured sends through the outer context as wire envelopes —
+    /// one outer send per (op, destination) pair, in staging order, so
+    /// the engine's per-copy link planning consumes the RNG stream in
+    /// exactly the order the inner protocol produced sends.
+    pub(crate) fn with_inner<N: Clone, R>(
+        &mut self,
+        ops: &mut Vec<SendOp<N>>,
+        dests: &mut Vec<NodeId>,
+        timers: &mut Vec<(VirtualTime, u64)>,
+        f: impl FnOnce(&mut EventCtx<'_, N>) -> R,
+    ) -> R {
+        let mut sub = EventCtx {
+            now: self.now,
+            me: self.me,
+            neighbors: self.neighbors,
+            ops,
+            dests,
+            timers,
+            retrans: self.retrans,
+            tracer: self.tracer,
+        };
+        f(&mut sub)
     }
 }
 

@@ -6,11 +6,18 @@
 //! the engine gets the plan via
 //! [`EventSim::set_fault_plan`](crate::engine::EventSim::set_fault_plan)
 //! (node semantics: silence, recovery, heal hooks) and the link is
-//! wrapped in [`PartitionLink`] over the same plan (link semantics:
-//! cross-cut copies dropped). An empty plan ([`FaultPlan::none`])
-//! therefore reproduces the honest run byte for byte, and any
-//! degradation measured under a real plan is attributable to the
-//! injected faults alone.
+//! wrapped in [`PartitionLink`](super::plan::PartitionLink) over the
+//! same plan (link semantics: cross-cut copies dropped). An empty plan
+//! ([`FaultPlan::none`]) therefore reproduces the honest run byte for
+//! byte, and any degradation measured under a real plan is attributable
+//! to the injected faults alone.
+//!
+//! Since the [`Scenario`] API unified the
+//! driver zoo, these functions are thin wrappers over the builder —
+//! kept for source compatibility and asserted byte-identical to their
+//! historical outputs by `tests/legacy_identity.rs`. New code should
+//! call the builder directly (it also composes fault plans with
+//! Byzantine plans and tracing).
 //!
 //! Degradation is reported as **live coverage**: the mean fraction of
 //! the token universe known, at the end of the run, by the nodes that
@@ -20,20 +27,16 @@
 //! learn anything — and live coverage measures what the survivors
 //! salvaged.
 
-use super::plan::{FaultPlan, PartitionLink};
-use crate::engine::{EventProtocol, EventReport, EventSim, StopReason};
+use super::plan::FaultPlan;
+use crate::engine::EventReport;
 use crate::event::VirtualTime;
 use crate::link::LinkModel;
-use crate::protocol::{
-    AsyncConfig, AsyncMultiSource, AsyncOblivious, AsyncObliviousConfig, AsyncSingleSource,
-};
-use dynspread_core::multi_source::SourceMap;
-use dynspread_core::oblivious::{center_count, degree_threshold, source_threshold};
+use crate::protocol::{AsyncConfig, AsyncObliviousConfig};
+use crate::scenario::Scenario;
 use dynspread_graph::adversary::Adversary;
 use dynspread_graph::NodeId;
-use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
+use dynspread_sim::token::{TokenAssignment, TokenSet};
 use dynspread_sim::RunReport;
-use std::sync::Arc;
 
 /// Outcome of a single-phase faulty run (single- or multi-source).
 #[derive(Clone, Debug)]
@@ -75,7 +78,7 @@ pub fn coverage_over<'a>(
     }
 }
 
-/// Runs [`AsyncSingleSource`] under `plan`: the engine silences crashed
+/// Runs [`AsyncSingleSource`](crate::protocol::AsyncSingleSource) under `plan`: the engine silences crashed
 /// nodes and drives the recovery/heal hooks, the wrapped link drops
 /// cross-partition copies.
 ///
@@ -98,36 +101,25 @@ where
     L: LinkModel,
 {
     assert_eq!(plan.node_count(), assignment.node_count(), "plan size");
-    let schedule = Arc::new(plan.clone());
-    let nodes = AsyncSingleSource::nodes(assignment, cfg);
-    let mut sim = EventSim::with_tracking(
-        nodes,
-        adversary,
-        PartitionLink::new(link, schedule),
-        ticks_per_round,
-        seed,
-        assignment,
-    );
-    sim.set_fault_plan(plan.clone());
-    let event = sim.run(max_time);
-    let report = sim.run_report("faulty-async-single-source");
-    let tracker = sim.tracker().expect("tracking enabled");
-    let n = assignment.node_count();
-    let live_coverage = coverage_over(
-        assignment.token_count(),
-        NodeId::all(n).map(|v| tracker.knowledge(v)),
-        |v| !sim.is_down(v),
-    );
-    let completed = event.stopped == StopReason::Complete;
+    let out = Scenario::from_assignment(assignment.clone())
+        .topology(adversary)
+        .link(link)
+        .ticks_per_round(ticks_per_round)
+        .seed(seed)
+        .retransmit(cfg)
+        .faults(plan.clone())
+        .max_time(max_time)
+        .name("faulty-async-single-source")
+        .run_single_source();
     FaultyOutcome {
-        event,
-        report,
-        live_coverage,
-        completed,
+        event: out.event,
+        report: out.report,
+        live_coverage: out.live_coverage,
+        completed: out.completed,
     }
 }
 
-/// Runs [`AsyncMultiSource`] under `plan`; see
+/// Runs [`AsyncMultiSource`](crate::protocol::AsyncMultiSource) under `plan`; see
 /// [`run_faulty_single_source`].
 ///
 /// # Panics
@@ -149,32 +141,21 @@ where
     L: LinkModel,
 {
     assert_eq!(plan.node_count(), assignment.node_count(), "plan size");
-    let schedule = Arc::new(plan.clone());
-    let (nodes, _map) = AsyncMultiSource::nodes(assignment, cfg);
-    let mut sim = EventSim::with_tracking(
-        nodes,
-        adversary,
-        PartitionLink::new(link, schedule),
-        ticks_per_round,
-        seed,
-        assignment,
-    );
-    sim.set_fault_plan(plan.clone());
-    let event = sim.run(max_time);
-    let report = sim.run_report("faulty-async-multi-source");
-    let tracker = sim.tracker().expect("tracking enabled");
-    let n = assignment.node_count();
-    let live_coverage = coverage_over(
-        assignment.token_count(),
-        NodeId::all(n).map(|v| tracker.knowledge(v)),
-        |v| !sim.is_down(v),
-    );
-    let completed = event.stopped == StopReason::Complete;
+    let out = Scenario::from_assignment(assignment.clone())
+        .topology(adversary)
+        .link(link)
+        .ticks_per_round(ticks_per_round)
+        .seed(seed)
+        .retransmit(cfg)
+        .faults(plan.clone())
+        .max_time(max_time)
+        .name("faulty-async-multi-source")
+        .run_multi_source();
     FaultyOutcome {
-        event,
-        report,
-        live_coverage,
-        completed,
+        event: out.event,
+        report: out.report,
+        live_coverage: out.live_coverage,
+        completed: out.completed,
     }
 }
 
@@ -237,172 +218,36 @@ where
     L2: LinkModel,
 {
     let n = assignment.node_count();
-    let k = assignment.token_count();
     assert_eq!(plan1.node_count(), n, "phase-1 plan size");
     assert_eq!(plan2.node_count(), n, "phase-2 plan size");
-    let s = assignment.sources().len();
-    let threshold = cfg.source_threshold.unwrap_or_else(|| source_threshold(n));
-
-    if (s as f64) <= threshold {
-        // Few sources: the pipeline is a single multi-source run and
-        // only the phase-2 plan applies.
-        let out = run_faulty_multi_source(
-            assignment,
-            adversary2,
-            link2,
-            cfg.ticks_per_round,
-            cfg.seed ^ 0x5EED_0B71_0002u64,
-            cfg.retransmit,
-            plan2,
-            cfg.phase2_max_time,
-        );
-        return FaultyObliviousOutcome {
-            phase1: None,
-            phase2: out.event,
-            report: out.report,
-            crash_reclaimed: 0,
-            stranded_tokens: 0,
-            live_coverage: out.live_coverage,
-            completed: out.completed,
-        };
-    }
-
-    // ---- Phase 1: the walk phase, faulted by plan1. ----
-    let f = center_count(n, k);
-    let p_center = cfg
-        .center_probability
-        .unwrap_or_else(|| (f / n as f64).min(1.0));
-    let gamma = cfg
-        .degree_threshold
-        .unwrap_or_else(|| degree_threshold(n, f));
-    let nodes = AsyncOblivious::nodes(
-        assignment,
-        p_center,
-        gamma,
-        cfg.seed,
-        cfg.retransmit,
-        cfg.phase1_deadline,
-    );
-    let mut sim1 = EventSim::new(
-        nodes,
-        adversary1,
-        PartitionLink::new(link1, Arc::new(plan1.clone())),
-        cfg.ticks_per_round,
-        cfg.seed ^ 0x5EED_0B71_0001u64,
-    );
-    sim1.set_fault_plan(plan1.clone());
-    let phase1 = sim1.run(cfg.phase1_max_time);
-    let (c1, r1, p1) = sim1.fault_counters();
-
-    // ---- Crash-tolerant hand-off. ----
-    // Claimant preference: up beats down, then center beats walker, then
-    // (scanning ascending, replacing only on strict improvement) the
-    // lowest ID.
-    let rank = |sim: &EventSim<AsyncOblivious, A1, _>, v: NodeId| -> u8 {
-        u8::from(!sim.is_down(v)) * 2 + u8::from(sim.node(v).is_center())
-    };
-    let mut owner_of: Vec<Option<NodeId>> = vec![None; k];
-    for v in NodeId::all(n) {
-        for t in sim1.node(v).responsible_tokens() {
-            let slot = &mut owner_of[t.index()];
-            match *slot {
-                None => *slot = Some(v),
-                Some(prev) => {
-                    if rank(&sim1, v) > rank(&sim1, prev) {
-                        *slot = Some(v);
-                    }
-                }
-            }
-        }
-    }
-    let mut ownership = TokenAssignment::empty(n, k);
-    let mut knowledge = TokenAssignment::empty(n, k);
-    let mut stranded = 0usize;
-    let mut crash_reclaimed = 0usize;
-    for (ti, owner) in owner_of.iter().enumerate() {
-        let t = TokenId::new(ti as u32);
-        let mut v = owner.expect("responsibility is never destroyed: every token has a claimant");
-        if sim1.is_down(v) {
-            // Every claimant crash-stopped mid-walk. Re-home the token to
-            // a live node that knows it (knowledge is durable, so the
-            // crashed owner's upstream senders still do), preferring a
-            // center; the original assignment holder is the last resort
-            // (it may itself be down — then the token is lost with it).
-            crash_reclaimed += 1;
-            let knows = |u: NodeId| {
-                !sim1.is_down(u) && sim1.node(u).known_tokens().is_some_and(|kn| kn.contains(t))
-            };
-            v = NodeId::all(n)
-                .find(|&u| knows(u) && sim1.node(u).is_center())
-                .or_else(|| NodeId::all(n).find(|&u| knows(u)))
-                .unwrap_or_else(|| {
-                    assignment
-                        .holders(t)
-                        .next()
-                        .expect("every token has an initial holder")
-                });
-        }
-        ownership.add_holder(t, v);
-        if !sim1.node(v).is_center() {
-            stranded += 1;
-        }
-    }
-    for v in NodeId::all(n) {
-        let know = sim1
-            .node(v)
-            .known_tokens()
-            .expect("walk nodes expose knowledge");
-        for t in know.iter() {
-            knowledge.add_holder(t, v);
-        }
-    }
-    let map = Arc::new(SourceMap::from_assignment(&ownership));
-
-    // ---- Phase 2: Multi-Source-Unicast from the owners, faulted by
-    // plan2. ----
-    let nodes2: Vec<AsyncMultiSource> = NodeId::all(n)
-        .map(|v| AsyncMultiSource::new(v, &knowledge, Arc::clone(&map), cfg.retransmit))
-        .collect();
-    let mut sim2 = EventSim::with_tracking(
-        nodes2,
-        adversary2,
-        PartitionLink::new(link2, Arc::new(plan2.clone())),
-        cfg.ticks_per_round,
-        cfg.seed ^ 0x5EED_0B71_0002u64,
-        &knowledge,
-    );
-    sim2.set_fault_plan(plan2.clone());
-    let phase2 = sim2.run(cfg.phase2_max_time);
-
-    let mut report = sim2.run_report("faulty-async-oblivious");
-    report.crashes += c1;
-    report.recoveries += r1;
-    report.partition_episodes += p1;
-    let tracker = sim2.tracker().expect("tracking enabled");
-    let live_coverage = coverage_over(k, NodeId::all(n).map(|v| tracker.knowledge(v)), |v| {
-        !sim2.is_down(v)
-    });
-    let completed = phase2.stopped == StopReason::Complete;
-
+    let out = Scenario::from_assignment(assignment.clone())
+        .topology(adversary1)
+        .link(link1)
+        .faults(plan1.clone())
+        .name("faulty-async-oblivious")
+        .run_oblivious(adversary2, link2, cfg, Some(plan2));
     FaultyObliviousOutcome {
-        phase1: Some(phase1),
-        phase2,
-        report,
-        crash_reclaimed,
-        stranded_tokens: stranded,
-        live_coverage,
-        completed,
+        phase1: out.phase1,
+        phase2: out.phase2,
+        report: out.report,
+        crash_reclaimed: out.crash_reclaimed,
+        stranded_tokens: out.stranded_tokens,
+        live_coverage: out.live_coverage,
+        completed: out.completed,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EventSim;
     use crate::faults::plan::{NodeFault, RecoveryMode};
     use crate::link::{DropLink, LinkModelExt, PerfectLink};
+    use crate::protocol::AsyncSingleSource;
     use dynspread_graph::generators::Topology;
     use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};
     use dynspread_graph::Graph;
+    use dynspread_sim::token::TokenId;
 
     #[test]
     fn coverage_over_excludes_and_degenerates() {

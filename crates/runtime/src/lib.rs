@@ -61,6 +61,16 @@
 //!   auditor pins every violation to its culprit with a minimal proof —
 //!   sound (honest nodes are never indicted) and byte-identical under
 //!   seeded replay.
+//! * **The `Scenario` front door + multi-session service layer**
+//!   ([`scenario`], [`session`]): a builder-style [`scenario::Scenario`]
+//!   is the single entry point composing every axis above — faults,
+//!   Byzantine plans, and tracing in one run — with the legacy
+//!   `run_faulty_*` / `run_byzantine_*` / `run_async_oblivious*` drivers
+//!   reimplemented as byte-identical thin wrappers over it. The session
+//!   layer multiplexes many overlapping dissemination sessions (distinct
+//!   token universes, sources, arrival times) over one long-lived engine
+//!   via a typed [`session::WireEnvelope`], reporting per-session
+//!   completion latency on the shared virtual clock.
 //!
 //! # How the event model relates to the paper's rounds
 //!
@@ -114,6 +124,8 @@ pub mod faults;
 pub mod link;
 pub mod mailbox;
 pub mod protocol;
+pub mod scenario;
+pub mod session;
 pub mod sync;
 pub mod trace;
 
@@ -124,5 +136,9 @@ pub use faults::{FaultPlan, PartitionLink, RecoveryMode};
 pub use link::{DropLink, LinkModel, LinkModelExt, PerfectLink};
 pub use mailbox::{Envelope, Mailbox};
 pub use protocol::{AsyncConfig, AsyncMultiSource, AsyncSingleSource};
+pub use scenario::{Scenario, ScenarioObliviousOutcome, ScenarioOutcome, ServiceOutcome};
+pub use session::{
+    SessionBoard, SessionId, SessionMux, SessionSpec, SessionWorkload, WireEnvelope,
+};
 pub use sync::{BroadcastSynchronizer, UnicastSynchronizer};
 pub use trace::{JsonlTracer, NoopTracer, TraceRecord, Tracer};

@@ -46,20 +46,18 @@
 //! `run_oblivious_multi_source` performs, against the asynchronous
 //! engine.
 
-use super::{AsyncConfig, AsyncMultiSource, RequestWindow, Retransmitter};
-use crate::engine::{EventCtx, EventProtocol, EventReport, EventSim, StopReason};
+use super::{AsyncConfig, RequestWindow, Retransmitter};
+use crate::engine::{EventCtx, EventProtocol, EventReport};
 use crate::event::VirtualTime;
 use crate::faults::RecoveryMode;
 use crate::link::LinkModel;
-use dynspread_core::multi_source::SourceMap;
-use dynspread_core::oblivious::{center_count, degree_threshold, source_threshold};
+use crate::scenario::Scenario;
 use dynspread_core::walk::{elect_centers, WalkCore};
 use dynspread_graph::adversary::Adversary;
 use dynspread_graph::NodeId;
 use dynspread_sim::token::{TokenAssignment, TokenId, TokenSet};
-use dynspread_sim::trace::{JsonlTracer, TraceRecord};
+use dynspread_sim::trace::JsonlTracer;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// Messages of the asynchronous random-walk phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,7 +94,7 @@ const HEARTBEAT: u64 = 0;
 /// oblivious algorithm).
 ///
 /// Drive it with [`run_async_oblivious`] for the full two-phase pipeline,
-/// or directly under an [`EventSim`] (no tracking: the phase's goal is
+/// or directly under an [`EventSim`](crate::engine::EventSim) (no tracking: the phase's goal is
 /// center ownership, not dissemination — the run ends at quiescence):
 ///
 /// ```
@@ -486,7 +484,7 @@ pub struct AsyncObliviousOutcome {
     /// Phase-1 report (absent when the source count was below threshold
     /// and the pipeline went straight to multi-source).
     pub phase1: Option<EventReport>,
-    /// Phase-2 ([`AsyncMultiSource`]) report.
+    /// Phase-2 ([`AsyncMultiSource`](super::AsyncMultiSource)) report.
     pub phase2: EventReport,
     /// The elected centers (or the original sources if phase 1 was
     /// skipped).
@@ -527,7 +525,7 @@ impl AsyncObliviousOutcome {
 /// quiescence — every node locally sheds or (at the deadline) freezes
 /// its tokens and stops its heartbeat, draining the event queue — after
 /// which this driver harvests ownership and knowledge and hands the
-/// owners to the existing [`AsyncMultiSource`] core as sources, mirroring
+/// owners to the existing [`AsyncMultiSource`](super::AsyncMultiSource) core as sources, mirroring
 /// the synchronous `run_oblivious_multi_source` hand-off.
 ///
 /// A token can end phase 1 with two claimants (the adversary removed the
@@ -608,152 +606,28 @@ where
     L1: LinkModel,
     L2: LinkModel,
 {
-    let n = assignment.node_count();
-    let k = assignment.token_count();
-    let s = assignment.sources().len();
-    let threshold = cfg.source_threshold.unwrap_or_else(|| source_threshold(n));
-
-    if (s as f64) <= threshold {
-        // Few sources: Multi-Source directly (the paper's lines 1-2).
-        let (nodes, map) = AsyncMultiSource::nodes(assignment, cfg.retransmit);
-        let mut sim = EventSim::with_tracking(
-            nodes,
-            adversary2,
-            link2,
-            cfg.ticks_per_round,
-            cfg.seed ^ 0x5EED_0B71_0002u64,
-            assignment,
-        );
-        if let Some(tr) = &tracer {
-            tr.append(&TraceRecord::Phase { p: 2 });
-            sim.set_tracer(tr.clone());
-        }
-        let phase2 = sim.run(cfg.phase2_max_time);
-        let completed = phase2.stopped == StopReason::Complete;
-        let tracker = sim.tracker().expect("tracking enabled");
-        return AsyncObliviousOutcome {
-            phase1: None,
-            phase2,
-            centers: assignment.sources(),
-            sources: map.sources().to_vec(),
-            stranded_tokens: 0,
-            final_knowledge: NodeId::all(n)
-                .map(|v| tracker.knowledge(v).clone())
-                .collect(),
-            completed,
-        };
+    let mut scenario = Scenario::from_assignment(assignment.clone())
+        .topology(adversary1)
+        .link(link1);
+    if let Some(tr) = tracer {
+        scenario = scenario.trace(tr);
     }
-
-    // ---- Phase 1: reduce the number of sources to the centers. ----
-    let f = center_count(n, k);
-    let p_center = cfg
-        .center_probability
-        .unwrap_or_else(|| (f / n as f64).min(1.0));
-    let gamma = cfg
-        .degree_threshold
-        .unwrap_or_else(|| degree_threshold(n, f));
-    let nodes = AsyncOblivious::nodes(
-        assignment,
-        p_center,
-        gamma,
-        cfg.seed,
-        cfg.retransmit,
-        cfg.phase1_deadline,
-    );
-    let centers: Vec<NodeId> = nodes
-        .iter()
-        .filter(|p| p.is_center())
-        .map(|p| p.id())
-        .collect();
-    let mut sim1 = EventSim::new(
-        nodes,
-        adversary1,
-        link1,
-        cfg.ticks_per_round,
-        cfg.seed ^ 0x5EED_0B71_0001u64,
-    );
-    if let Some(tr) = &tracer {
-        tr.append(&TraceRecord::Phase { p: 1 });
-        sim1.set_tracer(tr.clone());
-    }
-    let phase1 = sim1.run(cfg.phase1_max_time);
-
-    // ---- Hand-off: resolve claimants, snapshot ownership + knowledge. ----
-    let mut owner_of: Vec<Option<NodeId>> = vec![None; k];
-    for v in NodeId::all(n) {
-        let node = sim1.node(v);
-        for t in node.responsible_tokens() {
-            let slot = &mut owner_of[t.index()];
-            match *slot {
-                None => *slot = Some(v),
-                Some(prev) => {
-                    // Double claim from a churned mid-transfer edge:
-                    // prefer a center (fewer, better-placed sources).
-                    if node.is_center() && !sim1.node(prev).is_center() {
-                        *slot = Some(v);
-                    }
-                }
-            }
-        }
-    }
-    let mut ownership = TokenAssignment::empty(n, k);
-    let mut knowledge = TokenAssignment::empty(n, k);
-    let mut stranded = 0usize;
-    for (ti, owner) in owner_of.iter().enumerate() {
-        let v = owner.expect("responsibility is never destroyed: every token has a claimant");
-        ownership.add_holder(TokenId::new(ti as u32), v);
-        if !sim1.node(v).is_center() {
-            stranded += 1;
-        }
-    }
-    for v in NodeId::all(n) {
-        let know = sim1
-            .node(v)
-            .known_tokens()
-            .expect("walk nodes expose knowledge");
-        for t in know.iter() {
-            knowledge.add_holder(t, v);
-        }
-    }
-    let map = Arc::new(SourceMap::from_assignment(&ownership));
-    let sources = map.sources().to_vec();
-
-    // ---- Phase 2: Multi-Source-Unicast from the owners. ----
-    let nodes2: Vec<AsyncMultiSource> = NodeId::all(n)
-        .map(|v| AsyncMultiSource::new(v, &knowledge, Arc::clone(&map), cfg.retransmit))
-        .collect();
-    let mut sim2 = EventSim::with_tracking(
-        nodes2,
-        adversary2,
-        link2,
-        cfg.ticks_per_round,
-        cfg.seed ^ 0x5EED_0B71_0002u64,
-        &knowledge,
-    );
-    if let Some(tr) = &tracer {
-        tr.append(&TraceRecord::Phase { p: 2 });
-        sim2.set_tracer(tr.clone());
-    }
-    let phase2 = sim2.run(cfg.phase2_max_time);
-    let completed = phase2.stopped == StopReason::Complete;
-    let tracker = sim2.tracker().expect("tracking enabled");
-
+    let out = scenario.run_oblivious(adversary2, link2, cfg, None);
     AsyncObliviousOutcome {
-        phase1: Some(phase1),
-        phase2,
-        centers,
-        sources,
-        stranded_tokens: stranded,
-        final_knowledge: NodeId::all(n)
-            .map(|v| tracker.knowledge(v).clone())
-            .collect(),
-        completed,
+        phase1: out.phase1,
+        phase2: out.phase2,
+        centers: out.centers,
+        sources: out.sources,
+        stranded_tokens: out.stranded_tokens,
+        final_knowledge: out.final_knowledge,
+        completed: out.completed,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{EventSim, StopReason};
     use crate::link::{DropLink, LinkModelExt, PerfectLink};
     use dynspread_graph::generators::Topology;
     use dynspread_graph::oblivious::{PeriodicRewiring, StaticAdversary};

@@ -1,0 +1,99 @@
+//! Acceptance tests for the [`Scenario`] builder: the fault and
+//! Byzantine axes — historically separate driver families — must
+//! compose in one run, with tracing stacked on top, and the whole
+//! composition must stay a pure function of its seeds.
+
+use dynspread_graph::generators::Topology;
+use dynspread_graph::oblivious::PeriodicRewiring;
+use dynspread_graph::NodeId;
+use dynspread_runtime::byzantine::{MisbehaviorKind, MisbehaviorPlan};
+use dynspread_runtime::faults::{FaultPlan, RecoveryMode};
+use dynspread_runtime::link::{DropLink, LinkModelExt};
+use dynspread_runtime::trace::JsonlTracer;
+use dynspread_runtime::Scenario;
+use dynspread_sim::TokenAssignment;
+
+/// The ISSUE's composition acceptance scenario: crash-recovery faults,
+/// a partition/heal episode, and 15% malicious nodes in a single run.
+/// Honest live coverage must be reported, and the audit must stay sound
+/// (no honest node indicted) even though crashes now interleave with
+/// misbehavior in the transcripts.
+#[test]
+fn faults_byzantine_and_tracing_compose_in_one_scenario_run() {
+    let n = 20usize;
+    let k = 8usize;
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let faults = FaultPlan::crash_recovery(n, 0.2, 40, 160, RecoveryMode::DurableSnapshot, 5)
+        .with_random_partition(60, 420);
+    let byz = MisbehaviorPlan::uniform(n, 0.15, MisbehaviorKind::FalseClaims, 21);
+    let tracer = JsonlTracer::new();
+
+    let run = |tr: Option<JsonlTracer>| {
+        let mut s = Scenario::from_assignment(assignment.clone())
+            .topology(PeriodicRewiring::new(Topology::RandomTree, 3, 12))
+            .link(DropLink::new(0.25).with_jitter(2))
+            .seed(17)
+            .faults(faults.clone())
+            .byzantine(byz.clone())
+            .name("composed-acceptance");
+        if let Some(tr) = tr {
+            s = s.trace(tr);
+        }
+        s.run_single_source()
+    };
+    let out = run(Some(tracer.clone()));
+
+    // Both axes actually fired.
+    assert!(out.report.crashes > 0, "{}", out.report);
+    assert!(out.report.recoveries > 0, "{}", out.report);
+    assert_eq!(out.report.partition_episodes, 1, "{}", out.report);
+    assert_eq!(out.report.byzantine_nodes, byz.byzantine_nodes());
+    assert_eq!(out.report.byzantine_nodes, 3, "15% of 20");
+
+    // Honest live coverage is reported on both axes' terms: the nodes
+    // that are up AND honest at the end of the run.
+    assert!((0.0..=1.0).contains(&out.live_coverage));
+    assert!((0.0..=1.0).contains(&out.honest_coverage));
+
+    // Soundness under composition: crashes and heals in the transcript
+    // stream never get an honest node indicted.
+    assert!(out.evidence.iter().all(|e| byz.is_malicious(e.culprit)));
+    assert_eq!(out.report.violations_detected, out.evidence.len() as u64);
+
+    // The trace captured the composed run.
+    let trace = tracer.take_jsonl();
+    assert!(!trace.is_empty());
+
+    // The whole composition replays byte-identically (trace included).
+    let tracer2 = JsonlTracer::new();
+    let again = run(Some(tracer2.clone()));
+    assert_eq!(format!("{out:?}"), format!("{again:?}"));
+    assert_eq!(trace, tracer2.take_jsonl());
+}
+
+/// Composing an *empty* fault plan and an *honest* Byzantine plan must
+/// be invisible: same engine report as the bare Scenario run, except
+/// for the audit bookkeeping counters an honest audit legitimately
+/// stamps (all zero violations).
+#[test]
+fn neutral_plans_compose_invisibly() {
+    let n = 10usize;
+    let assignment = TokenAssignment::single_source(n, 5, NodeId::new(0));
+    let base = || {
+        Scenario::from_assignment(assignment.clone())
+            .topology(PeriodicRewiring::new(Topology::RandomTree, 3, 4))
+            .link(DropLink::new(0.2))
+            .seed(23)
+    };
+    let bare = base().run_single_source();
+    let neutral = base()
+        .faults(FaultPlan::none(n))
+        .byzantine(MisbehaviorPlan::honest(n))
+        .run_single_source();
+
+    assert_eq!(format!("{:?}", bare.event), format!("{:?}", neutral.event));
+    assert_eq!(neutral.report.violations_detected, 0);
+    assert_eq!(neutral.report.byzantine_nodes, 0);
+    assert!(neutral.evidence.is_empty());
+    assert_eq!(bare.completed, neutral.completed);
+}

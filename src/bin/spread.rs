@@ -4,7 +4,9 @@
 //! ```text
 //! Usage: spread [OPTIONS]
 //!   --alg  ALG     single-source | multi-source | unicast-flood |
-//!                  phased-flood | rlnc | oblivious        [single-source]
+//!                  phased-flood | rlnc | oblivious |
+//!                  async-single-source | async-multi-source |
+//!                  async-oblivious                        [single-source]
 //!   --adv  ADV     static:TOPO | rewire:TOPO:PERIOD |
 //!                  markov:P_ON:P_OFF:SIGMA | churn:TOPO:C:SIGMA
 //!                                                         [rewire:tree:3]
@@ -15,6 +17,19 @@
 //!   --max-rounds R round cap                              [1000000]
 //!   --kt0          charge neighbor-discovery hellos (unicast algorithms)
 //!
+//! Scenario flags (async-* algorithms only, backed by the unified
+//! `Scenario` builder):
+//!   --faults SPEC    comma-separated fault segments:
+//!                    stop:FRAC:AT | recover:FRAC:T0:T1[:amnesia|durable]
+//!                    | part:T0:T1
+//!   --byz FRAC:KIND  uniform misbehavior plan; KIND: false-claims |
+//!                    forge-transfers | seq-replay | drop-acks |
+//!                    mutate-tokens
+//!   --trace-out PATH write the deterministic JSONL trace to PATH
+//!   --sessions SRC   multi-session service run (async-single-source
+//!                    mux): a trace file of `ARRIVAL SOURCE K [LEAVE]`
+//!                    lines, or uniform:SESSIONS:K:SPACING
+//!
 //! TOPO: path | cycle | star | complete | tree | gnp:P | sparse:C | regular:D
 //! ```
 //!
@@ -23,6 +38,8 @@
 //! ```text
 //! spread --alg multi-source --adv churn:sparse:2.0:2:3 --n 40 --k 80 --s 4
 //! spread --alg rlnc --adv rewire:tree:1 --n 24 --k 24 --s 24
+//! spread --alg async-single-source --faults recover:0.2:50:200,part:80:400 --byz 0.15:false-claims
+//! spread --alg async-single-source --sessions uniform:20:8:40 --n 24
 //! ```
 
 use dynspread::core::baselines::UnicastFlooding;
@@ -37,6 +54,11 @@ use dynspread::graph::oblivious::{
     ChurnAdversary, EdgeMarkovian, PeriodicRewiring, StaticAdversary,
 };
 use dynspread::graph::NodeId;
+use dynspread::runtime::byzantine::{MisbehaviorKind, MisbehaviorPlan};
+use dynspread::runtime::faults::{FaultPlan, RecoveryMode};
+use dynspread::runtime::protocol::AsyncObliviousConfig;
+use dynspread::runtime::trace::JsonlTracer;
+use dynspread::runtime::{Scenario, SessionWorkload};
 use dynspread::sim::{BroadcastSim, SimConfig, TokenAssignment, UnicastSim};
 
 /// Parsed CLI configuration.
@@ -50,6 +72,10 @@ struct Config {
     seed: u64,
     max_rounds: u64,
     kt0: bool,
+    faults: Option<String>,
+    byz: Option<String>,
+    trace_out: Option<String>,
+    sessions: Option<String>,
 }
 
 impl Default for Config {
@@ -63,6 +89,10 @@ impl Default for Config {
             seed: 42,
             max_rounds: 1_000_000,
             kt0: false,
+            faults: None,
+            byz: None,
+            trace_out: None,
+            sessions: None,
         }
     }
 }
@@ -93,6 +123,10 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                     .map_err(|e| format!("--max-rounds: {e}"))?
             }
             "--kt0" => cfg.kt0 = true,
+            "--faults" => cfg.faults = Some(value("--faults")?),
+            "--byz" => cfg.byz = Some(value("--byz")?),
+            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?),
+            "--sessions" => cfg.sessions = Some(value("--sessions")?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -106,7 +140,120 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     if cfg.s < 1 || cfg.s > cfg.n {
         return Err("--s must be in 1..=n".into());
     }
+    let scenario_alg = cfg.alg.starts_with("async-");
+    if !scenario_alg {
+        for (flag, set) in [
+            ("--faults", cfg.faults.is_some()),
+            ("--byz", cfg.byz.is_some()),
+            ("--trace-out", cfg.trace_out.is_some()),
+            ("--sessions", cfg.sessions.is_some()),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} needs an async-* algorithm (the synchronous engines \
+                     have no fault/Byzantine/trace axes)"
+                ));
+            }
+        }
+    }
+    if cfg.sessions.is_some() {
+        if cfg.alg != "async-single-source" {
+            return Err("--sessions runs the async-single-source session mux".into());
+        }
+        if cfg.byz.is_some() {
+            return Err("--byz does not compose with --sessions yet".into());
+        }
+    }
     Ok(cfg)
+}
+
+/// Parses `--faults` segments: `stop:FRAC:AT`,
+/// `recover:FRAC:T0:T1[:amnesia|durable]`, `part:T0:T1`, comma-joined.
+fn parse_faults(spec: &str, n: usize, seed: u64) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none(n);
+    for segment in spec.split(',') {
+        let parts: Vec<&str> = segment.split(':').collect();
+        match parts.as_slice() {
+            ["stop", frac, at] => {
+                if !plan.is_empty() {
+                    return Err("at most one crash segment, before any part".into());
+                }
+                plan = FaultPlan::crash_stop(
+                    n,
+                    frac.parse().map_err(|e| format!("stop fraction: {e}"))?,
+                    at.parse().map_err(|e| format!("stop time: {e}"))?,
+                    seed,
+                );
+            }
+            ["recover", frac, t0, t1, rest @ ..] => {
+                if !plan.is_empty() {
+                    return Err("at most one crash segment, before any part".into());
+                }
+                let mode = match rest {
+                    [] | ["amnesia"] => RecoveryMode::Amnesia,
+                    ["durable"] => RecoveryMode::DurableSnapshot,
+                    _ => return Err(format!("unknown recovery mode in '{segment}'")),
+                };
+                plan = FaultPlan::crash_recovery(
+                    n,
+                    frac.parse().map_err(|e| format!("recover fraction: {e}"))?,
+                    t0.parse().map_err(|e| format!("recover start: {e}"))?,
+                    t1.parse().map_err(|e| format!("recover end: {e}"))?,
+                    mode,
+                    seed,
+                );
+            }
+            ["part", t0, t1] => {
+                plan = plan.with_random_partition(
+                    t0.parse().map_err(|e| format!("part start: {e}"))?,
+                    t1.parse().map_err(|e| format!("part heal: {e}"))?,
+                );
+            }
+            _ => return Err(format!("unknown fault segment '{segment}'")),
+        }
+    }
+    Ok(plan)
+}
+
+/// Parses `--byz FRAC:KIND` into a uniform misbehavior plan.
+fn parse_byz(spec: &str, n: usize, seed: u64) -> Result<MisbehaviorPlan, String> {
+    let (frac, kind) = spec
+        .split_once(':')
+        .ok_or_else(|| "byz needs FRAC:KIND".to_string())?;
+    let kind = match kind {
+        "false-claims" => MisbehaviorKind::FalseClaims,
+        "forge-transfers" => MisbehaviorKind::ForgeTransfers,
+        "seq-replay" => MisbehaviorKind::SeqReplay,
+        "drop-acks" => MisbehaviorKind::DropAcks,
+        "mutate-tokens" => MisbehaviorKind::MutateTokens,
+        other => return Err(format!("unknown misbehavior kind '{other}'")),
+    };
+    Ok(MisbehaviorPlan::uniform(
+        n,
+        frac.parse().map_err(|e| format!("byz fraction: {e}"))?,
+        kind,
+        seed,
+    ))
+}
+
+/// Parses `--sessions`: `uniform:SESSIONS:K:SPACING` or a trace-file
+/// path (one `ARRIVAL SOURCE K [LEAVE]` line per session).
+fn parse_sessions(spec: &str, n: usize, seed: u64) -> Result<SessionWorkload, String> {
+    if let Some(rest) = spec.strip_prefix("uniform:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let [sessions, k, spacing] = parts.as_slice() else {
+            return Err("uniform needs SESSIONS:K:SPACING".into());
+        };
+        return Ok(SessionWorkload::uniform(
+            n,
+            sessions.parse().map_err(|e| format!("sessions: {e}"))?,
+            k.parse().map_err(|e| format!("session k: {e}"))?,
+            spacing.parse().map_err(|e| format!("spacing: {e}"))?,
+            seed,
+        ));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+    SessionWorkload::parse(n, &text)
 }
 
 fn parse_topology(spec: &str) -> Result<Topology, String> {
@@ -179,7 +326,118 @@ fn parse_adversary(spec: &str, n: usize, seed: u64) -> Result<Box<dyn Adversary>
     }
 }
 
+/// Builds the Scenario axes shared by every async-* algorithm, runs
+/// `go`, and flushes the trace file if one was requested.
+fn run_scenario(cfg: &Config, assignment: TokenAssignment) -> Result<String, String> {
+    let adversary = parse_adversary(&cfg.adv, cfg.n, cfg.seed)?;
+    let mut scenario = Scenario::from_assignment(assignment)
+        .topology(adversary)
+        .seed(cfg.seed)
+        .max_time(cfg.max_rounds);
+    if let Some(spec) = &cfg.faults {
+        scenario = scenario.faults(parse_faults(spec, cfg.n, cfg.seed ^ 0xFA17)?);
+    }
+    if let Some(spec) = &cfg.byz {
+        scenario = scenario.byzantine(parse_byz(spec, cfg.n, cfg.seed ^ 0xB42)?);
+    }
+    let tracer = JsonlTracer::new();
+    if cfg.trace_out.is_some() {
+        scenario = scenario.trace(tracer.clone());
+    }
+
+    let mut text = String::new();
+    match cfg.alg.as_str() {
+        "async-single-source" if cfg.sessions.is_some() => {
+            let spec = cfg.sessions.as_deref().expect("checked above");
+            let workload = parse_sessions(spec, cfg.n, cfg.seed)?;
+            let out = scenario.workload(&workload).run_sessions();
+            text.push_str(&format!("{}\n", out.report));
+            for s in &out.sessions {
+                match s.latency {
+                    Some(lat) => text.push_str(&format!(
+                        "session {:>8}: arrival {:>8} latency {:>8} messages {:>8}\n",
+                        s.label, s.arrival, lat, s.messages
+                    )),
+                    None => text.push_str(&format!(
+                        "session {:>8}: arrival {:>8} incomplete messages {:>8}\n",
+                        s.label, s.arrival, s.messages
+                    )),
+                }
+            }
+            text.push_str(&format!(
+                "sessions: {}/{} complete, p50 latency {:?}, p95 latency {:?}, \
+                 {} session messages, {} decode errors, {} foreign drops",
+                out.completed_sessions(),
+                out.sessions.len(),
+                out.latency_percentile(0.50),
+                out.latency_percentile(0.95),
+                out.total_session_messages(),
+                out.decode_errors,
+                out.foreign_drops
+            ));
+        }
+        "async-single-source" | "async-multi-source" => {
+            let out = if cfg.alg == "async-single-source" {
+                scenario.run_single_source()
+            } else {
+                scenario.run_multi_source()
+            };
+            text.push_str(&format!("{}\n", out.report));
+            text.push_str(&format!(
+                "live coverage {:.3}, honest coverage {:.3}, {} violations, {} injected",
+                out.live_coverage,
+                out.honest_coverage,
+                out.evidence.len(),
+                out.injected
+            ));
+        }
+        "async-oblivious" => {
+            let adversary2 = parse_adversary(&cfg.adv, cfg.n, cfg.seed + 1)?;
+            let ob_cfg = AsyncObliviousConfig {
+                seed: cfg.seed,
+                ..AsyncObliviousConfig::default()
+            };
+            let faults2 = cfg
+                .faults
+                .as_deref()
+                .map(|spec| parse_faults(spec, cfg.n, cfg.seed ^ 0xFA172))
+                .transpose()?;
+            let out = scenario.run_oblivious(
+                adversary2,
+                dynspread::runtime::link::PerfectLink,
+                &ob_cfg,
+                faults2.as_ref(),
+            );
+            text.push_str(&format!("{}\n", out.report));
+            text.push_str(&format!(
+                "{} centers, {} sources, {} stranded, {} reclaimed, {} recovered, \
+                 live coverage {:.3}, honest coverage {:.3}",
+                out.centers.len(),
+                out.sources.len(),
+                out.stranded_tokens,
+                out.crash_reclaimed,
+                out.stolen_recovered,
+                out.live_coverage,
+                out.honest_coverage
+            ));
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }
+
+    if let Some(path) = &cfg.trace_out {
+        std::fs::write(path, tracer.take_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(text)
+}
+
 fn run(cfg: &Config) -> Result<String, String> {
+    if cfg.alg.starts_with("async-") {
+        let assignment = match cfg.alg.as_str() {
+            "async-single-source" => TokenAssignment::single_source(cfg.n, cfg.k, NodeId::new(0)),
+            _ => TokenAssignment::round_robin_sources(cfg.n, cfg.k, cfg.s),
+        };
+        return run_scenario(cfg, assignment);
+    }
     let sim_cfg = SimConfig {
         max_rounds: cfg.max_rounds,
         charge_neighbor_discovery: cfg.kt0,
@@ -282,9 +540,13 @@ fn main() {
             eprintln!(
                 "usage: spread [--alg ALG] [--adv ADV] [--n N] [--k K] [--s S] \
                  [--seed SEED] [--max-rounds R] [--kt0]\n\
+                 \x20             [--faults SPEC] [--byz FRAC:KIND] [--trace-out PATH] [--sessions SRC]\n\
                  ALG:  single-source | multi-source | unicast-flood | phased-flood | rlnc | oblivious\n\
+                 \x20     | async-single-source | async-multi-source | async-oblivious\n\
                  ADV:  static:TOPO | rewire:TOPO:PERIOD | markov:P_ON:P_OFF:SIGMA | churn:TOPO:C:SIGMA\n\
-                 TOPO: path | cycle | star | complete | tree | gnp:P | sparse:C | regular:D"
+                 TOPO: path | cycle | star | complete | tree | gnp:P | sparse:C | regular:D\n\
+                 SPEC: stop:FRAC:AT | recover:FRAC:T0:T1[:amnesia|durable] | part:T0:T1 (comma-joined)\n\
+                 SRC:  a trace file (`ARRIVAL SOURCE K [LEAVE]` lines) | uniform:SESSIONS:K:SPACING"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
@@ -369,7 +631,7 @@ mod tests {
                 s: 4,
                 seed: 5,
                 max_rounds: 200_000,
-                kt0: false,
+                ..Config::default()
             };
             let out = run(&cfg).unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert!(out.contains("completed"), "{alg} output: {out}");
@@ -383,5 +645,96 @@ mod tests {
             ..Config::default()
         };
         assert!(run(&cfg).is_err());
+        let cfg = Config {
+            alg: "async-teleport".into(),
+            ..Config::default()
+        };
+        assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn scenario_flags_need_async_algorithms() {
+        assert!(parse_args(&args("--faults stop:0.2:40")).is_err());
+        assert!(parse_args(&args("--byz 0.2:drop-acks")).is_err());
+        assert!(parse_args(&args("--trace-out /tmp/x.jsonl")).is_err());
+        assert!(parse_args(&args("--sessions uniform:4:4:40")).is_err());
+        assert!(parse_args(&args("--alg async-single-source --faults stop:0.2:40")).is_ok());
+        // Sessions only multiplex the single-source port, without byz.
+        assert!(parse_args(&args("--alg async-multi-source --sessions uniform:4:4:40")).is_err());
+        assert!(parse_args(&args(
+            "--alg async-single-source --sessions uniform:4:4:40 --byz 0.2:drop-acks"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn fault_and_byz_specs_parse() {
+        assert!(parse_faults("stop:0.2:40", 8, 1).is_ok());
+        assert!(parse_faults("recover:0.2:30:120", 8, 1).is_ok());
+        assert!(parse_faults("recover:0.2:30:120:durable,part:60:400", 8, 1).is_ok());
+        assert!(parse_faults("part:60:400", 8, 1).is_ok());
+        assert!(parse_faults("stop:0.2:40,recover:0.1:1:2", 8, 1).is_err());
+        assert!(parse_faults("melt:0.2", 8, 1).is_err());
+        assert!(parse_byz("0.25:false-claims", 8, 1).is_ok());
+        assert!(parse_byz("0.25:mind-control", 8, 1).is_err());
+        assert!(parse_byz("drop-acks", 8, 1).is_err());
+    }
+
+    #[test]
+    fn session_specs_parse() {
+        let w = parse_sessions("uniform:5:4:40", 8, 3).unwrap();
+        assert_eq!(w.len(), 5);
+        assert!(parse_sessions("uniform:5:4", 8, 3).is_err());
+        assert!(parse_sessions("/nonexistent/trace.txt", 8, 3).is_err());
+    }
+
+    #[test]
+    fn async_algorithms_run_end_to_end() {
+        for alg in [
+            "async-single-source",
+            "async-multi-source",
+            "async-oblivious",
+        ] {
+            let cfg = Config {
+                alg: alg.into(),
+                n: 8,
+                k: 8,
+                s: 4,
+                seed: 5,
+                max_rounds: 200_000,
+                ..Config::default()
+            };
+            let out = run(&cfg).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(out.contains("completed"), "{alg} output: {out}");
+        }
+    }
+
+    #[test]
+    fn composed_axes_run_through_the_cli() {
+        let cfg = Config {
+            alg: "async-single-source".into(),
+            n: 12,
+            k: 6,
+            seed: 7,
+            faults: Some("recover:0.2:50:200,part:80:400".into()),
+            byz: Some("0.15:false-claims".into()),
+            ..Config::default()
+        };
+        let out = run(&cfg).unwrap();
+        assert!(out.contains("honest coverage"), "{out}");
+    }
+
+    #[test]
+    fn session_service_runs_through_the_cli() {
+        let cfg = Config {
+            alg: "async-single-source".into(),
+            n: 12,
+            seed: 7,
+            sessions: Some("uniform:4:4:40".into()),
+            ..Config::default()
+        };
+        let out = run(&cfg).unwrap();
+        assert!(out.contains("sessions: 4/4 complete"), "{out}");
+        assert!(out.contains("p50 latency"), "{out}");
     }
 }

@@ -13,7 +13,7 @@ use dynspread::core::single_source::SingleSourceNode;
 use dynspread::graph::generators::Topology;
 use dynspread::graph::oblivious::{ChurnAdversary, EdgeMarkovian, PeriodicRewiring};
 use dynspread::graph::NodeId;
-use dynspread::runtime::engine::{EventSim, StopReason};
+use dynspread::runtime::engine::{EventProtocol, EventSim, StopReason};
 use dynspread::runtime::faults::{FaultPlan, PartitionLink, RecoveryMode};
 use dynspread::runtime::link::{DropLink, LinkModelExt};
 use dynspread::runtime::protocol::{
@@ -21,6 +21,7 @@ use dynspread::runtime::protocol::{
 };
 use dynspread::runtime::sync::{BroadcastSynchronizer, UnicastSynchronizer};
 use dynspread::runtime::trace::JsonlTracer;
+use dynspread::runtime::{Scenario, SessionSpec, SessionWorkload};
 use dynspread::sim::{RunReport, SimConfig, TokenAssignment, UnicastSim};
 use dynspread_bench::{derive_seed, par_map};
 
@@ -159,6 +160,101 @@ fn async_par_map_grid_is_byte_identical_to_serial() {
     assert_eq!(replay, serial);
     // The grid is not degenerate: different seeds change the execution.
     assert_ne!(serial[1], serial[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Session-service determinism: a sharded-arrival workload multiplexed
+// over one engine is a pure function of its seeds, serially and under
+// par_map fan-out; and a single-session service run reproduces the
+// standalone engine's schedule exactly (the mux adds only the n join
+// timer events).
+// ---------------------------------------------------------------------------
+
+/// One session-service run over a seeded arrival workload, fully
+/// fingerprinted: engine report, per-session reports (latency, message
+/// counts, chained digests), and the mux's error counters.
+fn session_service_fingerprint(seed: u64) -> String {
+    let n = 10;
+    let workload = SessionWorkload::uniform(n, 6, 4, 50, derive_seed(seed, 0x5E5));
+    let out = Scenario::new(n, 4)
+        .topology(PeriodicRewiring::new(
+            Topology::RandomTree,
+            3,
+            derive_seed(seed, 1),
+        ))
+        .link(DropLink::new(0.2).with_jitter(1))
+        .seed(derive_seed(seed, 2))
+        .workload(&workload)
+        .run_sessions();
+    format!(
+        "{:?} | {:?} | {} | {}",
+        out.event, out.sessions, out.decode_errors, out.foreign_drops
+    )
+}
+
+#[test]
+fn session_workload_replays_byte_identically_across_par_map() {
+    let seeds: Vec<u64> = (0..4).map(|i| derive_seed(53, i)).collect();
+    let serial: Vec<String> = seeds
+        .iter()
+        .map(|&s| session_service_fingerprint(s))
+        .collect();
+    let parallel = par_map(seeds.clone(), session_service_fingerprint);
+    assert_eq!(parallel, serial, "parallel session grid diverged");
+    let replay = par_map(seeds, session_service_fingerprint);
+    assert_eq!(replay, serial);
+    assert_ne!(serial[0], serial[1], "workload ignores its seed");
+}
+
+/// A single-session service run must reproduce the standalone engine's
+/// execution: same transmissions, same delivered copies, same final
+/// virtual time — the wire envelopes and scoreboard are pure overlay.
+/// The only event-count difference is the n join timers the mux arms.
+#[test]
+fn single_session_service_matches_the_standalone_engine() {
+    let (n, k) = (8usize, 5usize);
+    let assignment = TokenAssignment::single_source(n, k, NodeId::new(0));
+    let adversary = || PeriodicRewiring::new(Topology::RandomTree, 3, 7);
+    let link = || DropLink::new(0.2).with_jitter(1);
+
+    // Standalone, untracked: runs to quiescence like the service does.
+    let mut standalone = EventSim::new(
+        AsyncSingleSource::nodes(&assignment, AsyncConfig::default()),
+        adversary(),
+        link(),
+        2,
+        13,
+    );
+    let base = standalone.run(200_000);
+    assert_eq!(base.stopped, StopReason::Quiescent, "{base:?}");
+    assert!(
+        (0..n).all(|v| standalone
+            .node(NodeId::new(v as u32))
+            .known_tokens()
+            .expect("async port exposes knowledge")
+            .is_full()),
+        "standalone run must disseminate fully"
+    );
+
+    let out = Scenario::from_assignment(assignment.clone())
+        .topology(adversary())
+        .link(link())
+        .seed(13)
+        .session(SessionSpec::single_source("solo", 0, n, k, NodeId::new(0)))
+        .run_sessions();
+
+    assert_eq!(out.event.transmissions, base.transmissions);
+    assert_eq!(out.event.final_time, base.final_time);
+    assert_eq!(out.event.epochs, base.epochs);
+    assert_eq!(out.event.events, base.events + n as u64, "n join timers");
+    let solo = &out.sessions[0];
+    assert!(solo.report.completed, "{:?}", solo);
+    assert_eq!(
+        solo.latency.expect("completed"),
+        solo.completed_at.expect("completed")
+    );
+    assert_eq!(out.decode_errors, 0);
+    assert_eq!(out.foreign_drops, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,329 @@
+//! Vendored, dependency-free serde-style binary codec.
+//!
+//! The container builds offline, so this crate stands in for the usual
+//! `serde + bincode` pair with the API subset dynspread needs: a pair of
+//! traits ([`Encode`], [`Decode`]) over a fixed, deterministic wire
+//! format. The format is *not* self-describing — both sides must agree on
+//! the type — which is exactly the property the session wire envelope
+//! wants: equal values encode to equal bytes, so seeded replays stay
+//! byte-identical through the serialization boundary.
+//!
+//! Format rules:
+//!
+//! * fixed-width integers are little-endian (`usize` travels as `u64`);
+//! * `bool` is one byte (`0`/`1`; anything else is a decode error);
+//! * `Option<T>` is a presence byte followed by the value;
+//! * `Vec<T>` / `String` are a `u32` element count followed by the
+//!   elements (counts beyond `u32::MAX` panic on encode);
+//! * enums (implemented downstream) conventionally start with a tag byte.
+//!
+//! Decoding is total: malformed input yields a [`DecodeError`], never a
+//! panic, and [`from_bytes`] rejects trailing garbage so envelope length
+//! mismatches are caught at the boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Why a byte slice failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// An enum tag byte had no corresponding variant.
+    InvalidTag(u8),
+    /// A `bool` byte was neither `0` nor `1`.
+    InvalidBool(u8),
+    /// A length prefix or integer did not fit the target type.
+    InvalidLength,
+    /// [`from_bytes`] decoded a value but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "input ended mid-value"),
+            DecodeError::InvalidTag(t) => write!(f, "invalid enum tag {t}"),
+            DecodeError::InvalidBool(b) => write!(f, "invalid bool byte {b}"),
+            DecodeError::InvalidLength => write!(f, "length out of range"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over the bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// Serializes a value into the deterministic wire format.
+pub trait Encode {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// Deserializes a value from the deterministic wire format.
+pub trait Decode: Sized {
+    /// Reads one value from `r`, advancing the cursor past it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes `value` into a fresh byte vector.
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes exactly one value spanning all of `bytes`.
+///
+/// Trailing bytes are an error: the session envelope carries one payload
+/// per message, so leftover input means a framing bug, not padding.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let bytes = r.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        usize::try_from(u64::decode(r)?).map_err(|_| DecodeError::InvalidLength)
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::InvalidBool(other)),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(DecodeError::InvalidTag(other)),
+        }
+    }
+}
+
+fn encode_len(len: usize, out: &mut Vec<u8>) {
+    let len = u32::try_from(len).expect("collection length exceeds u32 wire limit");
+    len.encode(out);
+}
+
+fn decode_len(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    Ok(u32::decode(r)? as usize)
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        // Guard against hostile prefixes: each element consumes ≥ 1 byte,
+        // so a length beyond the remaining input is bogus up front.
+        if len > r.remaining() {
+            return Err(DecodeError::InvalidLength);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidLength)
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(0xAB_u8);
+        roundtrip(0xBEEF_u16);
+        roundtrip(0xDEAD_BEEF_u32);
+        roundtrip(u64::MAX);
+        roundtrip(-7i32);
+        roundtrip(usize::MAX >> 1);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(42u32));
+        roundtrip(vec![1u16, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip("hello".to_string());
+        roundtrip((7u8, vec![Some(1u32), None]));
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_little_endian() {
+        assert_eq!(to_bytes(&0x0102_0304_u32), vec![4, 3, 2, 1]);
+        assert_eq!(to_bytes(&vec![1u8, 2]), vec![2, 0, 0, 0, 1, 2]);
+        assert_eq!(to_bytes(&Some(1u8)), vec![1, 1]);
+        let a = to_bytes(&(9u64, "x".to_string()));
+        let b = to_bytes(&(9u64, "x".to_string()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        assert_eq!(from_bytes::<u32>(&[1, 2]), Err(DecodeError::UnexpectedEof));
+        assert_eq!(from_bytes::<bool>(&[9]), Err(DecodeError::InvalidBool(9)));
+        assert_eq!(
+            from_bytes::<Option<u8>>(&[7, 0]),
+            Err(DecodeError::InvalidTag(7))
+        );
+        // Length prefix claims more elements than bytes remain.
+        assert_eq!(
+            from_bytes::<Vec<u8>>(&[255, 0, 0, 0, 1]),
+            Err(DecodeError::InvalidLength)
+        );
+        // Trailing garbage after a complete value.
+        assert_eq!(
+            from_bytes::<u8>(&[1, 2]),
+            Err(DecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn usize_travels_as_u64() {
+        let bytes = to_bytes(&3usize);
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(from_bytes::<usize>(&bytes).unwrap(), 3);
+    }
+}
